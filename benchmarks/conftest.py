@@ -1,0 +1,44 @@
+"""Shared master sweep for the figure benchmarks.
+
+Every figure of the paper is a view over the same evaluation grid, so the
+benchmarks share one session-scoped sweep at ``tiny`` scale (full pair grid,
+all 12 configurations, both fabrics).  Set ``REPRO_BENCH_SCALE=small`` to
+re-run the benches closer to paper scale (minutes instead of seconds).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import run_sweep
+from repro.malleability import ALL_CONFIGS
+from repro.synthetic.presets import SCALES
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def master_results(bench_scale):
+    """The full grid sweep every figure derives from."""
+    preset = SCALES[bench_scale]
+    return run_sweep(
+        pairs=preset.pairs(),
+        config_keys=[c.key for c in ALL_CONFIGS],
+        fabrics=["ethernet", "infiniband"],
+        scale=bench_scale,
+        repetitions=preset.repetitions,
+    )
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic analysis exactly once (sims dominate the
+    cost and live in the shared fixture; re-running would only re-measure
+    numpy calls)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

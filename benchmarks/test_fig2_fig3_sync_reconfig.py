@@ -1,0 +1,84 @@
+"""Figures 2 and 3: reconfiguration times of the synchronous methods.
+
+Regenerates the shrink-from-max / expand-to-max series on both fabrics and
+asserts the paper's qualitative claims:
+
+* Merge reconfigurations outperform Baseline (spawn-cost difference);
+* Baseline COLS is the slowest family member (serialized pairwise
+  inter-communicator Alltoallv);
+* Infiniband reconfigures faster than Ethernet across the board.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness import EXPERIMENTS, build_figure, figure_report
+
+
+def _sync_series(rs, scale, fabric, direction):
+    fig = build_figure(EXPERIMENTS["fig2" if fabric == "ethernet" else "fig3"],
+                       rs, scale, fabric, direction)
+    return fig.series
+
+
+@pytest.mark.parametrize("direction", ["shrink", "expand"])
+def test_fig2_merge_beats_baseline_on_ethernet(
+    benchmark, master_results, bench_scale, direction
+):
+    series = run_once(
+        benchmark,
+        lambda: _sync_series(master_results, bench_scale, "ethernet", direction),
+    )
+    n = len(series["Merge COLS"])
+    # Per point: Merge never loses by more than noise (the paper notes
+    # near-ties as exceptions when expanding from 2 processes)...
+    for i in range(n):
+        assert series["Merge COLS"][i] < series["Baseline COLS"][i] * 1.05
+        assert series["Merge P2PS"][i] < series["Baseline P2PS"][i] * 1.05
+    # ... and wins strictly in aggregate.
+    assert sum(series["Merge COLS"]) < sum(series["Baseline COLS"])
+    assert sum(series["Merge P2PS"]) < sum(series["Baseline P2PS"])
+    # Baseline COLS is the worst family member on aggregate (serialized
+    # pairwise inter-communicator Alltoallv).
+    for name, vals in series.items():
+        assert sum(series["Baseline COLS"]) >= sum(vals) * 0.999, name
+
+
+@pytest.mark.parametrize("direction", ["shrink", "expand"])
+def test_fig3_merge_beats_baseline_on_infiniband(
+    benchmark, master_results, bench_scale, direction
+):
+    series = run_once(
+        benchmark,
+        lambda: _sync_series(master_results, bench_scale, "infiniband", direction),
+    )
+    for i in range(len(series["Merge COLS"])):
+        assert series["Merge COLS"][i] < series["Baseline COLS"][i] * 1.05
+    assert sum(series["Merge COLS"]) < sum(series["Baseline COLS"])
+
+
+def test_fig3_infiniband_faster_than_ethernet(benchmark, master_results, bench_scale):
+    def collect():
+        out = {}
+        for fabric in ("ethernet", "infiniband"):
+            vals = []
+            for direction in ("shrink", "expand"):
+                vals.extend(
+                    v
+                    for series in _sync_series(
+                        master_results, bench_scale, fabric, direction
+                    ).values()
+                    for v in series
+                )
+            out[fabric] = sum(vals) / len(vals)
+        return out
+
+    means = run_once(benchmark, collect)
+    assert means["infiniband"] < means["ethernet"]
+
+
+def test_fig2_report_renders(master_results, bench_scale, capsys):
+    print(figure_report("fig2", master_results, bench_scale))
+    print(figure_report("fig3", master_results, bench_scale))
+    out = capsys.readouterr().out
+    assert "Figure 2" in out and "Figure 3" in out

@@ -1,0 +1,42 @@
+"""Figure 6: preferred method per (NS, NT) cell by reconfiguration time.
+
+Paper: "the fastest method to reconfigure data is Merge COLS regardless of
+expanding or shrinking, or the type of network used."  Our grid must be
+dominated by *synchronous Merge* methods on both fabrics (whether the COL
+or the P2P flavour wins individual cells is statistically a coin toss —
+the paper itself notes there is "no criterion to choose one or the other").
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness import EXPERIMENTS, build_figure, figure_report
+from repro.malleability import ReconfigConfig, SpawnMethod
+from repro.redistribution import Strategy
+
+
+@pytest.mark.parametrize("fabric", ["ethernet", "infiniband"])
+def test_fig6_sync_merge_dominates(benchmark, master_results, bench_scale, fabric):
+    fig = run_once(
+        benchmark,
+        lambda: build_figure(
+            EXPERIMENTS["fig6"], master_results, bench_scale, fabric, "grid"
+        ),
+    )
+    assert fig.preferred, "empty preferred map"
+    winners = [ReconfigConfig.parse(v) for v in fig.preferred.values()]
+    merge_sync = [
+        w for w in winners
+        if w.spawn is SpawnMethod.MERGE and w.strategy is Strategy.SYNC
+    ]
+    # Paper: Merge-sync wins all but a handful of cells.
+    assert len(merge_sync) >= 0.7 * len(winners), (
+        f"Merge-sync won only {len(merge_sync)}/{len(winners)} cells on {fabric}"
+    )
+
+
+def test_fig6_report_renders(master_results, bench_scale, capsys):
+    print(figure_report("fig6", master_results, bench_scale))
+    out = capsys.readouterr().out
+    assert "preferred by reconfig_time" in out
+    assert "dominance:" in out

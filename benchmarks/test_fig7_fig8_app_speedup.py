@@ -1,0 +1,83 @@
+"""Figures 7 and 8: application execution time speedups vs Baseline COLS.
+
+Paper claims reproduced here:
+
+* Merge configurations (and Baseline P2PS) provide a speedup over the
+  Baseline COLS reference;
+* the peak speedup is delivered by an *asynchronous Merge* configuration
+  (paper: 1.14x Merge P2PT on Ethernet, 1.21x Merge P2PA on Infiniband —
+  exact magnitudes depend on the testbed, the shape is what must hold);
+* asynchronous strategies beat their synchronous counterparts in
+  application time even though they lose in reconfiguration time (Figs 4/5).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.harness import EXPERIMENTS, build_figure, figure_report, headline_speedups
+
+
+def speedup_series(rs, scale, fabric):
+    spec = EXPERIMENTS["fig7" if fabric == "ethernet" else "fig8"]
+    out: dict[str, list[float]] = {}
+    for direction in ("shrink", "expand"):
+        fig = build_figure(spec, rs, scale, fabric, direction)
+        for name, vals in fig.series.items():
+            if name.endswith("(s)"):
+                continue  # the reference-time series
+            out.setdefault(name, []).extend(vals)
+    return out
+
+
+@pytest.mark.parametrize("fabric", ["ethernet", "infiniband"])
+def test_merge_async_delivers_speedup(benchmark, master_results, bench_scale, fabric):
+    series = run_once(
+        benchmark, lambda: speedup_series(master_results, bench_scale, fabric)
+    )
+    for key in ("Merge COLA", "Merge P2PA", "Merge COLT", "Merge P2PT"):
+        assert float(np.median(series[key])) > 1.0, f"{key} gave no speedup"
+
+
+@pytest.mark.parametrize("fabric", ["ethernet", "infiniband"])
+def test_peak_speedup_is_async(benchmark, master_results, bench_scale, fabric):
+    def peak():
+        series = speedup_series(master_results, bench_scale, fabric)
+        name, vals = max(series.items(), key=lambda kv: max(kv[1]))
+        return name, max(vals)
+
+    name, value = run_once(benchmark, peak)
+    assert value > 1.05
+    assert name.endswith(("A", "T")), f"peak came from sync config {name}"
+
+
+@pytest.mark.parametrize("fabric", ["ethernet", "infiniband"])
+def test_async_beats_sync_in_app_time(benchmark, master_results, bench_scale, fabric):
+    series = run_once(
+        benchmark, lambda: speedup_series(master_results, bench_scale, fabric)
+    )
+    for spawn in ("Merge", "Baseline"):
+        for redist in ("COL", "P2P"):
+            sync = np.median(series.get(f"{spawn} {redist}S", [1.0]))
+            for st in ("A", "T"):
+                asy = np.median(series[f"{spawn} {redist}{st}"])
+                assert asy > sync * 0.95, (
+                    f"{spawn} {redist}{st} ({asy:.3f}) worse than sync ({sync:.3f})"
+                )
+
+
+def test_headline_speedups(benchmark, master_results, bench_scale, capsys):
+    """The abstract's numbers: 1.14x (Ethernet) / 1.21x (Infiniband).  Our
+    substrate is a simulator; we assert the sign and rough neighbourhood."""
+    head = run_once(benchmark, lambda: headline_speedups(master_results, bench_scale))
+    print("headline speedups:", head)
+    for fabric, (name, value) in head.items():
+        assert 1.05 < value < 4.0
+        assert name.startswith(("Merge", "Baseline"))
+
+
+def test_fig7_fig8_reports_render(master_results, bench_scale, capsys):
+    print(figure_report("fig7", master_results, bench_scale))
+    print(figure_report("fig8", master_results, bench_scale))
+    out = capsys.readouterr().out
+    assert "speedup" in out

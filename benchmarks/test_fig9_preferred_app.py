@@ -1,0 +1,52 @@
+"""Figure 9: preferred method per (NS, NT) cell by application time.
+
+Paper: asynchronous Merge configurations dominate — Merge COLT on Ethernet
+(29/42 cells), Merge COLA/P2PA on Infiniband (36/42).  The assertion here
+is the robust core: the app-time grids are won by *asynchronous*
+configurations, with Merge holding at least half the cells.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness import EXPERIMENTS, build_figure, figure_report
+from repro.malleability import ReconfigConfig, SpawnMethod
+from repro.redistribution import Strategy
+
+
+@pytest.mark.parametrize("fabric", ["ethernet", "infiniband"])
+def test_fig9_async_dominates(benchmark, master_results, bench_scale, fabric):
+    fig = run_once(
+        benchmark,
+        lambda: build_figure(
+            EXPERIMENTS["fig9"], master_results, bench_scale, fabric, "grid"
+        ),
+    )
+    winners = [ReconfigConfig.parse(v) for v in fig.preferred.values()]
+    async_winners = [w for w in winners if w.strategy is not Strategy.SYNC]
+    assert len(async_winners) >= 0.7 * len(winners), (
+        f"async configs won only {len(async_winners)}/{len(winners)} on {fabric}"
+    )
+
+
+def test_fig9_merge_holds_majority_overall(benchmark, master_results, bench_scale):
+    def count():
+        merge, total = 0, 0
+        for fabric in ("ethernet", "infiniband"):
+            fig = build_figure(
+                EXPERIMENTS["fig9"], master_results, bench_scale, fabric, "grid"
+            )
+            for v in fig.preferred.values():
+                total += 1
+                if ReconfigConfig.parse(v).spawn is SpawnMethod.MERGE:
+                    merge += 1
+        return merge, total
+
+    merge, total = run_once(benchmark, count)
+    assert merge >= total / 2, f"Merge won only {merge}/{total} app-time cells"
+
+
+def test_fig9_report_renders(master_results, bench_scale, capsys):
+    print(figure_report("fig9", master_results, bench_scale))
+    out = capsys.readouterr().out
+    assert "preferred by app_time" in out

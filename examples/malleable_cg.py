@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""A real Conjugate Gradient solve that expands 2 -> 6 ranks mid-flight.
+
+Demonstrates the full malleability stack on actual numerics: the residual
+trajectory with a reconfiguration is compared element-by-element against a
+sequential reference — the reconfiguration is *numerically invisible*,
+while the simulated wall-clock shows the expanded group iterating faster.
+
+Run:  python examples/malleable_cg.py [config-key]
+      (default config: merge-col-a; try baseline-p2p-t, merge-p2p-s, ...)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import ConjugateGradientApp, cg_reference, laplacian_3d
+from repro.cluster import INFINIBAND_EDR, Machine
+from repro.malleability import (
+    ReconfigConfig,
+    ReconfigRequest,
+    RunStats,
+    run_malleable,
+)
+from repro.simulate import Simulator
+from repro.smpi import MpiWorld, SpawnModel
+
+N_GRID = 8          # 512-row 3-D Laplacian
+ITERATIONS = 60
+RECONFIGURE_AT = 20
+NS, NT = 2, 6
+
+
+def main(config_key: str = "merge-col-a") -> None:
+    config = ReconfigConfig.parse(config_key)
+    a = laplacian_3d(N_GRID)
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(a.shape[0])
+
+    # flop_rate is dialled down so one CG iteration costs simulated
+    # milliseconds — otherwise this toy problem iterates in microseconds
+    # and the whole run would hide inside the reconfiguration.
+    app = ConjugateGradientApp(a, b, n_iterations=ITERATIONS, flop_rate=1e7)
+    sim = Simulator()
+    machine = Machine(sim, n_nodes=4, cores_per_node=2, fabric=INFINIBAND_EDR)
+    world = MpiWorld(
+        machine, spawn_model=SpawnModel(base=2e-3, per_process=2e-4, per_node=5e-4)
+    )
+    stats = RunStats()
+    requests = [ReconfigRequest(at_iteration=RECONFIGURE_AT, n_targets=NT)]
+    world.launch(run_malleable, slots=range(NS), args=(app, config, requests, stats))
+    sim.run()
+
+    _, reference = cg_reference(a, b, ITERATIONS)
+    # Compare while the residual is numerically meaningful; once CG hits
+    # machine zero (~1e-16 relative), both trajectories are rounding noise.
+    scale0 = reference[0]
+    meaningful = [
+        (x, y) for x, y in zip(app.residuals, reference) if y > 1e-12 * scale0
+    ]
+    max_dev = max(abs(x - y) / y for x, y in meaningful)
+    rec = stats.last_reconfig
+
+    print(f"configuration        : {config.name}")
+    print(f"problem              : {a.shape[0]} rows, {a.nnz} nnz (3-D Laplacian)")
+    print(f"groups               : {NS} ranks -> {NT} ranks at iteration {RECONFIGURE_AT}")
+    print(f"reconfiguration time : {rec.reconfiguration_time * 1e3:.2f} ms "
+          f"(overlapped {rec.overlapped_iterations} iterations)")
+    print(f"application time     : {stats.app_time * 1e3:.2f} ms")
+    print(f"final residual       : {app.residuals[-1]:.3e}")
+    print(f"max relative deviation from sequential CG: {max_dev:.2e}")
+    assert max_dev < 1e-9, "reconfiguration perturbed the solver!"
+    print("residual trajectory matches the sequential reference exactly.")
+
+    print("\niteration timings around the reconfiguration (rank 0):")
+    for it, dt in stats.iteration_times:
+        if RECONFIGURE_AT - 2 <= it <= RECONFIGURE_AT + 3:
+            marker = " <- reconfiguration window" if it == RECONFIGURE_AT else ""
+            print(f"  iter {it:3d}: {dt * 1e3:7.3f} ms{marker}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "merge-col-a")

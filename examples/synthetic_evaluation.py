@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Mini-evaluation with the synthetic application (the paper's §4 workflow).
+
+Runs the CG-emulation workload (scaled down) for all 12 reconfiguration
+configurations on both fabrics, then prints the paper's two comparisons:
+
+* reconfiguration time in isolation (Figures 2-5 style), and
+* total application time speedups vs Baseline COLS (Figures 7-8 style).
+
+Run:  python examples/synthetic_evaluation.py [ns] [nt]
+"""
+
+import sys
+
+from repro.analysis import markdown_table, median
+from repro.harness import RunSpec, run_one
+from repro.malleability import ALL_CONFIGS
+
+
+def evaluate(ns: int, nt: int, scale: str = "tiny", reps: int = 2) -> None:
+    print(f"CG emulation, {ns} -> {nt} ranks, scale={scale}, {reps} reps per cell\n")
+    rows = []
+    data: dict[tuple[str, str], dict[str, float]] = {}
+    for fabric in ("ethernet", "infiniband"):
+        for cfg in ALL_CONFIGS:
+            runs = [
+                run_one(RunSpec(ns, nt, cfg.key, fabric, scale, rep))
+                for rep in range(reps)
+            ]
+            data[(fabric, cfg.key)] = {
+                "reconfig": median([r.reconfig_time for r in runs]),
+                "app": median([r.app_time for r in runs]),
+                "overlap": runs[0].overlapped_iterations,
+            }
+    for fabric in ("ethernet", "infiniband"):
+        ref = data[(fabric, "baseline-col-s")]["app"]
+        for cfg in ALL_CONFIGS:
+            d = data[(fabric, cfg.key)]
+            rows.append([
+                fabric, cfg.name,
+                d["reconfig"] * 1e3, d["app"] * 1e3,
+                ref / d["app"], d["overlap"],
+            ])
+    print(markdown_table(
+        ["fabric", "configuration", "reconfig (ms)", "app (ms)",
+         "speedup vs Baseline COLS", "overlapped iters"],
+        rows,
+    ))
+    for fabric in ("ethernet", "infiniband"):
+        best = max(
+            (cfg for cfg in ALL_CONFIGS),
+            key=lambda c: data[(fabric, "baseline-col-s")]["app"]
+            / data[(fabric, c.key)]["app"],
+        )
+        sp = data[(fabric, "baseline-col-s")]["app"] / data[(fabric, best.key)]["app"]
+        print(f"\nbest on {fabric}: {best.name} at {sp:.2f}x "
+              f"(paper reports 1.14x Ethernet / 1.21x Infiniband at full scale)")
+
+
+if __name__ == "__main__":
+    ns = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    nt = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    evaluate(ns, nt)

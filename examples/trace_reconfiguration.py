@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Visualise a reconfiguration: who computes and who communicates, when.
+
+Traces a Merge COLT run (auxiliary-thread overlap) of the synthetic CG
+workload, renders an ASCII timeline of the reconfiguration window, and
+writes a Chrome-trace JSON for chrome://tracing or ui.perfetto.dev.
+
+Run:  python examples/trace_reconfiguration.py [config-key]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.cluster import ETHERNET_10G, Machine
+from repro.malleability import (
+    ReconfigConfig,
+    ReconfigRequest,
+    RunStats,
+    run_malleable,
+)
+from repro.simulate import Simulator
+from repro.smpi import MpiWorld, SpawnModel
+from repro.synthetic import SyntheticApp, cg_emulation_config
+from repro.trace import Tracer, ascii_timeline
+
+
+def main(config_key: str = "merge-col-t") -> None:
+    config = ReconfigConfig.parse(config_key)
+    cfg = cg_emulation_config("tiny").with_reconfigurations(
+        [ReconfigRequest(at_iteration=15, n_targets=4)]
+    )
+    sim = Simulator()
+    machine = Machine(sim, n_nodes=4, cores_per_node=2, fabric=ETHERNET_10G)
+    tracer = Tracer().attach(machine)
+    world = MpiWorld(
+        machine, spawn_model=SpawnModel(base=0.01, per_process=0.002, per_node=0.005)
+    )
+    stats = RunStats()
+    app = SyntheticApp(cfg)
+    world.launch(
+        run_malleable, slots=range(8),
+        args=(app, config, list(cfg.reconfigurations), stats),
+    )
+    sim.run()
+
+    rec = stats.last_reconfig
+    tracer.mark("reconfig", "stage 2+3 window",
+                rec.spawn_started_at, rec.data_complete_at)
+
+    print(f"configuration : {config.name} (8 -> 4 ranks)")
+    print(f"reconfiguration window: {rec.spawn_started_at:.3f}s .. "
+          f"{rec.data_complete_at:.3f}s "
+          f"({rec.reconfiguration_time * 1e3:.1f} ms, "
+          f"{rec.overlapped_iterations} iterations overlapped)\n")
+
+    pad = rec.reconfiguration_time * 0.3
+    print(ascii_timeline(
+        tracer.events, width=90,
+        t0=rec.spawn_started_at - pad,
+        t1=rec.data_complete_at + pad,
+    ))
+
+    out = Path("reconfiguration_trace.json")
+    out.write_text(tracer.to_chrome_trace())
+    print(f"\nfull trace written to {out} "
+          f"({len(tracer.events)} events) - open in chrome://tracing")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "merge-col-t")

@@ -1,0 +1,62 @@
+"""Generate EXPERIMENTS.md from the committed small-scale sweep.
+
+Usage:  python results/make_experiments_md.py
+Equivalent to `repro-harness experiments-md --results results/small_sweep.csv
+--scale small --out EXPERIMENTS.md` plus the extension-experiment section.
+"""
+
+from pathlib import Path
+
+from repro.harness import ResultSet, experiments_markdown
+
+EXTRA = """\
+## Extension experiments (beyond the paper's figures)
+
+These cover the paper's §2 motivation and §5 future work; regenerate with
+`pytest benchmarks/ --benchmark-only` (tables print inline):
+
+| experiment | claim | where |
+|---|---|---|
+| C/R vs in-memory | disk checkpoint/restart loses clearly to in-memory redistribution on identical machines/data (the paper's §2 motivation, measured) | `benchmarks/test_ablation_cr_vs_inmemory.py` |
+| RMA redistribution | one-sided puts (no size exchange, no target progress requirement) are competitive with Algorithm 1 | `benchmarks/test_ablation_extensions.py` |
+| movement-minimising plans | letting persisting Merge ranks keep their rows moves fewer bytes and never slows the reconfiguration | `benchmarks/test_ablation_extensions.py` |
+| makespan study | malleability cuts workload makespan and raises utilisation under a simulated RMS, paying full reconfiguration costs | `benchmarks/test_ablation_makespan.py`, `examples/makespan_study.py` |
+
+## Known deviations
+
+See DESIGN.md §8. In brief:
+
+* absolute seconds are uncalibrated by design (simulated substrate);
+* the *overall* peak speedups land on extreme shrink cells (e.g. 32 -> 2)
+  and exceed the paper's 1.14x/1.21x: with a 16x group-size ratio, every
+  iteration overlapped on the big group saves 16 small-group iterations —
+  the effect the paper itself describes in par. 4.5 ("when shrinking, it is
+  preferable to perform as many iterations as possible before
+  reconfiguring"), amplified here because the reduced scale makes the
+  reconfiguration long relative to the run.  The like-for-like expansion
+  peaks (checked above) belong to the paper's Merge-async champions;
+* preferred-method grids keep the paper's family structure (sync-Merge wins
+  reconfiguration time, async-Merge holds the application-time plurality,
+  Baseline-async takes extreme-shrink cells) but individual cells may pick
+  the P2P flavour where the paper shows COL — the paper itself calls the
+  two statistically tied for Merge;
+* the Ethernet-threads vs Infiniband-non-blocking nuance of Figure 9
+  weakens at reduced scale (A and T are within noise of each other), though
+  the alpha ordering alpha(T) > alpha(A) on Ethernet does reproduce.
+
+## Paper-scale feasibility
+
+The full `paper` scale (8x20 cores, ladder 2..160, 1000 iterations) runs
+~12.5 minutes per simulated job on one CPU core (measured:
+`merge-col-s 160->120` on Infiniband, reconfig 0.30 s, app 54.4 s simulated,
+754 s wall) — a complete 42-pair x 12-config x 2-fabric x 5-rep sweep is a
+multi-day, embarrassingly parallel batch. The committed record therefore
+uses the `small` scale, which preserves every mechanism (oversubscription,
+spawn-cost gap, protocol stalls, serialized collectives) at 1/8 data scale.
+"""
+
+if __name__ == "__main__":
+    rs = ResultSet.from_csv(Path("results/small_sweep.csv"))
+    text = experiments_markdown(rs, "small", extra_sections=EXTRA)
+    Path("EXPERIMENTS.md").write_text(text)
+    print(f"wrote EXPERIMENTS.md from {len(rs)} results")

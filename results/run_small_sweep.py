@@ -1,0 +1,27 @@
+"""Run the small-scale master sweep used to fill EXPERIMENTS.md.
+
+Equivalent to:
+    repro-harness run --scale small --figures all --out results/small_sweep.csv
+but with a progress heartbeat; kept as a script so the numbers in
+EXPERIMENTS.md are exactly reproducible.
+"""
+
+import time
+
+from repro.harness import run_sweep
+from repro.malleability import ALL_CONFIGS
+from repro.synthetic.presets import SCALES
+
+if __name__ == "__main__":
+    t0 = time.time()
+    preset = SCALES["small"]
+    rs = run_sweep(
+        preset.pairs(),
+        [c.key for c in ALL_CONFIGS],
+        ["ethernet", "infiniband"],
+        scale="small",
+        repetitions=3,
+        progress=lambda m: print(m, flush=True),
+    )
+    rs.to_csv("results/small_sweep.csv")
+    print(f"DONE in {time.time() - t0:.0f}s, {len(rs)} results", flush=True)

@@ -1,0 +1,33 @@
+"""repro: reproduction of "Efficient data redistribution for malleable
+applications" (Martín-Álvarez et al., SC-W 2023) on a simulated MPI substrate.
+
+Subpackages, bottom-up (each depends only on the ones before it):
+
+* :mod:`repro.simulate` — discrete-event simulation kernel;
+* :mod:`repro.cluster` — machine model (CPUs, network, fabrics);
+* :mod:`repro.smpi` — simulated MPI;
+* :mod:`repro.redistribution` — the paper's Stage-3 algorithms;
+* :mod:`repro.malleability` — the four-stage reconfiguration engine;
+* :mod:`repro.synthetic` — the configurable synthetic application;
+* :mod:`repro.apps` — real CG/Jacobi validation workloads;
+* :mod:`repro.analysis` — the §4.3 statistics pipeline and reporting;
+* :mod:`repro.harness` — experiment registry, sweeps and the CLI.
+
+See README.md for a guided tour and DESIGN.md for the architecture and the
+hardware-substitution argument.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simulate",
+    "cluster",
+    "smpi",
+    "redistribution",
+    "malleability",
+    "synthetic",
+    "apps",
+    "analysis",
+    "harness",
+    "__version__",
+]

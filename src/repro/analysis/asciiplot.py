@@ -1,0 +1,116 @@
+"""Terminal plots: line charts and heat-grids for the harness reports.
+
+The paper's figures are line plots over (NS or NT) and colour-grids of
+preferred methods; these render the same data as monospace text so a
+reproduction run needs no plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["line_chart", "method_grid"]
+
+_MARKS = "ox+*#@%&sd"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object],
+    title: str = "",
+    height: int = 12,
+    width: Optional[int] = None,
+    y_label: str = "",
+) -> str:
+    """Plot named series against shared x positions.
+
+    Each series gets a mark character; collisions show the later mark.
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("line_chart needs at least one series")
+    n_points = len(x_labels)
+    for name in names:
+        if len(series[name]) != n_points:
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"x axis has {n_points}"
+            )
+    values = [v for name in names for v in series[name] if v is not None]
+    if not values:
+        raise ValueError("no data to plot")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    width = width or max(40, n_points * 8)
+    grid = [[" "] * width for _ in range(height)]
+    xs = [
+        int(round(i * (width - 1) / max(1, n_points - 1))) for i in range(n_points)
+    ]
+    for si, name in enumerate(names):
+        mark = _MARKS[si % len(_MARKS)]
+        for i, v in enumerate(series[name]):
+            if v is None:
+                continue
+            row = height - 1 - int(round((v - lo) / (hi - lo) * (height - 1)))
+            grid[row][xs[i]] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        y_val = hi - r * (hi - lo) / (height - 1)
+        lines.append(f"{y_val:>10.3g} |" + "".join(row))
+    axis = " " * 11 + "+" + "-" * width
+    lines.append(axis)
+    label_row = [" "] * width
+    for i, x in enumerate(xs):
+        text = str(x_labels[i])
+        start = min(x, width - len(text))  # keep the label fully visible
+        for j, ch in enumerate(text):
+            label_row[start + j] = ch
+    lines.append(" " * 12 + "".join(label_row))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(f"  legend: {legend}")
+    if y_label:
+        lines.append(f"  y: {y_label}")
+    return "\n".join(lines)
+
+
+def method_grid(
+    preferred: Mapping[tuple[int, int], str],
+    ladder: Sequence[int],
+    title: str = "",
+    legend: Optional[Mapping[str, int]] = None,
+) -> str:
+    """Render a Figure-6/9 style grid: rows NS, columns NT, numbered methods.
+
+    ``legend`` maps method names to their printed numbers; built on the fly
+    otherwise.  Diagonal cells (NS == NT) print ``.``.
+    """
+    if legend is None:
+        legend = {}
+        for cell in sorted(preferred):
+            name = preferred[cell]
+            if name not in legend:
+                legend[name] = len(legend) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    header = "NS\\NT |" + "".join(f"{nt:>5}" for nt in ladder)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for ns in ladder:
+        row = [f"{ns:>5} |"]
+        for nt in ladder:
+            if ns == nt:
+                row.append("    .")
+            else:
+                name = preferred.get((ns, nt))
+                row.append(f"{legend.get(name, 0) if name else 0:>5}")
+        lines.append("".join(row))
+    lines.append("")
+    for name, number in sorted(legend.items(), key=lambda kv: kv[1]):
+        lines.append(f"  {number}: {name}")
+    return "\n".join(lines)

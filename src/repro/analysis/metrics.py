@@ -1,0 +1,65 @@
+"""Derived metrics of the evaluation: α ratios and speedups.
+
+* α (Figures 4, 5): "the quotient of asynchronous and synchronous time" of
+  the reconfiguration — α > 1 means overlapping made the reconfiguration
+  itself slower;
+* speedup (Figures 7, 8): application time of Baseline COL-S divided by the
+  configuration's application time — the paper's headline numbers are
+  1.14x (Ethernet) and 1.21x (Infiniband).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["median", "alpha_ratio", "speedup", "alpha_table", "speedup_table"]
+
+
+def median(samples: Sequence[float]) -> float:
+    if len(samples) == 0:
+        raise ValueError("median of no samples")
+    return float(np.median(np.asarray(samples, dtype=np.float64)))
+
+
+def alpha_ratio(async_times: Sequence[float], sync_times: Sequence[float]) -> float:
+    """α = median(asynchronous) / median(synchronous) reconfiguration time."""
+    sync = median(sync_times)
+    if sync <= 0:
+        raise ValueError("synchronous reconfiguration time must be > 0")
+    return median(async_times) / sync
+
+
+def speedup(baseline_times: Sequence[float], config_times: Sequence[float]) -> float:
+    """Application speedup of a configuration against the reference
+    (Baseline COL-S in the paper's Figures 7 and 8)."""
+    cfg = median(config_times)
+    if cfg <= 0:
+        raise ValueError("application time must be > 0")
+    return median(baseline_times) / cfg
+
+
+def alpha_table(
+    reconfig_times: Mapping[str, Sequence[float]],
+    sync_of: Mapping[str, str],
+) -> dict[str, float]:
+    """α per asynchronous configuration.
+
+    ``sync_of`` maps each async configuration key to its synchronous
+    counterpart (e.g. ``merge-col-a -> merge-col-s``).
+    """
+    out = {}
+    for key, counterpart in sync_of.items():
+        out[key] = alpha_ratio(reconfig_times[key], reconfig_times[counterpart])
+    return out
+
+
+def speedup_table(
+    app_times: Mapping[str, Sequence[float]], reference: str
+) -> dict[str, float]:
+    """Speedup of every configuration against ``reference``."""
+    if reference not in app_times:
+        raise KeyError(f"reference {reference!r} missing from results")
+    ref = app_times[reference]
+    return {key: speedup(ref, times) for key, times in app_times.items()}

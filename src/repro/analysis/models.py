@@ -1,0 +1,149 @@
+"""Closed-form performance models of the redistribution methods.
+
+LogGP-flavoured predictions of Stage 2+3 costs, derived from the same
+fabric/spawn parameters the simulator uses.  Two purposes:
+
+* **validation** — tests assert the simulator agrees with the closed forms
+  in uncontended scenarios (if they diverge, one of the two is wrong);
+* **planning** — a user can ask "roughly how long would this
+  reconfiguration take?" without running a simulation
+  (:func:`predict_reconfiguration`).
+
+The models deliberately ignore CPU oversubscription and cross-traffic —
+exactly the effects the simulator adds on top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cluster.fabrics import FabricSpec
+from ..redistribution.plan import RedistributionPlan
+from ..smpi.spawn import SpawnModel
+
+__all__ = [
+    "message_time",
+    "chunk_times",
+    "predict_p2p_redistribution",
+    "predict_pairwise_alltoallv",
+    "predict_spawn",
+    "predict_reconfiguration",
+    "Prediction",
+]
+
+
+def message_time(fabric: FabricSpec, nbytes: float) -> float:
+    """One uncontended message: latency + wire + receiver copy.
+
+    Rendezvous messages add one handshake round-trip (RTS + CTS).
+    """
+    t = fabric.latency + nbytes / fabric.bandwidth
+    if fabric.copy_rate > 0:
+        t += nbytes / fabric.copy_rate
+    if nbytes > fabric.eager_threshold:
+        t += 2 * fabric.latency
+    return t
+
+
+def chunk_times(
+    plan: RedistributionPlan, bytes_per_row: float, fabric: FabricSpec
+) -> dict[tuple[int, int], float]:
+    """Uncontended per-chunk times for every (src, dst) transfer."""
+    return {
+        (tr.src, tr.dst): message_time(fabric, tr.n_rows * bytes_per_row)
+        for tr in plan.all_transfers()
+        if tr.src != tr.dst
+    }
+
+
+def _bottleneck_bytes(plan: RedistributionPlan, bytes_per_row: float) -> float:
+    """The serialisation floor: the busiest endpoint's total traffic."""
+    out_bytes: dict[int, float] = {}
+    in_bytes: dict[int, float] = {}
+    for tr in plan.all_transfers():
+        if tr.src == tr.dst:
+            continue
+        b = tr.n_rows * bytes_per_row
+        out_bytes[tr.src] = out_bytes.get(tr.src, 0.0) + b
+        in_bytes[tr.dst] = in_bytes.get(tr.dst, 0.0) + b
+    peak = max(
+        [*out_bytes.values(), *in_bytes.values()], default=0.0
+    )
+    return peak
+
+
+def predict_p2p_redistribution(
+    plan: RedistributionPlan, bytes_per_row: float, fabric: FabricSpec
+) -> float:
+    """Algorithm 1 with all chunks in flight concurrently: the makespan is
+    bounded below by the busiest endpoint draining its bytes, plus one
+    size-message round and the rendezvous handshake."""
+    peak = _bottleneck_bytes(plan, bytes_per_row)
+    if peak == 0:
+        return 0.0
+    t = peak / fabric.bandwidth
+    if fabric.copy_rate > 0:
+        t += peak / fabric.copy_rate
+    # sizes message + data handshake
+    t += 3 * fabric.latency + message_time(fabric, 64)
+    return t
+
+
+def predict_pairwise_alltoallv(
+    plan: RedistributionPlan, bytes_per_row: float, fabric: FabricSpec
+) -> float:
+    """Algorithm 2's blocking schedule: P serialized phases per rank; each
+    phase costs its chunk's message time (empty phases still pay latency)."""
+    P = max(plan.n_sources, plan.n_targets)
+    times = chunk_times(plan, bytes_per_row, fabric)
+    total = 0.0
+    # Phase i moves pairs (r, (r+i) mod P); the phase lasts as long as its
+    # slowest pair.
+    for i in range(P):
+        phase = [
+            t for (src, dst), t in times.items() if (dst - src) % P == i
+        ]
+        total += max(phase) if phase else 2 * fabric.latency
+    return total
+
+
+def predict_spawn(spawn: SpawnModel, n_procs: int, n_nodes: int) -> float:
+    return spawn.cost(n_procs, n_nodes)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Breakdown of a predicted reconfiguration."""
+
+    spawn: float
+    redistribution: float
+
+    @property
+    def total(self) -> float:
+        return self.spawn + self.redistribution
+
+
+def predict_reconfiguration(
+    plan: RedistributionPlan,
+    bytes_per_row: float,
+    fabric: FabricSpec,
+    spawn: SpawnModel,
+    cores_per_node: int,
+    method: str = "p2p",
+    merge: bool = True,
+) -> Prediction:
+    """End-to-end Stage 2+3 prediction for a synchronous reconfiguration."""
+    ns, nt = plan.n_sources, plan.n_targets
+    spawned = nt if not merge else max(0, nt - ns)
+    nodes = math.ceil(spawned / cores_per_node) if spawned else 0
+    t_spawn = predict_spawn(spawn, spawned, nodes)
+    if merge and nt != ns:
+        t_spawn += spawn.merge_cost
+    if method == "p2p":
+        t_redist = predict_p2p_redistribution(plan, bytes_per_row, fabric)
+    elif method == "col":
+        t_redist = predict_pairwise_alltoallv(plan, bytes_per_row, fabric)
+    else:
+        raise ValueError(f"unknown method {method!r}; use 'p2p' or 'col'")
+    return Prediction(spawn=t_spawn, redistribution=t_redist)

@@ -1,0 +1,53 @@
+"""Preferred-method maps (the logic behind Figures 6 and 9).
+
+For every (NS, NT) cell the paper selects "the fastest method … according
+to the tests Kruskal-Wallis and the Post hoc Conover.  In case of a tie,
+the remaining cells will be checked to see which method of this cell
+appears more often, and this will be selected."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Sequence
+
+from .stats import GroupComparison, compare_groups
+
+__all__ = ["preferred_map", "dominance_count"]
+
+CellKey = tuple[int, int]
+
+
+def preferred_map(
+    cells: Mapping[CellKey, Mapping[str, Sequence[float]]],
+    alpha: float = 0.05,
+) -> dict[CellKey, str]:
+    """Select the preferred configuration per (NS, NT) cell.
+
+    Two passes: first the per-cell statistical winners, then the paper's
+    global-frequency tie-break — within each cell's winner set, pick the
+    configuration that wins most often across all cells (counting every
+    cell's winner set), preferring the cell's own best median on equal
+    frequency.
+    """
+    comparisons: dict[CellKey, GroupComparison] = {
+        cell: compare_groups(groups, alpha) for cell, groups in cells.items()
+    }
+    frequency: Counter[str] = Counter()
+    for comp in comparisons.values():
+        frequency.update(comp.winners)
+    out: dict[CellKey, str] = {}
+    for cell, comp in comparisons.items():
+        # Highest global frequency; stable tie-break by the cell's own
+        # median ordering (comp.winners is already median-sorted).
+        out[cell] = max(
+            comp.winners,
+            key=lambda name: (frequency[name], -comp.winners.index(name)),
+        )
+    return out
+
+
+def dominance_count(preferred: Mapping[CellKey, str]) -> Counter:
+    """How many cells each configuration wins (the paper quotes 29/42 for
+    Merge COLT on Ethernet and 36/42 for the Merge async pair on IB)."""
+    return Counter(preferred.values())

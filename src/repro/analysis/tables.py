@@ -1,0 +1,43 @@
+"""Table emission: markdown and CSV for the harness reports."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Sequence
+
+__all__ = ["markdown_table", "csv_table", "format_cell"]
+
+
+def format_cell(value: Any, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.{digits}e}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], digits: int = 3
+) -> str:
+    """GitHub-flavoured markdown table."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = [
+        "| " + " | ".join(format_cell(c, digits) for c in row) + " |"
+        for row in rows
+    ]
+    return "\n".join([head, sep, *body])
+
+
+def csv_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(["" if c is None else c for c in row])
+    return out.getvalue()

@@ -1,0 +1,31 @@
+"""Real distributed applications on simulated MPI.
+
+These validate the malleability stack with actual numerics (CG, Jacobi) on
+synthetic SPD matrices that stand in for Queen_4147 (see
+:func:`~repro.apps.matrices.queen4147_stats` for the substitution).
+"""
+
+from .cg import ConjugateGradientApp, cg_reference, cg_solve
+from .jacobi import JacobiApp
+from .power_iteration import PowerIterationApp, power_iteration_reference
+from .matrices import (
+    MatrixStats,
+    laplacian_3d,
+    poisson_2d,
+    queen4147_stats,
+    spd_check,
+)
+
+__all__ = [
+    "ConjugateGradientApp",
+    "cg_reference",
+    "cg_solve",
+    "JacobiApp",
+    "PowerIterationApp",
+    "power_iteration_reference",
+    "MatrixStats",
+    "laplacian_3d",
+    "poisson_2d",
+    "queen4147_stats",
+    "spd_check",
+]

@@ -1,0 +1,35 @@
+"""Cluster machine model: processor-sharing CPUs, flow-level network, fabrics.
+
+This is the hardware substrate substituting for the paper's 8-node, 160-core
+cluster with Ethernet 10 Gb/s and Infiniband EDR interconnects (DESIGN.md §2).
+"""
+
+from .cpu import Compute, ComputeOn, Node, PollerToken
+from .fabrics import (
+    ETHERNET_10G,
+    INFINIBAND_EDR,
+    MEMORY_CHANNEL,
+    FabricSpec,
+    fabric_by_name,
+)
+from .machine import Machine
+from .network import Flow, Link, Network
+from .storage import FileSegment, ParallelFileSystem
+
+__all__ = [
+    "Node",
+    "Compute",
+    "ComputeOn",
+    "PollerToken",
+    "Network",
+    "Link",
+    "Flow",
+    "FabricSpec",
+    "ETHERNET_10G",
+    "INFINIBAND_EDR",
+    "MEMORY_CHANNEL",
+    "fabric_by_name",
+    "Machine",
+    "ParallelFileSystem",
+    "FileSegment",
+]

@@ -1,0 +1,206 @@
+"""Processor-sharing CPU model.
+
+Each :class:`Node` has ``cores`` cores and a set of *demands*: compute tasks
+(which make progress on a fixed amount of work) and *pollers* (entities that
+burn a CPU share without progressing — the model for MPI blocking waits,
+which MPICH implements as polling loops, and for busy auxiliary threads).
+
+When the number of demands ``n`` exceeds ``cores``, every demand runs at rate
+``cores / n`` (classic egalitarian processor sharing).  This is the mechanism
+behind the paper's oversubscription observations: during a Baseline
+reconfiguration NS source + NT target processes are alive on the same nodes,
+so iteration compute time inflates by roughly ``(NS+NT)/cores_used`` — the
+"20 % up to 7000 %" iteration-cost blowup of Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Callable
+
+from ..simulate.core import Command, SimProcess, Simulator
+
+__all__ = ["Node", "Compute", "ComputeOn", "PollerToken"]
+
+_EPS = 1e-9
+#: remaining-runtime epsilon guarding against the float livelock where
+#: ``work_left / rate`` is below the ULP of the current simulation time
+#: (see the twin constant in cluster.network).
+_EPS_SECONDS = 1e-12
+
+
+class PollerToken:
+    """Opaque handle identifying one poller registration on a node."""
+
+    _ids = itertools.count()
+
+    def __init__(self, label: str = ""):
+        self.id = next(self._ids)
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PollerToken {self.id} {self.label}>"
+
+
+class _CpuTask:
+    __slots__ = ("work_left", "on_done", "label")
+
+    def __init__(self, work: float, on_done: Callable[[], None], label: str):
+        self.work_left = work
+        self.on_done = on_done
+        self.label = label
+
+
+class Node:
+    """One cluster node: ``cores`` cores shared by compute tasks and pollers.
+
+    The node keeps its own virtual-time accounting: whenever the demand set
+    changes it advances every task's remaining work by the elapsed time at
+    the previous rate, then reschedules the earliest completion.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, cores: int, name: str = ""):
+        if cores < 1:
+            raise ValueError(f"node needs >= 1 core, got {cores}")
+        self.sim = sim
+        self.node_id = node_id
+        self.cores = cores
+        self.name = name or f"node{node_id}"
+        self._tasks: list[_CpuTask] = []
+        self._pollers: set[int] = set()
+        self._last_update = sim.now
+        self._completion_item = None
+        #: cumulative busy core-seconds, for utilisation accounting
+        self.busy_coreseconds = 0.0
+
+    # ---------------------------------------------------------------- load
+    @property
+    def demand(self) -> int:
+        """Number of CPU-hungry entities (compute tasks + pollers)."""
+        return len(self._tasks) + len(self._pollers)
+
+    @property
+    def rate(self) -> float:
+        """Progress rate currently granted to each demand (0 < rate <= 1)."""
+        n = self.demand
+        if n == 0:
+            return 1.0
+        return min(1.0, self.cores / n)
+
+    @property
+    def oversubscribed(self) -> bool:
+        return self.demand > self.cores
+
+    # ------------------------------------------------------------ bookkeeping
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            r = self.rate
+            if self._tasks:
+                for t in self._tasks:
+                    t.work_left -= dt * r
+            self.busy_coreseconds += dt * min(self.cores, self.demand)
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        if self._completion_item is not None:
+            self._completion_item.cancelled = True
+            self._completion_item = None
+        if not self._tasks:
+            return
+        r = self.rate
+        soonest = min(t.work_left for t in self._tasks)
+        # Guard against float drift leaving a microscopic negative remainder.
+        delay = max(0.0, soonest) / r
+        self._completion_item = self.sim.schedule(delay, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion_item = None
+        self._advance()
+        rate = self.rate
+        done = {
+            id(t)
+            for t in self._tasks
+            if t.work_left <= _EPS or t.work_left / rate <= _EPS_SECONDS
+        }
+        if not done:
+            # Rate changed since scheduling; just reschedule.
+            self._reschedule()
+            return
+        finished = [t for t in self._tasks if id(t) in done]
+        self._tasks = [t for t in self._tasks if id(t) not in done]
+        self._reschedule()
+        for t in finished:
+            t.on_done()
+
+    # ------------------------------------------------------------------- API
+    def submit(self, work: float, on_done: Callable[[], None], label: str = "") -> None:
+        """Add ``work`` seconds of single-core compute; ``on_done`` fires when
+        it finishes (taking current and future load into account)."""
+        if work < 0 or not math.isfinite(work):
+            raise ValueError(f"work must be finite and >= 0, got {work}")
+        if work == 0:
+            self.sim.schedule(0.0, on_done)
+            return
+        self._advance()
+        self._tasks.append(_CpuTask(work, on_done, label))
+        self._reschedule()
+
+    def add_poller(self, token: PollerToken) -> None:
+        """Register a CPU-burning poller (e.g. a rank inside MPI_Wait*)."""
+        if token.id in self._pollers:
+            raise ValueError(f"poller {token!r} registered twice")
+        self._advance()
+        self._pollers.add(token.id)
+        self._reschedule()
+
+    def remove_poller(self, token: PollerToken) -> None:
+        if token.id not in self._pollers:
+            raise ValueError(f"poller {token!r} not registered")
+        self._advance()
+        self._pollers.discard(token.id)
+        self._reschedule()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name} cores={self.cores} demand={self.demand}>"
+
+
+class ComputeOn(Command):
+    """Yieldable: run ``work`` seconds of single-core compute on ``node``."""
+
+    blocking_reason = "compute"
+
+    def __init__(self, node: Node, work: float, value: Any = None):
+        self.node = node
+        self.work = work
+        self.value = value
+
+    def execute(self, sim: Simulator, proc: SimProcess) -> None:
+        proc.blocked_on = f"compute@{self.node.name}"
+        self.node.submit(self.work, lambda: sim.resume(proc, self.value),
+                         label=proc.name)
+
+
+class Compute(Command):
+    """Yieldable: run ``work`` seconds of compute on the process's own node.
+
+    The owning layer must have stored the node in ``proc.context['node']``
+    (the simulated MPI world launcher does this for every rank).
+    """
+
+    blocking_reason = "compute"
+
+    def __init__(self, work: float, value: Any = None):
+        self.work = work
+        self.value = value
+
+    def execute(self, sim: Simulator, proc: SimProcess) -> None:
+        node = proc.context.get("node")
+        if node is None:
+            raise RuntimeError(
+                f"{proc.name}: Compute yielded by a process with no node in context; "
+                "use ComputeOn(node, work) or run under smpi"
+            )
+        ComputeOn(node, self.work, self.value).execute(sim, proc)

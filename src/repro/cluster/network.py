@@ -1,0 +1,219 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Messages become *flows* over a route of :class:`Link` objects (typically the
+sender's NIC-up link and the receiver's NIC-down link; intra-node copies use
+the node's memory link).  Whenever the set of active flows changes, rates are
+re-allocated with the classic *progressive filling* algorithm, which yields
+the max-min fair allocation; flow completions are then rescheduled.
+
+This reproduces the first-order contention behaviour that differentiates the
+paper's Ethernet (10 Gb/s) and Infiniband (100 Gb/s) results: concurrent
+redistribution and application traffic squeeze each other through the same
+NICs, and serialized collective algorithms (pairwise exchange) occupy links
+one peer at a time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Sequence
+
+from ..simulate.core import Simulator
+from ..simulate.events import SimEvent
+
+__all__ = ["Link", "Flow", "Network"]
+
+_EPS_BYTES = 1e-6
+#: remaining-transfer-time below which a flow counts as finished.  Guards
+#: against a float livelock: when ``bytes_left/rate`` drops under the ULP of
+#: ``sim.now``, the clock cannot advance and byte-based epsilons alone would
+#: respin the completion event forever.
+_EPS_SECONDS = 1e-12
+
+
+class Link:
+    """A unidirectional capacity: ``capacity`` bytes/second."""
+
+    def __init__(self, link_id: int, name: str, capacity: float):
+        if capacity <= 0 or not math.isfinite(capacity):
+            raise ValueError(f"link capacity must be finite and > 0, got {capacity}")
+        self.link_id = link_id
+        self.name = name
+        self.capacity = capacity
+        self.flows: set["Flow"] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.capacity:.3g}B/s nflows={len(self.flows)}>"
+
+
+class Flow:
+    """One in-flight message: ``size`` bytes over ``route`` links."""
+
+    _ids = itertools.count()
+
+    def __init__(self, route: Sequence[Link], size: float, done: SimEvent, label: str):
+        self.flow_id = next(Flow._ids)
+        self.route = tuple(route)
+        self.bytes_left = float(size)
+        self.rate = 0.0
+        self.done = done
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Flow {self.label} left={self.bytes_left:.3g}B rate={self.rate:.3g}>"
+
+
+class Network:
+    """Container for links and active flows; owns rate allocation.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (for time and completion scheduling).
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._links: dict[int, Link] = {}
+        self._link_ids = itertools.count()
+        self._active: set[Flow] = set()
+        self._last_update = sim.now
+        self._completion_item = None
+        #: total bytes ever carried, for reporting
+        self.bytes_carried = 0.0
+
+    # ----------------------------------------------------------------- links
+    def add_link(self, name: str, capacity: float) -> Link:
+        link = Link(next(self._link_ids), name, capacity)
+        self._links[link.link_id] = link
+        return link
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    @property
+    def active_flows(self) -> list[Flow]:
+        return list(self._active)
+
+    # ----------------------------------------------------------------- flows
+    def start_flow(
+        self,
+        route: Sequence[Link],
+        size: float,
+        latency: float = 0.0,
+        label: str = "",
+    ) -> SimEvent:
+        """Inject a message; returns an event triggered at delivery time.
+
+        ``latency`` is a fixed pipeline delay before the flow starts eating
+        bandwidth (wire + protocol latency).  Zero-byte messages complete
+        after the latency alone.
+        """
+        if size < 0 or not math.isfinite(size):
+            raise ValueError(f"flow size must be finite and >= 0, got {size}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        for link in route:
+            if link.link_id not in self._links:
+                raise ValueError(f"{link!r} does not belong to this network")
+        done = self.sim.event(name=f"flow:{label or size}")
+        self.bytes_carried += size
+        if size == 0:
+            self.sim.schedule(latency, lambda: done.trigger(None))
+            return done
+        flow = Flow(route, size, done, label=label or f"flow{Flow._ids}")
+        if latency > 0:
+            self.sim.schedule(latency, lambda: self._activate(flow))
+        else:
+            self._activate(flow)
+        return done
+
+    def _activate(self, flow: Flow) -> None:
+        self._advance()
+        self._active.add(flow)
+        for link in flow.route:
+            link.flows.add(flow)
+        self._reallocate_and_reschedule()
+
+    def _retire(self, flow: Flow) -> None:
+        self._active.discard(flow)
+        for link in flow.route:
+            link.flows.discard(flow)
+
+    # ------------------------------------------------------------ allocation
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._active:
+                flow.bytes_left -= dt * flow.rate
+        self._last_update = now
+
+    def _max_min_allocate(self) -> None:
+        """Progressive filling: repeatedly saturate the most-contended link."""
+        unfrozen = set(self._active)
+        remaining = {l.link_id: l.capacity for l in self._links.values()}
+        counts = {l.link_id: sum(1 for f in l.flows if f in unfrozen)
+                  for l in self._links.values()}
+        for f in self._active:
+            f.rate = 0.0
+        while unfrozen:
+            # fair share currently offered by each still-relevant link
+            bottleneck_id = None
+            bottleneck_share = math.inf
+            for lid, cnt in counts.items():
+                if cnt <= 0:
+                    continue
+                share = remaining[lid] / cnt
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck_id = lid
+            if bottleneck_id is None:
+                break
+            bottleneck = self._links[bottleneck_id]
+            frozen_now = [f for f in bottleneck.flows if f in unfrozen]
+            for f in frozen_now:
+                f.rate = bottleneck_share
+                unfrozen.discard(f)
+                for link in f.route:
+                    remaining[link.link_id] -= bottleneck_share
+                    counts[link.link_id] -= 1
+            # numeric hygiene
+            for lid in list(remaining):
+                if remaining[lid] < 0:
+                    remaining[lid] = 0.0
+
+    def _reallocate_and_reschedule(self) -> None:
+        self._max_min_allocate()
+        if self._completion_item is not None:
+            self._completion_item.cancelled = True
+            self._completion_item = None
+        if not self._active:
+            return
+        soonest = math.inf
+        for f in self._active:
+            if f.rate > 0:
+                soonest = min(soonest, max(0.0, f.bytes_left) / f.rate)
+        if not math.isfinite(soonest):
+            raise RuntimeError(
+                "active flows with zero allocated rate: "
+                + ", ".join(f.label for f in self._active if f.rate <= 0)
+            )
+        self._completion_item = self.sim.schedule(soonest, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion_item = None
+        self._advance()
+        finished = [
+            f
+            for f in self._active
+            if f.bytes_left <= _EPS_BYTES
+            or (f.rate > 0 and f.bytes_left / f.rate <= _EPS_SECONDS)
+        ]
+        for f in finished:
+            self._retire(f)
+        self._reallocate_and_reschedule()
+        for f in finished:
+            f.done.trigger(None)

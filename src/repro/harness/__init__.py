@@ -1,0 +1,30 @@
+"""Experiment harness: sweeps, figure regeneration, CLI.
+
+Every table and figure of the paper's evaluation maps to an entry in
+:data:`~repro.harness.experiments.EXPERIMENTS`; the CLI
+(``repro-harness``) runs the necessary sweeps and renders the artefacts.
+"""
+
+from .experiments import EXPERIMENTS, ExperimentSpec, async_sync_pairs, pairs_for
+from .expmd import Claim, evaluate_claims, experiments_markdown
+from .report import FigureData, build_figure, figure_report, headline_speedups
+from .runner import ResultSet, RunResult, RunSpec, run_one, run_sweep
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "pairs_for",
+    "async_sync_pairs",
+    "ResultSet",
+    "RunResult",
+    "RunSpec",
+    "run_one",
+    "run_sweep",
+    "FigureData",
+    "build_figure",
+    "figure_report",
+    "headline_speedups",
+    "Claim",
+    "evaluate_claims",
+    "experiments_markdown",
+]

@@ -1,0 +1,200 @@
+"""Command-line interface: run sweeps, cache results, render figures.
+
+Examples::
+
+    repro-harness list
+    repro-harness run --scale tiny --figures fig2,fig7 --out results.csv
+    repro-harness run --scale small --all --out sweep.csv
+    repro-harness report --results sweep.csv --scale small --figures all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..malleability.config import ALL_CONFIGS
+from ..synthetic.presets import SCALES
+from .experiments import EXPERIMENTS, pairs_for
+from .expmd import experiments_markdown
+from .report import figure_report, headline_speedups
+from .runner import ResultSet, run_sweep
+
+__all__ = ["main"]
+
+
+def _parse_figures(text: str) -> list[str]:
+    if text == "all":
+        return list(EXPERIMENTS)
+    figs = [f.strip() for f in text.split(",") if f.strip()]
+    unknown = [f for f in figs if f not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown figures: {unknown}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return figs
+
+
+def cmd_list(_args) -> int:
+    print(f"{'id':6s} {'paper':10s} description")
+    for exp_id, spec in EXPERIMENTS.items():
+        print(f"{exp_id:6s} {spec.paper_ref:10s} {spec.description}")
+    print("\nscales:", ", ".join(SCALES))
+    print("configurations:", ", ".join(c.key for c in ALL_CONFIGS))
+    return 0
+
+
+def cmd_run(args) -> int:
+    figures = _parse_figures(args.figures)
+    pairs: set[tuple[int, int]] = set()
+    fabrics: set[str] = set()
+    keys: set[str] = set()
+    for fig in figures:
+        spec = EXPERIMENTS[fig]
+        pairs.update(pairs_for(spec, args.scale))
+        fabrics.update(spec.fabrics)
+        keys.update(spec.config_keys)
+    # alpha figures need the sync counterparts too — config_keys already
+    # include everything (the registry lists _ALL for fig4/5).
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    rs = run_sweep(
+        sorted(pairs),
+        sorted(keys),
+        sorted(fabrics),
+        scale=args.scale,
+        repetitions=args.reps,
+        progress=progress,
+    )
+    out_path = Path(args.out)
+    if args.append and out_path.exists():
+        rs = ResultSet.from_csv(out_path).merge(rs)
+    rs.to_csv(out_path)
+    print(f"wrote {len(rs)} results to {args.out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    rs = ResultSet.from_csv(Path(args.results))
+    figures = _parse_figures(args.figures)
+    for fig in figures:
+        try:
+            print(figure_report(fig, rs, args.scale))
+        except KeyError as missing:
+            print(
+                f"-- {fig}: results missing a needed cell ({missing}); "
+                f"re-run with --figures {fig}",
+                file=sys.stderr,
+            )
+        print()
+    if args.headline:
+        print("== Headline speedups (paper: 1.14x Ethernet, 1.21x Infiniband) ==")
+        for fabric, (name, value) in headline_speedups(rs, args.scale).items():
+            print(f"  {fabric}: {value:.3f}x with {name}")
+    return 0
+
+
+def cmd_experiments_md(args) -> int:
+    rs = ResultSet.from_csv(Path(args.results))
+    text = experiments_markdown(rs, args.scale)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """Closed-form reconfiguration estimate (no simulation)."""
+    from ..analysis.models import predict_reconfiguration
+    from ..cluster.fabrics import fabric_by_name
+    from ..redistribution.plan import RedistributionPlan
+    from ..synthetic.presets import SCALES as _SCALES, cg_emulation_config
+
+    preset = _SCALES[args.scale]
+    cfg = cg_emulation_config(args.scale)
+    plan = RedistributionPlan.block(cfg.n_rows, args.ns, args.nt)
+    bytes_per_row = cfg.total_bytes / cfg.n_rows
+    pred = predict_reconfiguration(
+        plan,
+        bytes_per_row,
+        fabric_by_name(args.fabric),
+        preset.spawn_model,
+        preset.cores_per_node,
+        method=args.method,
+        merge=not args.baseline,
+    )
+    spawn_method = "Baseline" if args.baseline else "Merge"
+    print(f"{spawn_method} {args.method.upper()}S {args.ns} -> {args.nt} "
+          f"on {args.fabric} ({args.scale} scale):")
+    print(f"  spawn          : {pred.spawn * 1e3:10.3f} ms")
+    print(f"  redistribution : {pred.redistribution * 1e3:10.3f} ms")
+    print(f"  total          : {pred.total * 1e3:10.3f} ms")
+    print("(uncontended closed form; a simulation adds CPU/network contention)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the figures of 'Efficient data redistribution "
+        "for malleable applications' (SC-W 2023) on the simulated substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments, scales, configs")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="run the sweeps a set of figures needs")
+    p_run.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    p_run.add_argument("--figures", default="all",
+                       help="comma-separated figure ids, or 'all'")
+    p_run.add_argument("--reps", type=int, default=None,
+                       help="override the scale's repetition count")
+    p_run.add_argument("--out", default="results.csv")
+    p_run.add_argument("--verbose", action="store_true")
+    p_run.add_argument("--append", action="store_true",
+                       help="merge into an existing results CSV")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_rep = sub.add_parser("report", help="render figures from cached results")
+    p_rep.add_argument("--results", required=True)
+    p_rep.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    p_rep.add_argument("--figures", default="all")
+    p_rep.add_argument("--headline", action="store_true",
+                       help="print the abstract's speedup numbers")
+    p_rep.set_defaults(fn=cmd_report)
+
+    p_md = sub.add_parser(
+        "experiments-md",
+        help="generate the EXPERIMENTS.md paper-vs-measured record",
+    )
+    p_md.add_argument("--results", required=True)
+    p_md.add_argument("--scale", choices=sorted(SCALES), default="small")
+    p_md.add_argument("--out", default=None)
+    p_md.set_defaults(fn=cmd_experiments_md)
+
+    p_pred = sub.add_parser(
+        "predict",
+        help="closed-form reconfiguration time estimate (no simulation)",
+    )
+    p_pred.add_argument("--ns", type=int, required=True)
+    p_pred.add_argument("--nt", type=int, required=True)
+    p_pred.add_argument("--fabric", choices=["ethernet", "infiniband"],
+                        default="ethernet")
+    p_pred.add_argument("--method", choices=["p2p", "col"], default="p2p")
+    p_pred.add_argument("--baseline", action="store_true",
+                        help="Baseline spawn method (default: Merge)")
+    p_pred.add_argument("--scale", choices=sorted(SCALES), default="paper")
+    p_pred.set_defaults(fn=cmd_predict)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,254 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every figure.
+
+Consumes a master-sweep :class:`~repro.harness.runner.ResultSet` and writes
+the reproduction record: per figure, the paper's qualitative claims, our
+measured counterparts, and a PASS/DEVIATION verdict.  The repository's
+EXPERIMENTS.md is produced by ``repro-harness experiments-md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..malleability.config import ReconfigConfig, SpawnMethod
+from ..redistribution.api import Strategy
+from ..synthetic.presets import SCALES
+from .experiments import EXPERIMENTS
+from .report import build_figure, headline_speedups
+from .runner import ResultSet
+
+__all__ = ["Claim", "evaluate_claims", "experiments_markdown"]
+
+
+@dataclass
+class Claim:
+    """One paper claim checked against the sweep."""
+
+    figure: str
+    paper: str
+    measured: str
+    holds: bool
+
+    @property
+    def verdict(self) -> str:
+        return "PASS" if self.holds else "DEVIATION"
+
+
+def _series_over_slices(rs, scale, exp_id, fabric):
+    spec = EXPERIMENTS[exp_id]
+    out: dict[str, list[float]] = {}
+    for direction in ("shrink", "expand"):
+        fig = build_figure(spec, rs, scale, fabric, direction)
+        for name, vals in fig.series.items():
+            out.setdefault(name, []).extend(vals)
+    return out
+
+
+def evaluate_claims(rs: ResultSet, scale: str) -> list[Claim]:
+    """Check every figure's headline claims against the sweep."""
+    claims: list[Claim] = []
+
+    # ---------------------------------------------------------- Figures 2/3
+    sync_means = {}
+    for fabric, fig in (("ethernet", "fig2"), ("infiniband", "fig3")):
+        series = _series_over_slices(rs, scale, fig, fabric)
+        merge = np.mean(series["Merge COLS"] + series["Merge P2PS"])
+        base = np.mean(series["Baseline COLS"] + series["Baseline P2PS"])
+        sync_means[fabric] = np.mean(
+            series["Merge COLS"] + series["Merge P2PS"]
+            + series["Baseline COLS"] + series["Baseline P2PS"]
+        )
+        claims.append(Claim(
+            fig.replace("fig", "Figure "),
+            f"Merge reconfigurations outperform Baseline ({fabric})",
+            f"mean sync reconfig: Merge {merge:.3f}s vs Baseline {base:.3f}s",
+            merge < base,
+        ))
+        worst = max(series, key=lambda k: float(np.mean(series[k])))
+        claims.append(Claim(
+            fig.replace("fig", "Figure "),
+            f"Baseline COLS is the slowest synchronous method ({fabric})",
+            f"slowest on aggregate: {worst}",
+            worst == "Baseline COLS",
+        ))
+    claims.append(Claim(
+        "Figure 3",
+        "Infiniband reconfigures faster than Ethernet across the board",
+        f"mean sync reconfig: IB {sync_means['infiniband']:.3f}s vs "
+        f"Eth {sync_means['ethernet']:.3f}s",
+        sync_means["infiniband"] < sync_means["ethernet"],
+    ))
+
+    # ---------------------------------------------------------- Figures 4/5
+    for fabric, fig in (("ethernet", "fig4"), ("infiniband", "fig5")):
+        series = _series_over_slices(rs, scale, fig, fabric)
+        all_vals = [v for vals in series.values() for v in vals]
+        claims.append(Claim(
+            fig.replace("fig", "Figure "),
+            f"alpha clusters at/above 1: overlap slows the reconfiguration "
+            f"itself ({fabric})",
+            f"mean alpha {np.mean(all_vals):.3f}, "
+            f"range [{min(all_vals):.2f}, {max(all_vals):.2f}]",
+            float(np.mean(all_vals)) > 1.0,
+        ))
+        if fabric == "ethernet":
+            a = [v for k, vals in series.items() if k.endswith("A") for v in vals]
+            t = [v for k, vals in series.items() if k.endswith("T") for v in vals]
+            claims.append(Claim(
+                "Figure 4",
+                "thread strategies (T) pay more alpha than non-blocking (A) "
+                "on Ethernet",
+                f"mean alpha: T {np.mean(t):.3f} vs A {np.mean(a):.3f}",
+                float(np.mean(t)) > float(np.mean(a)),
+            ))
+    both = []
+    for fabric, fig in (("ethernet", "fig4"), ("infiniband", "fig5")):
+        for vals in _series_over_slices(rs, scale, fig, fabric).values():
+            both.extend(vals)
+    claims.append(Claim(
+        "Figures 4/5",
+        "some alpha values fall below 1 (slow blocking Alltoallv baselines)",
+        f"min alpha observed: {min(both):.3f}",
+        min(both) < 1.0,
+    ))
+
+    # ------------------------------------------------------------- Figure 6
+    for fabric in ("ethernet", "infiniband"):
+        fig = build_figure(EXPERIMENTS["fig6"], rs, scale, fabric, "grid")
+        winners = [ReconfigConfig.parse(v) for v in fig.preferred.values()]
+        n_merge_sync = sum(
+            1 for w in winners
+            if w.spawn is SpawnMethod.MERGE and w.strategy is Strategy.SYNC
+        )
+        claims.append(Claim(
+            "Figure 6",
+            f"synchronous Merge dominates the reconfiguration-time grid "
+            f"({fabric}); paper: Merge COLS everywhere",
+            f"Merge-sync wins {n_merge_sync}/{len(winners)} cells",
+            n_merge_sync >= 0.7 * len(winners),
+        ))
+
+    # ---------------------------------------------------------- Figures 7/8
+    heads = headline_speedups(rs, scale)
+    paper_heads = {"ethernet": 1.14, "infiniband": 1.21}
+    for fabric, fig in (("ethernet", "fig7"), ("infiniband", "fig8")):
+        name, value = heads[fabric]
+        claims.append(Claim(
+            fig.replace("fig", "Figure "),
+            f"asynchronous configurations speed the application up vs "
+            f"Baseline COLS ({fabric}; paper peak {paper_heads[fabric]}x)",
+            f"peak speedup {value:.2f}x by {name}",
+            value > 1.0 and name.endswith(("A", "T")),
+        ))
+        # The paper's champions are Merge-async; the like-for-like check is
+        # the *expansion* slice (its shrink peaks ride the extra-iterations-
+        # on-the-big-group effect the paper discusses in par. 4.5).
+        exp_fig = build_figure(EXPERIMENTS[fig], rs, scale, fabric, "expand")
+        exp_best, exp_val = "", 0.0
+        for nm, vals in exp_fig.series.items():
+            if nm.endswith("(s)"):
+                continue
+            if max(vals) > exp_val:
+                exp_best, exp_val = nm, max(vals)
+        claims.append(Claim(
+            fig.replace("fig", "Figure "),
+            f"the expansion-side peak belongs to an asynchronous Merge "
+            f"configuration ({fabric}; the paper's champions)",
+            f"expansion peak {exp_val:.2f}x by {exp_best}",
+            exp_best.startswith("Merge") and exp_best.endswith(("A", "T")),
+        ))
+
+    # ------------------------------------------------------------- Figure 9
+    for fabric in ("ethernet", "infiniband"):
+        fig = build_figure(EXPERIMENTS["fig9"], rs, scale, fabric, "grid")
+        winners = [ReconfigConfig.parse(v) for v in fig.preferred.values()]
+        n_async = sum(1 for w in winners if w.strategy is not Strategy.SYNC)
+        claims.append(Claim(
+            "Figure 9",
+            f"asynchronous configurations dominate the application-time "
+            f"grid ({fabric})",
+            f"async wins {n_async}/{len(winners)} cells",
+            n_async >= 0.7 * len(winners),
+        ))
+        n_merge_async = sum(
+            1 for w in winners
+            if w.spawn is SpawnMethod.MERGE and w.strategy is not Strategy.SYNC
+        )
+        n_base_async = sum(
+            1 for w in winners
+            if w.spawn is SpawnMethod.BASELINE and w.strategy is not Strategy.SYNC
+        )
+        claims.append(Claim(
+            "Figure 9",
+            f"Merge-async holds more app-time cells than Baseline-async "
+            f"({fabric}; paper: 29/42 resp. 36/42 for Merge)",
+            f"Merge-async {n_merge_async} vs Baseline-async {n_base_async} "
+            f"of {len(winners)} cells",
+            n_merge_async >= n_base_async,
+        ))
+    return claims
+
+
+def experiments_markdown(
+    rs: ResultSet,
+    scale: str,
+    extra_sections: Optional[str] = None,
+) -> str:
+    """The full EXPERIMENTS.md body."""
+    preset = SCALES[scale]
+    claims = evaluate_claims(rs, scale)
+    heads = headline_speedups(rs, scale)
+    n_pass = sum(c.holds for c in claims)
+
+    lines = [
+        "# EXPERIMENTS — paper vs reproduction",
+        "",
+        "Every figure of *Efficient data redistribution for malleable "
+        "applications* (SC-W 2023), regenerated on the simulated substrate "
+        "and checked against the paper's claims.",
+        "",
+        f"* sweep scale: **{scale}** — {preset.n_nodes} nodes x "
+        f"{preset.cores_per_node} cores, ladder {list(preset.ladder)}, "
+        f"{preset.iterations} iterations (reconfiguration at "
+        f"{preset.reconfigure_at}), CG-emulation workload",
+        f"* results: {len(rs)} simulated jobs "
+        f"({len(rs.pairs())} (NS,NT) pairs x {len(rs.config_keys())} "
+        f"configurations x {len(rs.fabrics())} fabrics)",
+        "* absolute seconds are not comparable to the authors' testbed; "
+        "the verdicts below check the *shape* of each result (orderings, "
+        "ranges, dominance), per DESIGN.md.",
+        "",
+        f"**Claims reproduced: {n_pass}/{len(claims)}**",
+        "",
+        "| figure | paper claim | measured | verdict |",
+        "|---|---|---|---|",
+    ]
+    for c in claims:
+        lines.append(f"| {c.figure} | {c.paper} | {c.measured} | {c.verdict} |")
+    lines += [
+        "",
+        "## Headline numbers",
+        "",
+        "| metric | paper | reproduction |",
+        "|---|---|---|",
+        (
+            f"| best app speedup vs Baseline COLS, Ethernet | 1.14x "
+            f"(Merge P2PT) | {heads['ethernet'][1]:.2f}x "
+            f"({heads['ethernet'][0]}) |"
+        ),
+        (
+            f"| best app speedup vs Baseline COLS, Infiniband | 1.21x "
+            f"(Merge P2PA) | {heads['infiniband'][1]:.2f}x "
+            f"({heads['infiniband'][0]}) |"
+        ),
+        "",
+        "Regenerate everything: `repro-harness run --scale "
+        f"{scale} --figures all --out sweep.csv` then `repro-harness report "
+        "--results sweep.csv --scale " + scale + " --headline`.",
+    ]
+    if extra_sections:
+        lines += ["", extra_sections]
+    return "\n".join(lines) + "\n"

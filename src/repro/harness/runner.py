@@ -1,0 +1,279 @@
+"""Sweep executor: run the synthetic CG emulation over the evaluation grid.
+
+One :class:`RunResult` per simulated job; a :class:`ResultSet` aggregates
+the whole sweep and answers the queries the figures need (reconfiguration
+times, application times, grouped by configuration / pair / fabric).
+Results round-trip through CSV so expensive sweeps can be cached.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import time
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from ..cluster.fabrics import fabric_by_name
+from ..cluster.machine import Machine
+from ..malleability.config import ReconfigConfig
+from ..malleability.rms import ReconfigRequest
+from ..redistribution.plan import RedistributionPlan
+from ..simulate.core import Simulator
+from ..smpi.world import MpiWorld
+from ..synthetic.application import launch_synthetic
+from ..synthetic.configfile import SyntheticConfig
+from ..synthetic.presets import SCALES, cg_emulation_config
+
+__all__ = ["RunSpec", "RunResult", "ResultSet", "run_one", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulated job: a (pair, configuration, fabric, repetition) cell."""
+
+    ns: int
+    nt: int
+    config_key: str
+    fabric: str
+    scale: str
+    rep: int
+    #: redistribution plan flavour: 'block' (paper) or 'minmove' (the §5
+    #: future-work movement-minimising extension, ablation benches).
+    plan_mode: str = "block"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Telemetry of one completed job."""
+
+    ns: int
+    nt: int
+    config_key: str
+    fabric: str
+    scale: str
+    rep: int
+    reconfig_time: float
+    app_time: float
+    spawn_time: float
+    overlapped_iterations: int
+    total_iterations: int
+    plan_mode: str = "block"
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return (self.ns, self.nt)
+
+
+def run_one(
+    spec: RunSpec,
+    synth_config: Optional[SyntheticConfig] = None,
+) -> RunResult:
+    """Execute one job and extract the figure metrics."""
+    preset = SCALES[spec.scale]
+    base = synth_config or cg_emulation_config(spec.scale)
+    cfg = base.with_reconfigurations(
+        [ReconfigRequest(preset.reconfigure_at, spec.nt)]
+    )
+    sim = Simulator()
+    machine = Machine(
+        sim,
+        preset.n_nodes,
+        preset.cores_per_node,
+        fabric_by_name(spec.fabric),
+        seed=_seed_of(spec),
+    )
+    world = MpiWorld(machine, spawn_model=preset.spawn_model)
+    if spec.plan_mode == "block":
+        plan_factory = RedistributionPlan.block
+    elif spec.plan_mode == "minmove":
+        plan_factory = RedistributionPlan.movement_minimizing
+    else:
+        raise ValueError(f"unknown plan mode {spec.plan_mode!r}")
+    stats = launch_synthetic(
+        world, cfg, ReconfigConfig.parse(spec.config_key), n_initial=spec.ns,
+        plan_factory=plan_factory,
+    )
+    sim.run()
+    rec = stats.last_reconfig
+    spawn_time = (
+        (rec.spawn_finished_at - rec.spawn_started_at)
+        if rec.spawn_finished_at is not None and rec.spawn_started_at is not None
+        else 0.0
+    )
+    return RunResult(
+        ns=spec.ns,
+        nt=spec.nt,
+        config_key=spec.config_key,
+        fabric=spec.fabric,
+        scale=spec.scale,
+        rep=spec.rep,
+        reconfig_time=rec.reconfiguration_time,
+        app_time=stats.app_time,
+        spawn_time=spawn_time,
+        overlapped_iterations=rec.overlapped_iterations,
+        total_iterations=stats.total_iterations(),
+        plan_mode=spec.plan_mode,
+    )
+
+
+def _seed_of(spec: RunSpec) -> int:
+    """Deterministic per-run seed: reps differ, reruns reproduce exactly
+    (zlib.crc32, not hash(): str hashing is salted per interpreter)."""
+    import zlib
+
+    token = (
+        f"{spec.ns}:{spec.nt}:{spec.config_key}:{spec.fabric}:{spec.rep}:{spec.plan_mode}"
+    )
+    return zlib.crc32(token.encode())
+
+
+class ResultSet:
+    """A queryable collection of :class:`RunResult`."""
+
+    def __init__(self, results: Iterable[RunResult] = ()):
+        self.results: list[RunResult] = list(results)
+
+    def add(self, result: RunResult) -> None:
+        self.results.append(result)
+
+    def merge(self, other: "ResultSet") -> "ResultSet":
+        """Union of two sweeps (duplicate cells keep both samples)."""
+        return ResultSet(self.results + other.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # ---------------------------------------------------------------- queries
+    def select(
+        self,
+        ns: Optional[int] = None,
+        nt: Optional[int] = None,
+        config_key: Optional[str] = None,
+        fabric: Optional[str] = None,
+    ) -> list[RunResult]:
+        out = []
+        for r in self.results:
+            if ns is not None and r.ns != ns:
+                continue
+            if nt is not None and r.nt != nt:
+                continue
+            if config_key is not None and r.config_key != config_key:
+                continue
+            if fabric is not None and r.fabric != fabric:
+                continue
+            out.append(r)
+        return out
+
+    def times(
+        self, metric: str, ns: int, nt: int, config_key: str, fabric: str
+    ) -> list[float]:
+        """Samples of ``metric`` ('reconfig_time' | 'app_time') in one cell."""
+        rows = self.select(ns=ns, nt=nt, config_key=config_key, fabric=fabric)
+        if not rows:
+            raise KeyError(
+                f"no results for ns={ns} nt={nt} {config_key} on {fabric}"
+            )
+        return [getattr(r, metric) for r in rows]
+
+    def cell_groups(
+        self,
+        metric: str,
+        pairs: Sequence[tuple[int, int]],
+        config_keys: Sequence[str],
+        fabric: str,
+    ) -> dict[tuple[int, int], dict[str, list[float]]]:
+        """{pair: {config: samples}} — the shape the analysis layer eats."""
+        return {
+            (ns, nt): {
+                key: self.times(metric, ns, nt, key, fabric)
+                for key in config_keys
+            }
+            for ns, nt in pairs
+        }
+
+    def pairs(self) -> list[tuple[int, int]]:
+        return sorted({(r.ns, r.nt) for r in self.results})
+
+    def fabrics(self) -> list[str]:
+        return sorted({r.fabric for r in self.results})
+
+    def config_keys(self) -> list[str]:
+        return sorted({r.config_key for r in self.results})
+
+    # ------------------------------------------------------------------- CSV
+    _FIELDS = [f.name for f in fields(RunResult)]
+
+    def to_csv(self, path: Union[str, Path, None] = None) -> str:
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(self._FIELDS)
+        for r in self.results:
+            d = asdict(r)
+            writer.writerow([d[name] for name in self._FIELDS])
+        text = out.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_csv(cls, source: Union[str, Path]) -> "ResultSet":
+        text = (
+            Path(source).read_text()
+            if isinstance(source, Path) or "\n" not in str(source)
+            else str(source)
+        )
+        reader = csv.DictReader(io.StringIO(text))
+        results = []
+        for row in reader:
+            results.append(
+                RunResult(
+                    ns=int(row["ns"]),
+                    nt=int(row["nt"]),
+                    config_key=row["config_key"],
+                    fabric=row["fabric"],
+                    scale=row["scale"],
+                    rep=int(row["rep"]),
+                    reconfig_time=float(row["reconfig_time"]),
+                    app_time=float(row["app_time"]),
+                    spawn_time=float(row["spawn_time"]),
+                    overlapped_iterations=int(row["overlapped_iterations"]),
+                    total_iterations=int(row["total_iterations"]),
+                    plan_mode=row.get("plan_mode", "block"),
+                )
+            )
+        return cls(results)
+
+
+def run_sweep(
+    pairs: Sequence[tuple[int, int]],
+    config_keys: Sequence[str],
+    fabrics: Sequence[str],
+    scale: str = "tiny",
+    repetitions: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    synth_config: Optional[SyntheticConfig] = None,
+) -> ResultSet:
+    """Run the full cross product; the master data behind every figure."""
+    preset = SCALES[scale]
+    reps = repetitions if repetitions is not None else preset.repetitions
+    out = ResultSet()
+    total = len(pairs) * len(config_keys) * len(fabrics) * reps
+    done = 0
+    started = time.time()
+    base = synth_config or cg_emulation_config(scale)
+    for fabric in fabrics:
+        for ns, nt in pairs:
+            for key in config_keys:
+                for rep in range(reps):
+                    spec = RunSpec(ns, nt, key, fabric, scale, rep)
+                    out.add(run_one(spec, synth_config=base))
+                    done += 1
+                    if progress is not None:
+                        elapsed = time.time() - started
+                        progress(
+                            f"[{done}/{total}] {fabric} {ns}->{nt} {key} "
+                            f"rep{rep} ({elapsed:.0f}s)"
+                        )
+    return out

@@ -1,0 +1,39 @@
+"""MPI malleability: the four reconfiguration stages over simulated MPI.
+
+* :class:`ReconfigConfig` / :data:`ALL_CONFIGS` — the paper's 12 evaluated
+  configurations ({Baseline, Merge} x {P2P, COL} x {S, A, T});
+* :class:`ScriptedRMS` — Stage 1 (scripted resource decisions);
+* :func:`run_malleable` / :class:`GroupRunner` — Stages 2-4 embedded in the
+  application loop (Algorithms 3 and 4);
+* :class:`RunStats` — the monitoring record the harness reads.
+"""
+
+from .config import (
+    ALL_CONFIGS,
+    ASYNC_CONFIGS,
+    SYNC_CONFIGS,
+    ReconfigConfig,
+    SpawnMethod,
+)
+from .checkpoint_restart import CheckpointRestartConfig, run_cr_malleable
+from .manager import GroupRunner, MalleableApp, RankOutcome, run_malleable
+from .rms import ReconfigRequest, ScriptedRMS
+from .stats import ReconfigRecord, RunStats
+
+__all__ = [
+    "SpawnMethod",
+    "ReconfigConfig",
+    "ALL_CONFIGS",
+    "SYNC_CONFIGS",
+    "ASYNC_CONFIGS",
+    "ScriptedRMS",
+    "ReconfigRequest",
+    "GroupRunner",
+    "MalleableApp",
+    "RankOutcome",
+    "run_malleable",
+    "run_cr_malleable",
+    "CheckpointRestartConfig",
+    "RunStats",
+    "ReconfigRecord",
+]

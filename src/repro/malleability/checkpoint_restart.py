@@ -1,0 +1,198 @@
+"""Checkpoint/restart reconfiguration — the on-disk baseline of §2.
+
+"MPI process malleability made its first steps taking advantage of
+checkpoint/restart techniques based on the principle of storing the state
+of a job in a non-volatile memory device... Traditional C/R solutions show
+a low performance because of the costly disk access when writing and
+reading."
+
+This module implements that historical approach against the same
+application protocol as the in-memory engine, so the two can be compared
+head-to-head (see ``benchmarks/test_ablation_cr_vs_inmemory.py``):
+
+1. at the checkpoint, every source serialises its dataset block to the
+   parallel file system and terminates;
+2. the RMS re-queues the job: a configurable restart delay plus the normal
+   spawn cost for NT fresh processes;
+3. every target reads the file segments overlapping its new block —
+   a redistribution *through the disk* — and the loop resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster.storage import FileSegment, ParallelFileSystem
+from ..redistribution.blockdist import block_range
+from ..redistribution.stores import Dataset
+from ..simulate.primitives import WaitEvent
+from .manager import MalleableApp, RankOutcome
+from .rms import ReconfigRequest, ScriptedRMS
+from .stats import ReconfigRecord, RunStats
+
+__all__ = ["CheckpointRestartConfig", "run_cr_malleable"]
+
+
+@dataclass(frozen=True)
+class CheckpointRestartConfig:
+    """Knobs of the C/R baseline."""
+
+    #: RMS re-queue delay between job teardown and restart (seconds).
+    requeue_delay: float = 0.5
+    #: per-job restart overhead (launcher + MPI_Init of the new job).
+    restart_cost: float = 0.25
+
+
+def _checkpoint_name(generation: int) -> str:
+    return f"checkpoint.gen{generation}"
+
+
+def _serialize(dataset: Dataset) -> list[FileSegment]:
+    """One segment per field covering this rank's whole block."""
+    segments = []
+    for name, store in dataset.stores.items():
+        nbytes = store.range_nbytes(store.lo, store.hi)
+        payload = store.extract(store.lo, store.hi) if store.n_rows else None
+        segments.append(
+            FileSegment(field_name=name, lo=store.lo, hi=store.hi,
+                        nbytes=nbytes, payload=payload)
+        )
+    return segments
+
+
+def run_cr_malleable(
+    mpi,
+    app: MalleableApp,
+    requests: Sequence[ReconfigRequest],
+    stats: RunStats,
+    pfs: ParallelFileSystem,
+    cr_config: CheckpointRestartConfig = CheckpointRestartConfig(),
+):
+    """Entry point for first-group ranks (mirrors ``run_malleable``)."""
+    lo, hi = block_range(app.n_rows, mpi.size, mpi.rank)
+    dataset = Dataset.create(
+        app.n_rows, tuple(app.specs), lo, hi,
+        data=app.initial_data(lo, hi), fill_virtual=True,
+    )
+    outcome = yield from _cr_loop(
+        mpi, app, ScriptedRMS(list(requests)), stats, pfs, cr_config,
+        comm=mpi.comm_world, dataset=dataset, start_iter=0, generation=0,
+    )
+    return outcome
+
+
+def _cr_loop(mpi, app, rms, stats, pfs, cr_config, comm, dataset, start_iter, generation):
+    it = start_iter
+    rank = comm.rank_of_gid(mpi.gid)
+    if generation == 0 and rank == 0:
+        stats.started_at = mpi.now
+    while it < app.n_iterations:
+        req = rms.check(it)
+        if req is not None:
+            yield from _do_checkpoint_restart(
+                mpi, app, rms, stats, pfs, cr_config, comm, dataset, it,
+                generation, req,
+            )
+            mpi.finalize()
+            return RankOutcome.RETIRED  # every source dies in C/R
+        yield from app.iterate(mpi, comm, dataset, it)
+        if rank == 0:
+            stats.iterations_by_group[generation] = (
+                stats.iterations_by_group.get(generation, 0) + 1
+            )
+        it += 1
+    if rank == 0:
+        stats.finished_at = mpi.now
+        if stats.finished_event is not None:
+            stats.finished_event.trigger(stats)
+    mpi.finalize()
+    return RankOutcome.COMPLETED
+
+
+def _do_checkpoint_restart(
+    mpi, app, rms, stats, pfs, cr_config, comm, dataset, it, generation, req
+):
+    rank = comm.rank_of_gid(mpi.gid)
+    while len(stats.reconfigs) <= generation:
+        stats.reconfigs.append(
+            ReconfigRecord(
+                n_sources=comm.size,
+                n_targets=req.n_targets,
+                requested_iteration=req.at_iteration,
+            )
+        )
+    record = stats.reconfigs[generation]
+    if record.spawn_started_at is None:
+        record.spawn_started_at = mpi.now
+        record.redist_started_at = mpi.now
+    # Stage "3a": every source writes its block to the PFS (contends for
+    # the shared write channel) ...
+    name = f"{_checkpoint_name(generation)}.rank{rank}"
+    yield WaitEvent(pfs.write(mpi.node, name, _serialize(dataset)))
+    # ... then the group synchronises and rank 0 performs the restart.
+    yield from mpi.barrier(comm)
+    if rank == 0:
+        sim = mpi.sim
+
+        def relaunch():
+            slots = range(req.n_targets)
+            mpi.world.launch(
+                _cr_target_entry,
+                slots,
+                args=(app, rms.requests, stats, pfs, cr_config,
+                      generation, comm.size, it),
+                name_prefix="restarted",
+            )
+
+        sim.schedule(cr_config.requeue_delay + cr_config.restart_cost, relaunch)
+
+
+def _cr_target_entry(mpi, app, requests, stats, pfs, cr_config, generation, ns, resume_at):
+    """A rank of the restarted job: read my block from the checkpoint."""
+    record = stats.reconfigs[generation]
+    if record.spawn_finished_at is None:
+        record.spawn_finished_at = mpi.now
+    nt = mpi.size
+    lo, hi = block_range(app.n_rows, nt, mpi.rank)
+    dataset = Dataset.create(app.n_rows, tuple(app.specs), lo, hi)
+    # Which source files overlap my new block?  Reuse the plan arithmetic.
+    src_offsets = np.zeros(ns + 1, dtype=np.int64)
+    for s in range(ns):
+        src_offsets[s + 1] = block_range(app.n_rows, ns, s)[1]
+    reads = []
+    for s in range(ns):
+        s_lo, s_hi = int(src_offsets[s]), int(src_offsets[s + 1])
+        o_lo, o_hi = max(s_lo, lo), min(s_hi, hi)
+        if o_lo >= o_hi:
+            continue
+        name = f"{_checkpoint_name(generation)}.rank{s}"
+        wanted = []
+        for seg in pfs.segments_of(name):
+            # Slice the writer's whole-block payload down to the overlap;
+            # charge bytes pro-rata (exact for dense/virtual, a fair
+            # approximation for CSR where nnz varies per row).
+            payload = seg.payload
+            if payload is not None:
+                payload = payload[o_lo - seg.lo : o_hi - seg.lo]
+            frac = (o_hi - o_lo) / max(1, seg.hi - seg.lo)
+            wanted.append(
+                FileSegment(seg.field_name, o_lo, o_hi,
+                            nbytes=int(seg.nbytes * frac), payload=payload)
+            )
+        reads.append(pfs.read(mpi.node, name, wanted))
+    for ev in reads:
+        segments = yield WaitEvent(ev)
+        for seg in segments:
+            dataset.stores[seg.field_name].insert(seg.lo, seg.hi, seg.payload)
+    app.on_handoff(mpi, dataset)
+    stats.reconfigs[generation].mark_const_complete(mpi.now)
+    stats.reconfigs[generation].mark_data_complete(mpi.now)
+    outcome = yield from _cr_loop(
+        mpi, app, ScriptedRMS(list(requests)[generation + 1 :]), stats, pfs,
+        cr_config, comm=mpi.comm_world, dataset=dataset,
+        start_iter=resume_at, generation=generation + 1,
+    )
+    return outcome

@@ -1,0 +1,616 @@
+"""The malleability engine: Stages 1-4 for all twelve configurations.
+
+One :class:`GroupRunner` per rank drives the application loop with the
+paper's checkpoint protocol embedded (Algorithms 3 and 4):
+
+* **Stage 1** (resource reallocation) is the scripted RMS decision;
+* **Stage 2** (process management) spawns/merges per the Baseline or Merge
+  method — blocking (S), non-blocking handles (A) or inside the auxiliary
+  thread (T);
+* **Stage 3** (data redistribution) runs the P2P/COL/RMA session: constant
+  fields may overlap the application (A/T); variable fields always move
+  synchronously once the sources stop (§3.2);
+* **Stage 4** (resuming) hands the new group its communicator, dataset and
+  resume iteration.
+
+The async stop protocol: a source may only leave the loop when *every*
+source finished its redistribution, because per-iteration collectives would
+otherwise hang.  Sources agree with a one-scalar allreduce per checkpoint
+(the kind of reduction iterative solvers perform anyway).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional, Protocol
+
+from ..redistribution.api import Strategy, make_session
+from ..redistribution.blockdist import block_range
+from ..redistribution.plan import RedistributionPlan
+from ..redistribution.stores import Dataset, FieldSpec
+from ..smpi.collectives import op_min
+from .config import ReconfigConfig, SpawnMethod
+from .rms import ReconfigRequest, ScriptedRMS
+from .stats import ReconfigRecord, RunStats
+
+__all__ = ["MalleableApp", "GroupRunner", "run_malleable", "RankOutcome"]
+
+
+class MalleableApp(Protocol):
+    """What the manager needs from an application."""
+
+    #: total iterations the job must complete (across all groups).
+    n_iterations: int
+    #: global row count of the distributed data.
+    n_rows: int
+    #: the distributed objects (constant/variable split drives overlap).
+    specs: tuple[FieldSpec, ...]
+
+    def initial_data(self, lo: int, hi: int) -> dict[str, Any]:
+        """Initial blocks for a first-group rank owning rows [lo, hi)."""
+        ...
+
+    def iterate(self, mpi, comm, dataset: Dataset, iteration: int):
+        """Generator: execute one iteration on the current group."""
+        ...
+
+    def on_handoff(self, mpi, dataset: Dataset) -> None:
+        """Hook after a rank receives its post-reconfiguration dataset."""
+        ...
+
+
+class RankOutcome(enum.Enum):
+    """How a rank's participation ended."""
+
+    COMPLETED = "completed"      # member of the final group, ran to the end
+    RETIRED = "retired"          # source that handed off and exited
+
+
+class _Phase(enum.Enum):
+    IDLE = "idle"
+    SPAWN_WAIT = "spawn-wait"
+    MERGE_WAIT = "merge-wait"
+    REDIST = "redist"
+    THREAD_WAIT = "thread-wait"
+
+
+class GroupRunner:
+    """Drives one rank of the currently active group."""
+
+    def __init__(
+        self,
+        mpi,
+        app: MalleableApp,
+        config: ReconfigConfig,
+        rms: ScriptedRMS,
+        stats: RunStats,
+        comm,
+        dataset: Dataset,
+        start_iter: int = 0,
+        group_index: int = 0,
+        plan_factory: Callable[[int, int, int], RedistributionPlan] = RedistributionPlan.block,
+        slot_of: Callable[[int], int] = lambda i: i,
+    ):
+        self.mpi = mpi
+        self.app = app
+        self.config = config
+        self.rms = rms
+        self.stats = stats
+        self.comm = comm
+        self.dataset = dataset
+        self.it = start_iter
+        self.group_index = group_index
+        self.plan_factory = plan_factory
+        #: maps a job-internal slot index to a machine slot — identity for
+        #: single-job worlds; a base offset in multi-job RMS simulations.
+        self.slot_of = slot_of
+        self._phase = _Phase.IDLE
+        # per-reconfiguration scratch:
+        self._req: Optional[ReconfigRequest] = None
+        self._plan: Optional[RedistributionPlan] = None
+        self._spawn_handle = None
+        self._merge_handle = None
+        self._inter = None
+        self._merged = None
+        self._session = None
+        self._thread = None
+        self._record: Optional[ReconfigRecord] = None
+        self._dst_dataset: Optional[Dataset] = None
+
+    # ------------------------------------------------------------- utilities
+    @property
+    def rank(self) -> int:
+        return self.comm.rank_of_gid(self.mpi.gid)
+
+    def _const_names(self) -> list[str]:
+        return self.dataset.field_names(constant=True)
+
+    def _var_names(self) -> list[str]:
+        return self.dataset.field_names(constant=False)
+
+    def _ensure_record(self) -> ReconfigRecord:
+        while len(self.stats.reconfigs) <= self.group_index:
+            self.stats.reconfigs.append(
+                ReconfigRecord(
+                    n_sources=self.comm.size,
+                    n_targets=self._req.n_targets,
+                    requested_iteration=self._req.at_iteration,
+                )
+            )
+        return self.stats.reconfigs[self.group_index]
+
+    def _make_target_dataset(self, plan: RedistributionPlan, t: int) -> Dataset:
+        lo, hi = plan.dst_range(t)
+        return Dataset.create(self.app.n_rows, tuple(self.dataset.specs), lo, hi)
+
+    def _session_for(self, comm, names, dst_dataset=None) -> Any:
+        """Build this source rank's Stage-3 session on ``comm``."""
+        ns, nt = self._plan.n_sources, self._plan.n_targets
+        is_merge = self.config.spawn is SpawnMethod.MERGE
+        src_rank = self.rank
+        dst_rank = self.rank if (is_merge and self.rank < nt) else None
+        return make_session(
+            self.config.redist,
+            self.mpi,
+            comm,
+            self._plan,
+            names=names,
+            src_rank=src_rank,
+            dst_rank=dst_rank,
+            src_dataset=self.dataset,
+            dst_dataset=dst_dataset,
+            label=f"reconf{self.group_index}",
+        )
+
+    # ------------------------------------------------------------- main loop
+    def run(self):
+        """The malleable application loop (Algorithm 3/4 shape)."""
+        mpi = self.mpi
+        if self.group_index == 0 and self.rank == 0:
+            self.stats.started_at = mpi.now
+        while self.it < self.app.n_iterations:
+            # ---- begin malleability code -------------------------------
+            if self.it > self.stats.latest_checked_iteration:
+                self.stats.latest_checked_iteration = self.it
+            if self._phase is _Phase.IDLE:
+                req = self.rms.check(self.it)
+                if req is not None:
+                    outcome = yield from self._begin_reconfig(req)
+                    if outcome is RankOutcome.RETIRED:
+                        return RankOutcome.RETIRED
+                    # For strategy S, _begin_reconfig completed the handoff
+                    # inline and we continue as a member of the new group.
+            else:
+                finished = yield from self._poll_reconfig()
+                if finished:
+                    outcome = yield from self._complete_reconfig()
+                    if outcome is RankOutcome.RETIRED:
+                        return RankOutcome.RETIRED
+                else:
+                    if self.rank == 0 and self._record is not None:
+                        self._record.overlapped_iterations += 1
+            # ---- end malleability code ---------------------------------
+            t0 = mpi.now
+            yield from self.app.iterate(mpi, self.comm, self.dataset, self.it)
+            if self.rank == 0:
+                self.stats.iteration_times.append((self.it, mpi.now - t0))
+                self.stats.iterations_by_group[self.group_index] = (
+                    self.stats.iterations_by_group.get(self.group_index, 0) + 1
+                )
+            self.it += 1
+        # The iteration budget ran out with a reconfiguration still in
+        # flight: drain it, or the spawned processes would wait forever.
+        if self._phase is not _Phase.IDLE:
+            while not (yield from self._poll_reconfig()):
+                yield from mpi.compute(1e-3)
+            outcome = yield from self._complete_reconfig()
+            if outcome is RankOutcome.RETIRED:
+                return RankOutcome.RETIRED
+        if self.rank == 0:
+            self.stats.finished_at = mpi.now
+            if self.stats.finished_event is not None:
+                self.stats.finished_event.trigger(self.stats)
+        mpi.finalize()
+        return RankOutcome.COMPLETED
+
+    # ----------------------------------------------------------- stage 2 + 3
+    def _begin_reconfig(self, req: ReconfigRequest):
+        """Checkpoint hit: start Stages 2+3 according to the strategy."""
+        self._req = req
+        ns, nt = self.comm.size, req.n_targets
+        self._plan = self.plan_factory(self.app.n_rows, ns, nt)
+        record = self._record = self._ensure_record()
+        if record.spawn_started_at is None:
+            record.spawn_started_at = self.mpi.now
+
+        if self.config.strategy is Strategy.SYNC:
+            outcome = yield from self._sync_reconfig()
+            return outcome
+        if self.config.strategy is Strategy.ASYNC_NONBLOCKING:
+            yield from self._begin_async()
+            return None
+        yield from self._begin_thread()
+        return None
+
+    # .................................................... synchronous path S
+    def _sync_reconfig(self):
+        ns, nt = self._plan.n_sources, self._plan.n_targets
+        record = self._record = self._ensure_record()
+        if self.config.spawn is SpawnMethod.BASELINE:
+            inter = yield from self.mpi.comm_spawn(
+                _target_entry, slots=self._slots(range(nt)), comm=self.comm,
+                args=self._child_args(),
+            )
+            record.spawn_finished_at = self.mpi.now
+            record.redist_started_at = self.mpi.now
+            session = self._session_for(inter, names=self.dataset.field_names())
+            yield from session.run_blocking()
+            self._inter = inter
+            outcome = yield from self._handoff(stopped_at=self.it)
+            return outcome
+        # Merge method
+        merged = yield from self._merge_stage2_blocking()
+        record.spawn_finished_at = self.mpi.now
+        record.redist_started_at = self.mpi.now
+        self._dst_dataset = dst_dataset = (
+            self._make_target_dataset(self._plan, self.rank)
+            if self.rank < nt
+            else None
+        )
+        session = self._session_for(
+            merged, names=self.dataset.field_names(), dst_dataset=dst_dataset
+        )
+        yield from session.run_blocking()
+        self._merged = merged
+        self._session = session
+        outcome = yield from self._handoff(stopped_at=self.it)
+        return outcome
+
+    def _merge_stage2_blocking(self):
+        ns, nt = self._plan.n_sources, self._plan.n_targets
+        if nt > ns:
+            inter = yield from self.mpi.comm_spawn(
+                _target_entry, slots=self._slots(range(ns, nt)), comm=self.comm,
+                args=self._child_args(),
+            )
+            merged = yield from self.mpi.merge_intercomm(inter, high=False)
+            return merged
+        # Shrink: no spawn — sources already hold ranks 0..NS-1.  Duplicate
+        # the communicator so Stage-3 traffic cannot cross-match the
+        # application's (paper §3.2).
+        dup = yield from self.mpi.comm_dup(self.comm)
+        return dup
+
+    # ................................................. non-blocking path (A)
+    def _begin_async(self):
+        ns, nt = self._plan.n_sources, self._plan.n_targets
+        if self.config.spawn is SpawnMethod.BASELINE:
+            self._spawn_handle = yield from self.mpi.comm_spawn_async(
+                _target_entry, slots=self._slots(range(nt)), comm=self.comm,
+                args=self._child_args(),
+            )
+            self._phase = _Phase.SPAWN_WAIT
+        elif nt > ns:  # Merge expansion
+            self._spawn_handle = yield from self.mpi.comm_spawn_async(
+                _target_entry, slots=self._slots(range(ns, nt)), comm=self.comm,
+                args=self._child_args(),
+            )
+            self._phase = _Phase.SPAWN_WAIT
+        else:  # Merge shrink: redistribute over a duplicate communicator
+            self._merged = yield from self.mpi.comm_dup(self.comm)
+            yield from self._start_const_session(self._merged)
+            self._phase = _Phase.REDIST
+
+    def _advance_async(self):
+        """Advance the A-strategy pipeline without blocking; returns local
+        completion of the constant-data redistribution."""
+        record = self._ensure_record()
+        if self._phase is _Phase.SPAWN_WAIT:
+            if not self._spawn_handle.completed:
+                return False
+            self._inter = self._spawn_handle.result
+            if record.spawn_finished_at is None:
+                record.spawn_finished_at = self.mpi.now
+            if self.config.spawn is SpawnMethod.BASELINE:
+                yield from self._start_const_session(self._inter)
+                self._phase = _Phase.REDIST
+            else:
+                self._merge_handle = yield from self.mpi.merge_intercomm_async(
+                    self._inter, high=False
+                )
+                self._phase = _Phase.MERGE_WAIT
+        if self._phase is _Phase.MERGE_WAIT:
+            if not self._merge_handle.completed:
+                return False
+            self._merged = self._merge_handle.result
+            yield from self._start_const_session(self._merged)
+            self._phase = _Phase.REDIST
+        if self._phase is _Phase.REDIST:
+            done = yield from self._session.test()
+            return done
+        return False
+
+    def _start_const_session(self, comm):
+        record = self._ensure_record()
+        if record.redist_started_at is None:
+            record.redist_started_at = self.mpi.now
+        nt = self._plan.n_targets
+        names = self._const_names() or self.dataset.field_names()
+        dst_dataset = None
+        if self.config.spawn is SpawnMethod.MERGE and self.rank < nt:
+            self._dst_dataset = dst_dataset = self._make_target_dataset(
+                self._plan, self.rank
+            )
+        self._session = self._session_for(comm, names=names, dst_dataset=dst_dataset)
+        yield from self._session.start()
+
+    # .................................................... thread path (T)
+    def _begin_thread(self):
+        runner = self
+
+        def stage23_thread(tmpi):
+            """Auxiliary thread: blocking Stage 2 + constant-data Stage 3."""
+            if runner.config.spawn is SpawnMethod.BASELINE:
+                inter = yield from tmpi.comm_spawn(
+                    _target_entry,
+                    slots=runner._slots(range(runner._plan.n_targets)),
+                    comm=runner.comm, args=runner._child_args(),
+                )
+                runner._inter = inter
+                comm = inter
+                dst_dataset = None
+            else:
+                ns, nt = runner._plan.n_sources, runner._plan.n_targets
+                if nt > ns:
+                    inter = yield from tmpi.comm_spawn(
+                        _target_entry, slots=runner._slots(range(ns, nt)),
+                        comm=runner.comm, args=runner._child_args(),
+                    )
+                    merged = yield from tmpi.merge_intercomm(inter, high=False)
+                else:
+                    merged = yield from tmpi.comm_dup(runner.comm)
+                runner._merged = comm = merged
+                dst_dataset = None
+                if runner.rank < nt:
+                    runner._dst_dataset = dst_dataset = (
+                        runner._make_target_dataset(runner._plan, runner.rank)
+                    )
+            record = runner._ensure_record()
+            if record.spawn_finished_at is None:
+                record.spawn_finished_at = tmpi.now
+            if record.redist_started_at is None:
+                record.redist_started_at = tmpi.now
+            names = runner._const_names() or runner.dataset.field_names()
+            nt = runner._plan.n_targets
+            session = make_session(
+                runner.config.redist, tmpi, comm, runner._plan,
+                names=names,
+                src_rank=runner.rank,
+                dst_rank=(
+                    runner.rank
+                    if runner.config.spawn is SpawnMethod.MERGE and runner.rank < nt
+                    else None
+                ),
+                src_dataset=runner.dataset,
+                dst_dataset=dst_dataset,
+                label=f"reconf{runner.group_index}",
+            )
+            yield from session.run_blocking()
+            return "stage23-done"
+
+        self._thread = yield from self.mpi.spawn_thread(
+            stage23_thread, name=f"auxthread.g{self.mpi.gid}"
+        )
+        self._phase = _Phase.THREAD_WAIT
+
+    # ------------------------------------------------------- stop agreement
+    def _poll_reconfig(self):
+        """One checkpoint of an overlapped reconfiguration: advance my
+        pipeline, then agree with the other sources on stopping."""
+        if self._phase is _Phase.THREAD_WAIT:
+            local_done = self._thread.finished
+        else:
+            local_done = yield from self._advance_async()
+        agreed = yield from self.mpi.allreduce(
+            1 if local_done else 0, op_min, comm=self.comm
+        )
+        return bool(agreed)
+
+    # ------------------------------------------------------------- stage 4
+    def _complete_reconfig(self):
+        """All sources stopped: move variable data synchronously, hand off."""
+        record = self._ensure_record()
+        record.mark_const_complete(self.mpi.now)
+        outcome = yield from self._handoff(stopped_at=self.it)
+        return outcome
+
+    def _handoff(self, stopped_at: int):
+        """Synchronous tail of every reconfiguration: redistribute variable
+        fields, transmit the resume iteration, retire or continue."""
+        record = self._ensure_record()
+        record.sources_stopped_iteration = stopped_at
+        is_async = self.config.strategy is not Strategy.SYNC
+        var_names = self._var_names() if is_async else []
+        comm3 = self._merged if self._merged is not None else self._inter
+        if comm3 is None:
+            comm3 = self.comm  # Merge shrink
+        nt = self._plan.n_targets
+
+        if var_names:
+            dst_dataset = getattr(self, "_dst_dataset", None)
+            session = self._session_for(comm3, names=var_names, dst_dataset=dst_dataset)
+            yield from session.run_blocking()
+
+        if self.config.spawn is SpawnMethod.BASELINE:
+            # Tell the new group where to resume, then retire.
+            if self.rank == 0:
+                yield from self.mpi.send(
+                    stopped_at, dest=0, tag=1900, comm=self._inter
+                )
+            yield from self.mpi.disconnect(self._inter)
+            self.mpi.finalize()
+            self._reset_reconfig_state()
+            return RankOutcome.RETIRED
+
+        # Merge method.
+        ns = self._plan.n_sources
+        if nt > ns:
+            # Expansion: new ranks need the resume iteration.
+            yield from self.mpi.bcast(stopped_at, root=0, comm=self._merged)
+            new_comm = self._merged
+        else:
+            # Shrink: survivors get a right-sized communicator.
+            new_comm = yield from self.mpi.comm_create(self.comm, range(nt))
+            if new_comm is None:
+                self.mpi.finalize()
+                self._reset_reconfig_state()
+                return RankOutcome.RETIRED
+        # Persisting rank: swap to the new group's state and keep looping.
+        dst_dataset = getattr(self, "_dst_dataset", None)
+        if dst_dataset is None:
+            raise RuntimeError("persisting rank has no target dataset")
+        record.mark_data_complete(self.mpi.now)
+        self.comm = new_comm
+        self.dataset = dst_dataset
+        self.app.on_handoff(self.mpi, dst_dataset)
+        self.it = stopped_at
+        self.group_index += 1
+        self._reset_reconfig_state()
+        return None
+
+    def _reset_reconfig_state(self) -> None:
+        self._phase = _Phase.IDLE
+        self._req = None
+        self._plan = None
+        self._spawn_handle = None
+        self._merge_handle = None
+        self._inter = None
+        self._merged = None
+        self._session = None
+        self._thread = None
+        self._record = None
+        self._dst_dataset = None
+
+    # --------------------------------------------------------- child plumbing
+    def _slots(self, indices) -> list[int]:
+        return [self.slot_of(i) for i in indices]
+
+    def _child_args(self) -> tuple:
+        return (
+            self.app,
+            self.config,
+            self.rms.child_factory(self.group_index + 1),
+            self.group_index + 1,
+            self.stats,
+            self._plan,
+            self.slot_of,
+        )
+
+
+def _target_entry(mpi, app, config, rms_factory, group_index, stats, plan, slot_of):
+    """Entry point of spawned processes (Baseline targets / Merge newcomers)."""
+    ns, nt = plan.n_sources, plan.n_targets
+    is_merge = config.spawn is SpawnMethod.MERGE
+    record = stats.reconfigs[group_index - 1]
+
+    if is_merge:
+        comm3 = yield from mpi.merge_intercomm(mpi.parent, high=True)
+        my_target = comm3.rank_of_gid(mpi.gid)
+    else:
+        comm3 = mpi.parent
+        my_target = mpi.rank
+    lo, hi = plan.dst_range(my_target)
+    dataset = Dataset.create(app.n_rows, tuple(app.specs), lo, hi)
+
+    is_async = config.strategy is not Strategy.SYNC
+    const_names = dataset.field_names(constant=True)
+    var_names = dataset.field_names(constant=False)
+    first_names = (const_names or dataset.field_names()) if is_async else dataset.field_names()
+
+    session = make_session(
+        config.redist, mpi, comm3, plan,
+        names=first_names,
+        dst_rank=my_target,
+        dst_dataset=dataset,
+        label=f"reconf{group_index - 1}",
+    )
+    if config.strategy is Strategy.ASYNC_NONBLOCKING:
+        # Everyone must enter the same non-blocking collectives (§3.2).
+        yield from session.start()
+        yield from session.finish()
+    else:
+        yield from session.run_blocking()
+    record.mark_const_complete(mpi.now)
+
+    if is_async and var_names:
+        var_session = make_session(
+            config.redist, mpi, comm3, plan,
+            names=var_names,
+            dst_rank=my_target,
+            dst_dataset=dataset,
+            label=f"reconf{group_index - 1}v",
+        )
+        yield from var_session.run_blocking()
+
+    # Stage 4: learn where to resume.
+    if is_merge:
+        resume_at = yield from mpi.bcast(None, root=0, comm=comm3)
+        new_comm = comm3
+    else:
+        if mpi.rank == 0:
+            resume_at = yield from mpi.recv(source=0, tag=1900, comm=mpi.parent)
+        else:
+            resume_at = None
+        resume_at = yield from mpi.bcast(resume_at, root=0, comm=mpi.comm_world)
+        new_comm = mpi.comm_world
+    record.mark_data_complete(mpi.now)
+    app.on_handoff(mpi, dataset)
+
+    runner = GroupRunner(
+        mpi, app, config,
+        rms_factory(),
+        stats,
+        comm=new_comm,
+        dataset=dataset,
+        start_iter=resume_at,
+        group_index=group_index,
+        slot_of=slot_of,
+    )
+    outcome = yield from runner.run()
+    return outcome
+
+
+def run_malleable(
+    mpi,
+    app: MalleableApp,
+    config: ReconfigConfig,
+    requests,
+    stats: RunStats,
+    plan_factory: Callable[[int, int, int], RedistributionPlan] = RedistributionPlan.block,
+    slot_of: Callable[[int], int] = lambda i: i,
+    rms_factory: Optional[Callable[[], ScriptedRMS]] = None,
+):
+    """Entry point for ranks of the *first* group.
+
+    Builds the rank's initial dataset from ``app.initial_data`` and runs the
+    malleable loop; returns the rank's :class:`RankOutcome`.
+
+    ``requests`` is the scripted reconfiguration schedule; a dynamic RMS
+    (``repro.rmsim``) passes ``rms_factory`` instead and each rank builds
+    its own live view.
+    """
+    lo, hi = block_range(app.n_rows, mpi.size, mpi.rank)
+    dataset = Dataset.create(
+        app.n_rows, tuple(app.specs), lo, hi,
+        data=app.initial_data(lo, hi),
+        fill_virtual=True,
+    )
+    rms = rms_factory() if rms_factory is not None else ScriptedRMS(list(requests))
+    runner = GroupRunner(
+        mpi, app, config, rms, stats,
+        comm=mpi.comm_world, dataset=dataset,
+        plan_factory=plan_factory,
+        slot_of=slot_of,
+    )
+    outcome = yield from runner.run()
+    return outcome

@@ -1,0 +1,75 @@
+"""Scripted Resource Management System stub.
+
+The paper's synthetic tool "emulates the RMS demands" (§4.1): the decision
+of *when* and *to how many processes* a job reconfigures is read from the
+configuration file, not negotiated with a live Slurm.  :class:`ScriptedRMS`
+plays that role; talking to a real RMS is the paper's own future work (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ReconfigRequest", "ScriptedRMS"]
+
+
+@dataclass(frozen=True)
+class ReconfigRequest:
+    """Reconfigure to ``n_targets`` processes at iteration ``at_iteration``."""
+
+    at_iteration: int
+    n_targets: int
+
+    def __post_init__(self):
+        if self.at_iteration < 0:
+            raise ValueError("at_iteration must be >= 0")
+        if self.n_targets < 1:
+            raise ValueError("n_targets must be >= 1")
+
+
+class ScriptedRMS:
+    """Replays a fixed schedule of reconfiguration decisions.
+
+    ``check(iteration)`` is the checkpoint's "contact the RMS" call: it
+    returns the pending :class:`ReconfigRequest` when the application has
+    reached (or passed) its iteration, else ``None``.  Each request fires
+    exactly once; requests must be scheduled in increasing iteration order.
+    """
+
+    def __init__(self, requests: list[ReconfigRequest]):
+        self.requests = sorted(requests, key=lambda r: r.at_iteration)
+        for a, b in zip(self.requests, self.requests[1:]):
+            if a.at_iteration == b.at_iteration:
+                raise ValueError(
+                    f"two reconfigurations scheduled at iteration {a.at_iteration}"
+                )
+        self._next = 0
+
+    def check(self, iteration: int) -> Optional[ReconfigRequest]:
+        """The checkpoint protocol: has the RMS decided to reconfigure us?"""
+        if self._next < len(self.requests):
+            req = self.requests[self._next]
+            if iteration >= req.at_iteration:
+                self._next += 1
+                return req
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self.requests)
+
+    def clone(self) -> "ScriptedRMS":
+        """Fresh replay state (each group's manager keeps its own cursor)."""
+        rms = ScriptedRMS(list(self.requests))
+        rms._next = self._next
+        return rms
+
+    def child_factory(self, consumed: int):
+        """A factory building per-rank RMS views for a spawned group that
+        has already seen ``consumed`` reconfigurations.  Each child rank
+        calls the factory once, so cursors are never shared between ranks.
+        Dynamic RMS implementations (``repro.rmsim``) override this to hand
+        children a live view of the decision board."""
+        remaining = list(self.requests)[consumed:]
+        return lambda: ScriptedRMS(remaining)

@@ -1,0 +1,90 @@
+"""Shared run statistics collected by the malleability manager.
+
+A single :class:`RunStats` object is shared (same-process memory) by every
+rank of a simulated job; the manager stamps the reconfiguration milestones
+the paper's Monitoring module records, and the harness reads them out:
+
+* **reconfiguration time** (Figures 2-6): "measured from the sources start
+  spawning processes until the data has been fully received in the targets"
+  (§4.4) — :meth:`ReconfigRecord.reconfiguration_time`;
+* **application time** (Figures 7-9): start of the run to the completion of
+  the last iteration by the final group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ReconfigRecord", "RunStats"]
+
+
+@dataclass
+class ReconfigRecord:
+    """Milestones of one reconfiguration (sim-time seconds)."""
+
+    n_sources: int
+    n_targets: int
+    requested_iteration: int
+    #: checkpoint where Stage 2 began (spawn start — the measurement origin).
+    spawn_started_at: Optional[float] = None
+    spawn_finished_at: Optional[float] = None
+    redist_started_at: Optional[float] = None
+    #: per-target completion of the *constant* data.
+    const_data_complete_at: Optional[float] = None
+    #: per-target completion of *all* data (max over targets).
+    data_complete_at: Optional[float] = None
+    #: iteration at which the sources stopped (== requested_iteration for S).
+    sources_stopped_iteration: Optional[int] = None
+    #: iterations the sources overlapped with the reconfiguration (A/T).
+    overlapped_iterations: int = 0
+
+    def mark_data_complete(self, t: float) -> None:
+        """Targets call this as their data lands; the max is kept."""
+        if self.data_complete_at is None or t > self.data_complete_at:
+            self.data_complete_at = t
+
+    def mark_const_complete(self, t: float) -> None:
+        if self.const_data_complete_at is None or t > self.const_data_complete_at:
+            self.const_data_complete_at = t
+
+    @property
+    def reconfiguration_time(self) -> float:
+        """Spawn start -> all data received by all targets (§4.4)."""
+        if self.spawn_started_at is None or self.data_complete_at is None:
+            raise RuntimeError("reconfiguration did not complete")
+        return self.data_complete_at - self.spawn_started_at
+
+
+@dataclass
+class RunStats:
+    """Whole-run telemetry shared by all ranks of one simulated job."""
+
+    reconfigs: list[ReconfigRecord] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+    #: iterations completed by each group generation (for sanity checks).
+    iterations_by_group: dict[int, int] = field(default_factory=dict)
+    #: per-iteration durations on rank 0 of the active group.
+    iteration_times: list[tuple[int, float]] = field(default_factory=list)
+    #: highest iteration index any rank has reached a checkpoint for —
+    #: dynamic RMS implementations schedule decisions beyond this.
+    latest_checked_iteration: int = -1
+    #: optional one-shot event triggered when the job finishes (set by RMS
+    #: simulations that need completion notifications).
+    finished_event: Optional[object] = None
+
+    @property
+    def app_time(self) -> float:
+        if self.finished_at is None:
+            raise RuntimeError("run did not finish")
+        return self.finished_at - self.started_at
+
+    @property
+    def last_reconfig(self) -> ReconfigRecord:
+        if not self.reconfigs:
+            raise RuntimeError("no reconfiguration recorded")
+        return self.reconfigs[-1]
+
+    def total_iterations(self) -> int:
+        return sum(self.iterations_by_group.values())

@@ -1,0 +1,63 @@
+"""Stage-3 data redistribution — the paper's primary contribution.
+
+Block-distribution arithmetic (:mod:`~repro.redistribution.blockdist`),
+communication plans (:mod:`~repro.redistribution.plan`), local data stores
+(:mod:`~repro.redistribution.stores`), and the redistribution algorithms:
+
+* :class:`P2PRedistribution` — Algorithm 1 (Isend/Irecv/Waitany);
+* :class:`ColRedistribution` — Algorithm 2 (Alltoall + Alltoallv);
+* :class:`RmaRedistribution` — the future-work one-sided variant.
+
+Overlap strategies (S/A/T) drive the sessions through either
+``run_blocking()`` or ``start()`` + ``test()`` (Algorithms 3 and 4).
+"""
+
+from .api import RedistMethod, Strategy, make_session
+from .blockdist import (
+    block_counts,
+    block_offsets,
+    block_range,
+    owner_of_row,
+    range_overlaps,
+)
+from .collective import ColRedistribution
+from .p2p import P2PRedistribution
+from .plan import RedistributionPlan, Transfer, movement_minimizing_offsets
+from .rma import RmaRedistribution
+from .session import SIZES_TAG, VALUES_TAG, RedistributionSession
+from .stores import (
+    BlockStore,
+    CsrStore,
+    Dataset,
+    DenseStore,
+    FieldSpec,
+    VirtualStore,
+    make_store,
+)
+
+__all__ = [
+    "RedistMethod",
+    "Strategy",
+    "make_session",
+    "RedistributionPlan",
+    "Transfer",
+    "movement_minimizing_offsets",
+    "RedistributionSession",
+    "P2PRedistribution",
+    "ColRedistribution",
+    "RmaRedistribution",
+    "SIZES_TAG",
+    "VALUES_TAG",
+    "block_counts",
+    "block_offsets",
+    "block_range",
+    "owner_of_row",
+    "range_overlaps",
+    "FieldSpec",
+    "BlockStore",
+    "DenseStore",
+    "CsrStore",
+    "VirtualStore",
+    "Dataset",
+    "make_store",
+]

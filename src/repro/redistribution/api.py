@@ -1,0 +1,103 @@
+"""Public façade of the redistribution package: enums + factory.
+
+The paper's configuration space (§4.3) is the cross product of
+
+* Stage-2 spawn method: ``BASELINE`` | ``MERGE`` (from [16]),
+* Stage-3 redistribution method: ``P2P`` | ``COL`` (this paper's §3.1),
+* overlap strategy: ``S`` synchronous | ``A`` non-blocking | ``T`` threads
+  (§3.2),
+
+giving the 12 configurations of the evaluation.  This module owns the
+Stage-3 axes; the spawn method lives in :mod:`repro.malleability`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from .collective import ColRedistribution
+from .p2p import P2PRedistribution
+from .plan import RedistributionPlan
+from .session import RedistributionSession
+from .stores import Dataset
+
+__all__ = ["RedistMethod", "Strategy", "make_session"]
+
+
+class RedistMethod(enum.Enum):
+    """How Stage 3 moves the bytes (paper §3.1)."""
+
+    P2P = "p2p"
+    COL = "col"
+    #: future-work extension (paper §5): one-sided RMA puts.
+    RMA = "rma"
+
+    @classmethod
+    def parse(cls, text: str) -> "RedistMethod":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown redistribution method {text!r}; use P2P, COL or RMA"
+            ) from None
+
+
+class Strategy(enum.Enum):
+    """Whether/how Stage 2+3 overlap the application (paper §3.2).
+
+    Figure legends use the suffix letters: ``S`` synchronous, ``A``
+    asynchronous via non-blocking MPI, ``T`` asynchronous via aux threads.
+    """
+
+    SYNC = "S"
+    ASYNC_NONBLOCKING = "A"
+    ASYNC_THREAD = "T"
+
+    @classmethod
+    def parse(cls, text: str) -> "Strategy":
+        text = text.strip().upper()
+        for member in cls:
+            if text in (member.name, member.value):
+                return member
+        raise ValueError(f"unknown strategy {text!r}; use S, A or T")
+
+    @property
+    def is_async(self) -> bool:
+        return self is not Strategy.SYNC
+
+
+def make_session(
+    method: RedistMethod,
+    ctx,
+    comm,
+    plan: RedistributionPlan,
+    names: list[str],
+    src_rank: Optional[int] = None,
+    dst_rank: Optional[int] = None,
+    src_dataset: Optional[Dataset] = None,
+    dst_dataset: Optional[Dataset] = None,
+    label: str = "redist",
+) -> RedistributionSession:
+    """Build this rank's Stage-3 session for the chosen method."""
+    if method is RedistMethod.P2P:
+        cls = P2PRedistribution
+    elif method is RedistMethod.COL:
+        cls = ColRedistribution
+    elif method is RedistMethod.RMA:
+        from .rma import RmaRedistribution
+
+        cls = RmaRedistribution
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unsupported method {method}")
+    return cls(
+        ctx,
+        comm,
+        plan,
+        names,
+        src_rank=src_rank,
+        dst_rank=dst_rank,
+        src_dataset=src_dataset,
+        dst_dataset=dst_dataset,
+        label=label,
+    )

@@ -1,0 +1,88 @@
+"""Block-distribution arithmetic.
+
+The paper's applications distribute matrices and vectors "by row blocks
+among the processes of a group" (§4.2).  This module is the pure arithmetic
+of such distributions: per-rank counts/offsets and, crucially, the overlap
+structure between the *source* distribution over NS ranks and the *target*
+distribution over NT ranks, which defines the redistribution communication
+pattern ("the communication pattern need not be complete, since the data
+communication between some sources and some targets can be empty", §3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "block_counts",
+    "block_offsets",
+    "block_range",
+    "owner_of_row",
+    "range_overlaps",
+]
+
+
+def block_counts(n: int, p: int) -> np.ndarray:
+    """Rows owned by each of ``p`` ranks under the standard block rule:
+    the first ``n % p`` ranks get one extra row."""
+    if p < 1:
+        raise ValueError(f"need at least one rank, got {p}")
+    if n < 0:
+        raise ValueError(f"row count must be >= 0, got {n}")
+    base, extra = divmod(n, p)
+    counts = np.full(p, base, dtype=np.int64)
+    counts[:extra] += 1
+    return counts
+
+
+def block_offsets(n: int, p: int) -> np.ndarray:
+    """Starting row of each rank (length p+1; last entry is ``n``)."""
+    offsets = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(block_counts(n, p), out=offsets[1:])
+    return offsets
+
+
+def block_range(n: int, p: int, rank: int) -> tuple[int, int]:
+    """Half-open row range ``[lo, hi)`` owned by ``rank``."""
+    if not 0 <= rank < p:
+        raise ValueError(f"rank {rank} out of range for p={p}")
+    offsets = block_offsets(n, p)
+    return int(offsets[rank]), int(offsets[rank + 1])
+
+
+def owner_of_row(n: int, p: int, row: int) -> int:
+    """Rank owning ``row`` under the block rule."""
+    if not 0 <= row < n:
+        raise ValueError(f"row {row} out of range for n={n}")
+    offsets = block_offsets(n, p)
+    return int(np.searchsorted(offsets, row, side="right") - 1)
+
+
+def range_overlaps(
+    offsets_a: np.ndarray, offsets_b: np.ndarray
+) -> Iterator[tuple[int, int, int, int]]:
+    """Non-empty intersections between two partitions of the same ``[0, n)``.
+
+    Yields ``(rank_a, rank_b, lo, hi)`` in lexicographic order.  A classic
+    two-pointer merge: O(pa + pb), never materialising the pa x pb matrix —
+    with block partitions each source only overlaps a contiguous run of
+    targets, which is why the redistribution pattern is sparse.
+    """
+    if offsets_a[-1] != offsets_b[-1]:
+        raise ValueError(
+            f"partitions cover different ranges: {offsets_a[-1]} vs {offsets_b[-1]}"
+        )
+    a, b = 0, 0
+    pa, pb = len(offsets_a) - 1, len(offsets_b) - 1
+    while a < pa and b < pb:
+        lo = max(offsets_a[a], offsets_b[b])
+        hi = min(offsets_a[a + 1], offsets_b[b + 1])
+        if lo < hi:
+            yield a, b, int(lo), int(hi)
+        # Advance whichever range ends first.
+        if offsets_a[a + 1] <= offsets_b[b + 1]:
+            a += 1
+        else:
+            b += 1

@@ -1,0 +1,142 @@
+"""Algorithm 2: data redistribution with collective MPI functions.
+
+Faithful reimplementation of the paper's Algorithm 2:
+
+* an ``MPI_Alltoall`` moves the per-pair byte counts from sources to
+  targets ("Send/Recv sizes");
+* targets create their internal structures;
+* an ``MPI_Alltoallv`` moves the values.
+
+The blocking variant inherits the *serialized pairwise exchange* schedule
+from :func:`repro.smpi.collectives.alltoallv_pairwise`, which on an
+inter-communicator (Baseline method) is the slow path the paper calls out
+in §4.4.2.  The asynchronous variant (strategy A) posts
+``MPI_Ialltoall`` / ``MPI_Ialltoallv`` and advances through ``Testall``
+windows — every rank must still *enter* both collectives, so targets wait
+on them immediately while sources keep iterating (§3.2).
+"""
+
+from __future__ import annotations
+
+from .session import RedistributionSession
+
+__all__ = ["ColRedistribution"]
+
+
+class ColRedistribution(RedistributionSession):
+    """One rank's Algorithm-2 participation."""
+
+    # ------------------------------------------------------------- build args
+    def _sizes_sendlist(self) -> list[int]:
+        """Per-peer byte counts for the size Alltoall (0 where no chunk)."""
+        sizes = [0] * self.comm.remote_size
+        if self.is_source:
+            for tr in self.plan.sends_for(self.src_rank):
+                if self.is_target and tr.dst == self.dst_rank:
+                    continue  # self-chunk handled locally
+                sizes[tr.dst] = self.src_dataset.range_nbytes(
+                    tr.lo, tr.hi, self.names
+                )
+        return sizes
+
+    def _values_args(self):
+        """(send_map, nbytes_map, recv_from) for the value Alltoallv."""
+        send_map, nbytes_map, recv_from = {}, {}, []
+        if self.is_source:
+            for tr in self.plan.sends_for(self.src_rank):
+                if self.is_target and tr.dst == self.dst_rank:
+                    continue
+                send_map[tr.dst] = self.src_dataset.extract(
+                    tr.lo, tr.hi, self.names
+                )
+                nbytes_map[tr.dst] = self.src_dataset.range_nbytes(
+                    tr.lo, tr.hi, self.names
+                )
+        if self.is_target:
+            for tr in self.plan.recvs_for(self.dst_rank):
+                if self.is_source and tr.src == self.src_rank:
+                    continue
+                recv_from.append(tr.src)
+        return send_map, nbytes_map, recv_from
+
+    def _insert_received(self, results: dict) -> None:
+        for tr in self.plan.recvs_for(self.dst_rank):
+            if self.is_source and tr.src == self.src_rank:
+                continue
+            self.dst_dataset.insert(tr.lo, tr.hi, results.get(tr.src), self.names)
+
+    # -------------------------------------------------------------- blocking
+    def run_blocking(self):
+        """Synchronous strategy (S): Alltoall sizes, then Alltoallv values,
+        with MPICH's pairwise schedule for the blocking Alltoallv."""
+        self._started = True
+        yield from self._do_local_copy()
+        self.sizes_received = yield from self.ctx.alltoall(
+            self._sizes_sendlist(), comm=self.comm
+        )
+        # "Create internal structures" happens lazily inside the stores.
+        send_map, nbytes_map, recv_from = self._values_args()
+        results = yield from self.ctx.alltoallv(
+            send_map,
+            recv_from=recv_from,
+            comm=self.comm,
+            nbytes_map=nbytes_map,
+            label=f"{self.label}:values",
+        )
+        if self.is_target:
+            self._insert_received(results)
+        self._finished = True
+
+    # ----------------------------------------------------------------- async
+    def start(self):
+        """Strategy A: post the non-blocking size Alltoall."""
+        if self._started:
+            raise RuntimeError("session already started")
+        self._started = True
+        self._stage = "sizes"
+        yield from self._do_local_copy()
+        self._sizes_req, self.sizes_received = yield from self.ctx.ialltoall(
+            self._sizes_sendlist(), comm=self.comm
+        )
+        self._values_req = None
+        self._values_results = None
+
+    def _advance(self):
+        """Move through the sizes -> values -> done pipeline, without blocking."""
+        if self._stage == "sizes" and self._sizes_req.completed:
+            send_map, nbytes_map, recv_from = self._values_args()
+            self._values_req, self._values_results = yield from self.ctx.ialltoallv(
+                send_map,
+                recv_from=recv_from,
+                comm=self.comm,
+                nbytes_map=nbytes_map,
+                label=f"{self.label}:values",
+            )
+            self._stage = "values"
+        if self._stage == "values" and self._values_req.completed:
+            if self.is_target:
+                self._insert_received(self._values_results)
+            self._stage = "done"
+            self._finished = True
+
+    def test(self):
+        """``Test_Redistribution``: one progress window + pipeline advance."""
+        if not self._started:
+            raise RuntimeError("test() before start()")
+        if self._finished:
+            return True
+        yield from self.ctx.progress_tick()
+        yield from self._advance()
+        return self._finished
+
+    def finish(self):
+        """Block until done (used by targets after posting the I-collectives,
+        and by strategy S through ``run_blocking``)."""
+        if not self._started:
+            raise RuntimeError("finish() before start()")
+        while not self._finished:
+            if self._stage == "sizes":
+                yield from self.ctx.waitall([self._sizes_req])
+            elif self._stage == "values":
+                yield from self.ctx.waitall([self._values_req])
+            yield from self._advance()

@@ -1,0 +1,110 @@
+"""RMA-based redistribution — the paper's future-work extension (§5).
+
+"Future work will extend the experiments to analyse the behaviour of other
+methods, such as RMA for data redistribution."
+
+Built on the simulated one-sided subsystem (:mod:`repro.smpi.rma`):
+
+* a window is created collectively over the redistribution communicator;
+  each target exposes its (empty) destination dataset;
+* sources issue one *put* per chunk — no size pre-exchange, no two-sided
+  matching, and crucially **no target-side progress requirement**: the put
+  lands even while the target computes, which sidesteps the rendezvous
+  stalls that shape the two-sided asynchronous strategy;
+* completeness uses put-notification counters: a target knows from the plan
+  exactly how many chunks it must receive.
+
+This is an *extension*, not part of the paper's 12 evaluated
+configurations; the ablation benchmark compares it against P2P and COL.
+"""
+
+from __future__ import annotations
+
+from ..simulate.primitives import AllOf
+from .session import RedistributionSession
+
+__all__ = ["RmaRedistribution"]
+
+
+class _DatasetExposure:
+    """Window exposure adapter: puts carry ``(lo, hi, payload_dict)``."""
+
+    def __init__(self, dataset, names):
+        self.dataset = dataset
+        self.names = names
+
+    def apply_put(self, payload) -> None:
+        lo, hi, payloads = payload
+        self.dataset.insert(lo, hi, payloads, self.names)
+
+    def read(self, offset: int, count: int):  # pragma: no cover - unused
+        raise NotImplementedError("redistribution only puts")
+
+
+class RmaRedistribution(RedistributionSession):
+    """One rank's one-sided redistribution."""
+
+    def start(self):
+        """Create the window (collective) and issue all puts."""
+        if self._started:
+            raise RuntimeError("session already started")
+        self._started = True
+        exposure = (
+            _DatasetExposure(self.dst_dataset, self.names)
+            if self.is_target
+            else None
+        )
+        self._win = yield from self.ctx.win_create(exposure, comm=self.comm)
+        self._put_events = []
+        self._notify_event = None
+
+        if self.is_target:
+            expected = sum(
+                1
+                for tr in self.plan.recvs_for(self.dst_rank)
+                if not (self.is_source and tr.src == self.src_rank)
+            )
+            self._notify_event = self._win.notification_event(
+                self.ctx.gid, threshold=expected
+            )
+
+        if self.is_source:
+            for tr in self.plan.sends_for(self.src_rank):
+                if self.is_target and tr.dst == self.dst_rank:
+                    yield from self._do_local_copy()
+                    continue
+                payloads = self.src_dataset.extract(tr.lo, tr.hi, self.names)
+                nbytes = self.src_dataset.range_nbytes(tr.lo, tr.hi, self.names)
+                ev = yield from self.ctx.win_put(
+                    self._win, tr.dst, (tr.lo, tr.hi, payloads),
+                    nbytes=nbytes, label=f"{self.label}:put",
+                )
+                self._put_events.append(ev)
+
+    def _locally_done(self) -> bool:
+        puts_done = all(ev.triggered for ev in self._put_events)
+        recvd = self._notify_event is None or self._notify_event.triggered
+        return puts_done and recvd
+
+    def finish(self):
+        """Block until my puts drained and my incoming chunks landed."""
+        if not self._started:
+            raise RuntimeError("finish() before start()")
+        waits = [ev for ev in self._put_events if ev.pending]
+        if self._notify_event is not None and self._notify_event.pending:
+            waits.append(self._notify_event)
+        if waits:
+            yield from self.ctx._polling_block(AllOf(waits))
+        self._finished = True
+
+    def test(self):
+        """One progress window; RMA needs no handshake pumping, so this is
+        just a completion check (the defining advantage of the method)."""
+        if not self._started:
+            raise RuntimeError("test() before start()")
+        if self._finished:
+            return True
+        yield from self.ctx.progress_tick()
+        if self._locally_done():
+            self._finished = True
+        return self._finished

@@ -1,0 +1,131 @@
+"""Shared structure of one rank's participation in a Stage-3 redistribution.
+
+A *session* is created by the malleability manager on every participating
+rank with that rank's roles:
+
+* ``src_rank`` — my index among the NS sources (None if I am not a source);
+* ``dst_rank`` — my index among the NT targets (None if I am not a target).
+
+In the Baseline method the two roles never coincide (disjoint groups over an
+inter-communicator); in the Merge method ranks ``< min(NS, NT)`` hold both
+(the ``memcpy`` branch of Algorithm 1).
+
+Sessions expose two driving styles:
+
+* ``run_blocking()`` — the synchronous strategy (S): complete everything;
+* ``start()`` then repeated ``test()`` — the non-blocking strategy (A),
+  Algorithm 3's ``Start data redistribution`` / ``Test_Redistribution``;
+  the thread strategy (T) simply runs ``run_blocking()`` inside an
+  auxiliary thread.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .plan import RedistributionPlan, Transfer
+from .stores import Dataset
+
+__all__ = ["RedistributionSession", "SIZES_TAG", "VALUES_TAG"]
+
+#: the paper's Algorithm 1 tags.
+SIZES_TAG = 77
+VALUES_TAG = 88
+
+
+class RedistributionSession:
+    """Base class; see module docstring for the driving protocol."""
+
+    def __init__(
+        self,
+        ctx,
+        comm,
+        plan: RedistributionPlan,
+        names: list[str],
+        src_rank: Optional[int] = None,
+        dst_rank: Optional[int] = None,
+        src_dataset: Optional[Dataset] = None,
+        dst_dataset: Optional[Dataset] = None,
+        label: str = "redist",
+    ):
+        if src_rank is None and dst_rank is None:
+            raise ValueError("a session needs at least one role")
+        if src_rank is not None and src_dataset is None:
+            raise ValueError("source role needs the source dataset")
+        if dst_rank is not None and dst_dataset is None:
+            raise ValueError("target role needs the (empty) target dataset")
+        if not names:
+            raise ValueError("nothing to redistribute: empty field list")
+        self.ctx = ctx
+        self.comm = comm
+        self.plan = plan
+        self.names = list(names)
+        self.src_rank = src_rank
+        self.dst_rank = dst_rank
+        self.src_dataset = src_dataset
+        self.dst_dataset = dst_dataset
+        self.label = label
+        self._started = False
+        self._finished = False
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def is_source(self) -> bool:
+        return self.src_rank is not None
+
+    @property
+    def is_target(self) -> bool:
+        return self.dst_rank is not None
+
+    def _self_transfer(self) -> Optional[Transfer]:
+        """The chunk I keep locally when I hold both roles (Merge)."""
+        if not (self.is_source and self.is_target):
+            return None
+        for tr in self.plan.sends_for(self.src_rank):
+            if tr.dst == self.dst_rank:
+                return tr
+        return None
+
+    def _do_local_copy(self):
+        """The ``memcpy`` branch: move my overlap without MPI, paying
+        memory-bandwidth time."""
+        tr = self._self_transfer()
+        if tr is None:
+            return
+        payloads = self.src_dataset.extract(tr.lo, tr.hi, self.names)
+        nbytes = self.src_dataset.range_nbytes(tr.lo, tr.hi, self.names)
+        cost = nbytes / self.ctx.machine.memory_channel.bandwidth
+        if cost > 0:
+            yield from self.ctx.compute(cost)
+        self.dst_dataset.insert(tr.lo, tr.hi, payloads, self.names)
+
+    def _chunk_sizes(self, tr: Transfer) -> dict[str, int]:
+        return {
+            n: self.src_dataset.stores[n].range_nbytes(tr.lo, tr.hi)
+            for n in self.names
+        }
+
+    # ----------------------------------------------------------- interface
+    def run_blocking(self):
+        """Synchronous strategy: complete the whole redistribution."""
+        yield from self.start()
+        yield from self.finish()
+
+    def start(self):
+        """Post everything that can be posted without blocking."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def test(self):
+        """Advance (one progress window) and return completion status."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finish(self):
+        """Block until the redistribution completes."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    @property
+    def finished(self) -> bool:
+        return self._finished

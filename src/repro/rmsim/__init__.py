@@ -1,0 +1,27 @@
+"""RMS simulation: malleable jobs vs system makespan (future work, §5).
+
+"Contact with the Slurm resource manager to request/assign resources will
+also be included.  Thus, it will be possible to study how malleability
+affects the real makespan of a system."
+
+This package does that study on the simulated substrate: a slot scheduler
+(:class:`MalleableScheduler`) runs workloads of rigid and malleable jobs,
+posting live reconfiguration decisions (:class:`DecisionBoard` /
+:class:`DynamicRMS`) that the paper's malleability engine executes at full
+cost.  See ``examples/makespan_study.py`` and
+``benchmarks/test_ablation_makespan.py``.
+"""
+
+from .board import DecisionBoard, DynamicRMS
+from .jobs import JobRecord, JobSpec
+from .scheduler import MalleableScheduler, ScheduleResult, SlotPool
+
+__all__ = [
+    "DecisionBoard",
+    "DynamicRMS",
+    "JobSpec",
+    "JobRecord",
+    "SlotPool",
+    "MalleableScheduler",
+    "ScheduleResult",
+]

@@ -1,0 +1,90 @@
+"""Job descriptions and records for the RMS simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..malleability.config import ReconfigConfig
+from ..synthetic.configfile import SyntheticConfig
+from ..synthetic.stages import StageSpec
+
+__all__ = ["JobSpec", "JobRecord"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job submitted to the simulated RMS.
+
+    A rigid job has ``min_procs == max_procs``; a malleable one accepts any
+    size in the range and is reconfigured on the fly using the paper's
+    machinery with the given ``config`` (Merge methods keep the job's slot
+    block contiguous, which is what the scheduler's expansion rule assumes).
+    """
+
+    name: str
+    arrival_time: float
+    iterations: int
+    #: aggregate single-core seconds of compute per iteration.
+    work_per_iteration: float
+    min_procs: int
+    max_procs: int
+    #: bytes the job would redistribute on a reconfiguration.
+    data_bytes: float = 50e6
+    config: ReconfigConfig = ReconfigConfig.parse("merge-col-a")
+    n_rows: int = 10_000
+
+    def __post_init__(self):
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+        if not 1 <= self.min_procs <= self.max_procs:
+            raise ValueError("need 1 <= min_procs <= max_procs")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.work_per_iteration <= 0:
+            raise ValueError("work_per_iteration must be > 0")
+
+    @property
+    def malleable(self) -> bool:
+        return self.max_procs > self.min_procs
+
+    def synthetic_config(self) -> SyntheticConfig:
+        """The workload the job runs: compute + one allreduce sync/iter."""
+        return SyntheticConfig(
+            iterations=self.iterations,
+            n_rows=self.n_rows,
+            fidelity="sketch",
+            constant_bytes=self.data_bytes * 0.95,
+            variable_bytes=self.data_bytes * 0.05,
+            stages=(
+                StageSpec(kind="compute", work=self.work_per_iteration),
+                StageSpec(kind="allreduce", nbytes=8.0),
+            ),
+        )
+
+
+@dataclass
+class JobRecord:
+    """What happened to one job."""
+
+    spec: JobSpec
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: slot block base (set when started).
+    base: Optional[int] = None
+    #: current process count (None until started / after completion).
+    procs: Optional[int] = None
+    #: (time, procs) history of every size the job ran at.
+    size_history: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def waiting_time(self) -> float:
+        if self.started_at is None:
+            raise RuntimeError(f"job {self.spec.name} never started")
+        return self.started_at - self.spec.arrival_time
+
+    @property
+    def turnaround(self) -> float:
+        if self.finished_at is None:
+            raise RuntimeError(f"job {self.spec.name} never finished")
+        return self.finished_at - self.spec.arrival_time

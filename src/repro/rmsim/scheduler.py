@@ -1,0 +1,359 @@
+"""A malleability-aware slot scheduler (the paper's future-work §5 study:
+"how malleability affects the real makespan of a system").
+
+Model: the cluster's cores form a linear slot space; every job owns one
+contiguous block.  First-fit placement; a FIFO queue.  Malleability policy:
+
+* **shrink** — while jobs wait in the queue, running malleable jobs are
+  asked to shrink to their minimum (the Merge method keeps the surviving
+  ranks in the low slots, so the block's tail frees);
+* **expand** — when the queue is empty and the slots adjacent to a
+  malleable job's block are free, the job grows toward its maximum.
+
+Decisions are posted on each job's :class:`~repro.rmsim.board.DecisionBoard`
+and executed by the ordinary malleability engine — reconfigurations cost
+what the paper says they cost, which is the whole point of the experiment.
+
+The scheduler runs as a simulated daemon process, ticking at a fixed
+period like a real RMS main loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..cluster.machine import Machine
+from ..malleability.manager import run_malleable
+from ..malleability.stats import RunStats
+from ..simulate.primitives import Timeout
+from ..smpi.spawn import SpawnModel
+from ..smpi.world import MpiWorld
+from ..synthetic.application import SyntheticApp
+from .board import DecisionBoard, DynamicRMS
+from .jobs import JobRecord, JobSpec
+
+__all__ = ["SlotPool", "MalleableScheduler", "ScheduleResult"]
+
+
+class SlotPool:
+    """Contiguous-block slot allocator with first-fit placement."""
+
+    def __init__(self, total: int):
+        if total < 1:
+            raise ValueError("pool needs >= 1 slot")
+        self.total = total
+        #: sorted list of free [lo, hi) ranges.
+        self._free: list[tuple[int, int]] = [(0, total)]
+
+    def allocate(self, k: int) -> Optional[int]:
+        """First-fit: returns the block base, or None."""
+        if k < 1:
+            raise ValueError("allocation must be >= 1 slot")
+        for i, (lo, hi) in enumerate(self._free):
+            if hi - lo >= k:
+                if hi - lo == k:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (lo + k, hi)
+                return lo
+        return None
+
+    def release(self, base: int, k: int) -> None:
+        """Free [base, base+k) and merge adjacent ranges."""
+        if k == 0:
+            return
+        self._free.append((base, base + k))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for lo, hi in self._free:
+            if merged and lo <= merged[-1][1]:
+                if lo < merged[-1][1]:
+                    raise ValueError(
+                        f"double free: [{lo},{hi}) overlaps {merged[-1]}"
+                    )
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        self._free = merged
+
+    def extension_room(self, base: int, current: int) -> int:
+        """Free slots contiguously to the right of [base, base+current)."""
+        start = base + current
+        for lo, hi in self._free:
+            if lo == start:
+                return hi - lo
+        return 0
+
+    def claim_extension(self, base: int, current: int, extra: int) -> None:
+        room = self.extension_room(base, current)
+        if extra > room:
+            raise ValueError(f"cannot extend by {extra}: only {room} free")
+        start = base + current
+        for i, (lo, hi) in enumerate(self._free):
+            if lo == start:
+                if hi - lo == extra:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (lo + extra, hi)
+                return
+        raise AssertionError("extension_room said there was room")  # pragma: no cover
+
+    def allocate_scattered(self, k: int) -> Optional[list[int]]:
+        """Take ``k`` slots from anywhere (expansion path — the
+        malleability engine accepts arbitrary slot lists)."""
+        if k < 1:
+            raise ValueError("allocation must be >= 1 slot")
+        if self.free_slots < k:
+            return None
+        out: list[int] = []
+        while len(out) < k:
+            lo, hi = self._free[0]
+            take = min(k - len(out), hi - lo)
+            out.extend(range(lo, lo + take))
+            if lo + take == hi:
+                self._free.pop(0)
+            else:
+                self._free[0] = (lo + take, hi)
+        return out
+
+    def release_slots(self, slots: Sequence[int]) -> None:
+        """Free an arbitrary slot list (grouped into runs)."""
+        slots = sorted(slots)
+        i = 0
+        while i < len(slots):
+            j = i
+            while j + 1 < len(slots) and slots[j + 1] == slots[j] + 1:
+                j += 1
+            self.release(slots[i], j - i + 1)
+            i = j + 1
+
+    @property
+    def free_slots(self) -> int:
+        return sum(hi - lo for lo, hi in self._free)
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one workload run."""
+
+    records: dict[str, JobRecord]
+    makespan: float
+    utilization: float
+
+    @property
+    def mean_waiting_time(self) -> float:
+        waits = [r.waiting_time for r in self.records.values()]
+        return sum(waits) / len(waits)
+
+    @property
+    def mean_turnaround(self) -> float:
+        vals = [r.turnaround for r in self.records.values()]
+        return sum(vals) / len(vals)
+
+
+class _RunningJob:
+    def __init__(self, record: JobRecord, stats: RunStats,
+                 board: Optional[DecisionBoard], slots: list[int]):
+        self.record = record
+        self.stats = stats
+        self.board = board
+        self.finished = False
+        #: machine slots owned by the job, indexed by job-internal slot id.
+        #: The malleability engine reads it through the slot_of closure, so
+        #: appending here makes future spawns land on the new slots.
+        self.slots = slots
+        #: sizes already accounted into the slot pool.
+        self.pool_procs = record.procs
+        #: completed reconfigurations already processed by the scheduler.
+        self.processed_reconfigs = 0
+
+
+class MalleableScheduler:
+    """Drives a workload of jobs over one machine; see module docstring."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        jobs: Sequence[JobSpec],
+        spawn_model: Optional[SpawnModel] = None,
+        tick: float = 0.02,
+        enable_malleability: bool = True,
+    ):
+        names = [j.name for j in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique")
+        self.machine = machine
+        self.sim = machine.sim
+        self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
+        self.spawn_model = spawn_model or SpawnModel(
+            base=0.02, per_process=0.002, per_node=0.005
+        )
+        self.tick = tick
+        self.enable_malleability = enable_malleability
+        self.pool = SlotPool(machine.total_cores)
+        self.queue: list[JobSpec] = []
+        self.running: dict[str, _RunningJob] = {}
+        self.records: dict[str, JobRecord] = {
+            j.name: JobRecord(spec=j) for j in jobs
+        }
+        self._pending_arrivals = list(self.jobs)
+        self._done = 0
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> ScheduleResult:
+        """Execute the whole workload; returns the schedule metrics."""
+        self.sim.spawn(self._daemon(), name="rms-daemon")
+        self.sim.run()
+        finished = [r.finished_at for r in self.records.values()]
+        if any(f is None for f in finished):
+            unfinished = [n for n, r in self.records.items() if r.finished_at is None]
+            raise RuntimeError(f"jobs never finished: {unfinished}")
+        makespan = max(finished)
+        busy = sum(n.busy_coreseconds for n in self.machine.nodes)
+        utilization = busy / (makespan * self.machine.total_cores) if makespan else 0.0
+        return ScheduleResult(
+            records=dict(self.records), makespan=makespan, utilization=utilization
+        )
+
+    def _daemon(self):
+        """The RMS main loop."""
+        while self._done < len(self.jobs):
+            self._admit_arrivals()
+            self._collect_completions()
+            self._sync_shrunk_blocks()
+            self._try_start_queued()
+            if self.enable_malleability:
+                self._policy_shrink()
+                self._policy_expand()
+            yield Timeout(self.tick)
+        return "rms-done"
+
+    # ------------------------------------------------------------ lifecycle
+    def _admit_arrivals(self) -> None:
+        now = self.sim.now
+        while self._pending_arrivals and self._pending_arrivals[0].arrival_time <= now:
+            spec = self._pending_arrivals.pop(0)
+            self.queue.append(spec)
+
+    def _try_start_queued(self) -> None:
+        # FIFO with no backfilling: the head blocks the queue (keeps the
+        # malleability effect easy to read in the results).
+        while self.queue:
+            spec = self.queue[0]
+            started = self._try_start(spec)
+            if not started:
+                return
+            self.queue.pop(0)
+
+    def _try_start(self, spec: JobSpec) -> bool:
+        # Prefer the largest size that fits right now.
+        for p in range(spec.max_procs, spec.min_procs - 1, -1):
+            base = self.pool.allocate(p)
+            if base is not None:
+                self._launch(spec, base, p)
+                return True
+        return False
+
+    def _launch(self, spec: JobSpec, base: int, procs: int) -> None:
+        record = self.records[spec.name]
+        record.started_at = self.sim.now
+        record.base = base
+        record.procs = procs
+        record.size_history.append((self.sim.now, procs))
+        stats = RunStats()
+        stats.finished_event = self.sim.event(name=f"job-done:{spec.name}")
+        board = DecisionBoard(stats) if spec.malleable else None
+        world = MpiWorld(self.machine, spawn_model=self.spawn_model)
+        app = SyntheticApp(spec.synthetic_config())
+        from ..redistribution.plan import RedistributionPlan
+
+        rms_factory = (lambda b=board: DynamicRMS(b)) if board is not None else None
+        slots = [base + i for i in range(procs)]
+        rj = _RunningJob(record, stats, board, slots)
+        world.launch(
+            run_malleable,
+            slots=list(slots),
+            args=(
+                app,
+                spec.config,
+                [],                            # no scripted requests ...
+                stats,
+                RedistributionPlan.block,
+                (lambda i, s=rj.slots: s[i]),  # slot_of: the job's slot list
+                rms_factory,                   # ... decisions come from the board
+            ),
+            name_prefix=f"job-{spec.name}",
+        )
+        self.running[spec.name] = rj
+
+    def _collect_completions(self) -> None:
+        for name, rj in list(self.running.items()):
+            if rj.finished:
+                continue
+            if rj.stats.finished_at is not None:
+                rj.finished = True
+                self._done += 1
+                rj.record.finished_at = rj.stats.finished_at
+                self.pool.release_slots(rj.slots[: rj.pool_procs])
+                del self.running[name]
+
+    def _sync_shrunk_blocks(self) -> None:
+        """Process newly completed reconfigurations, exactly once each.
+
+        At most one decision is ever in flight (the policies check
+        ``board.pending``) and this sync runs before the policies in every
+        tick, so when a *shrink* record completes the job's slot list still
+        has its pre-shrink length — the invariant the truncation relies on.
+        """
+        for rj in self.running.values():
+            completed = [
+                r for r in rj.stats.reconfigs if r.data_complete_at is not None
+            ]
+            for rec in completed[rj.processed_reconfigs:]:
+                new = rec.n_targets
+                if new < len(rj.slots):  # a shrink finished: free the tail
+                    self.pool.release_slots(rj.slots[new:])
+                    del rj.slots[new:]
+                    rj.pool_procs = new
+                rj.record.procs = new
+                rj.record.size_history.append((self.sim.now, new))
+            rj.processed_reconfigs = len(completed)
+
+    # ---------------------------------------------------------------- policy
+    def _policy_shrink(self) -> None:
+        if not self.queue:
+            return
+        for rj in self.running.values():
+            spec = rj.record.spec
+            if rj.board is None or rj.board.pending:
+                continue
+            if rj.pool_procs > spec.min_procs and self._worth_reconfiguring(rj):
+                rj.board.post(spec.min_procs)
+
+    def _policy_expand(self) -> None:
+        if self.queue:
+            return
+        for rj in self.running.values():
+            spec = rj.record.spec
+            if rj.board is None or rj.board.pending:
+                continue
+            if rj.pool_procs >= spec.max_procs or not self._worth_reconfiguring(rj):
+                continue
+            extra = min(spec.max_procs - rj.pool_procs, self.pool.free_slots)
+            if extra <= 0:
+                continue
+            new_slots = self.pool.allocate_scattered(extra)
+            req = rj.board.post(rj.pool_procs + extra)
+            if req is None:  # board busy after all: give the slots back
+                self.pool.release_slots(new_slots)
+                continue
+            rj.slots.extend(new_slots)
+            rj.pool_procs += extra  # slots are committed immediately
+
+    def _worth_reconfiguring(self, rj: _RunningJob) -> bool:
+        """Don't reconfigure jobs about to finish (the decision could not
+        even fire safely before the last iteration)."""
+        spec = rj.record.spec
+        remaining = spec.iterations - (rj.stats.latest_checked_iteration + 1)
+        return remaining > DecisionBoard.SAFETY_MARGIN + 3

@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is self-contained (no dependency on the rest of ``repro``)
+and provides:
+
+* :class:`Simulator` — the deterministic event loop;
+* :class:`SimProcess` — generator-based simulated processes;
+* :class:`SimEvent` — one-shot synchronisation events;
+* the command protocol (:class:`Command`) plus the built-in commands
+  :class:`Timeout`, :class:`WaitEvent`, :class:`AnyOf`, :class:`AllOf`,
+  :class:`Now` and :class:`Passivate`.
+"""
+
+from .core import Command, SimProcess, Simulator
+from .errors import (
+    DeadlockError,
+    InvalidYield,
+    ProcessKilled,
+    SimTimeLimitExceeded,
+    SimulationError,
+)
+from .events import EventState, SimEvent
+from .primitives import AllOf, AnyOf, Now, Passivate, Timeout, WaitEvent
+
+__all__ = [
+    "Simulator",
+    "SimProcess",
+    "SimEvent",
+    "EventState",
+    "Command",
+    "Timeout",
+    "WaitEvent",
+    "AnyOf",
+    "AllOf",
+    "Now",
+    "Passivate",
+    "SimulationError",
+    "DeadlockError",
+    "ProcessKilled",
+    "SimTimeLimitExceeded",
+    "InvalidYield",
+]

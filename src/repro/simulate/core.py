@@ -1,0 +1,281 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a time-ordered event heap, generator-based
+simulated processes, and an extensible *command* protocol.  A simulated
+process is a Python generator that ``yield``\\ s command objects; each command
+implements :meth:`Command.execute` and is responsible for eventually resuming
+the process via :meth:`Simulator.resume`.  Higher layers (the cluster CPU
+scheduler, the network, the simulated MPI library) define their own commands
+without the kernel knowing about them — the same extension style SimPy uses,
+rebuilt from scratch here so the repository has no external runtime
+dependencies beyond numpy/scipy.
+
+Determinism: ties in the heap are broken by a monotonically increasing
+sequence number, so two runs with the same seed produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import DeadlockError, InvalidYield, ProcessKilled, SimulationError
+from .events import SimEvent
+
+__all__ = ["Command", "Simulator", "SimProcess"]
+
+
+class Command:
+    """Base class for everything a simulated process may ``yield``.
+
+    Subclasses override :meth:`execute`.  The contract: after ``execute``
+    returns, *something* must eventually call ``sim.resume(proc, value)`` or
+    ``sim.throw_in(proc, exc)`` — otherwise the process stays blocked forever
+    and will show up in the deadlock report.
+    """
+
+    #: human-readable reason shown in deadlock reports while a process is
+    #: blocked on this command.
+    blocking_reason: str = "command"
+
+    def execute(self, sim: "Simulator", proc: "SimProcess") -> None:
+        raise NotImplementedError
+
+
+class SimProcess:
+    """Handle for a running simulated process.
+
+    The handle doubles as a completion event (:attr:`done_event`) so other
+    processes can join on it, and records the generator's return value.
+    """
+
+    _ALIVE = "alive"
+    _DONE = "done"
+    _FAILED = "failed"
+    _KILLED = "killed"
+
+    def __init__(self, sim: "Simulator", gen: Generator[Command, Any, Any], name: str):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.pid = sim._next_id()
+        self.state = self._ALIVE
+        self.done_event = SimEvent(sim, name=f"done:{name}")
+        #: what the process is currently blocked on (for deadlock reports)
+        self.blocked_on: Optional[str] = None
+        #: result value once finished
+        self.result: Any = None
+        #: arbitrary per-process scratch space for higher layers (e.g. the
+        #: simulated MPI rank, the node the process runs on).
+        self.context: dict[str, Any] = {}
+        #: heap item of a pending Timeout wakeup, cancelled when the process
+        #: is resumed or killed early so stale wakeups neither fire nor
+        #: needlessly advance the clock.
+        self._pending_item: Optional["_HeapItem"] = None
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def alive(self) -> bool:
+        return self.state == self._ALIVE
+
+    def kill(self, reason: str = "killed") -> None:
+        """Throw :class:`ProcessKilled` into the process at the current time."""
+        if self.state != self._ALIVE:
+            return
+        self.sim.throw_in(self, ProcessKilled(reason))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimProcess {self.name} pid={self.pid} {self.state}>"
+
+
+class _HeapItem:
+    """Heap entry: fire ``fn`` at simulated ``time``."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def __lt__(self, other: "_HeapItem") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        def worker():
+            yield Timeout(1.0)
+            return 42
+        p = sim.spawn(worker(), name="w0")
+        sim.run()
+        assert p.result == 42 and sim.now == 1.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[_HeapItem] = []
+        self._seq = itertools.count()
+        self._ids = itertools.count()
+        self._processes: list[SimProcess] = []
+        self._failures: list[tuple[SimProcess, BaseException]] = []
+        #: hooks run every time the heap empties, before deadlock detection.
+        #: Layers that keep internal work queues (e.g. lazily scheduled
+        #: network recomputation) can register here.
+        self.idle_hooks: list[Callable[[], bool]] = []
+
+    # ----------------------------------------------------------------- ids
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    # ----------------------------------------------------------------- events
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name=name)
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> _HeapItem:
+        """Run ``fn()`` after ``delay`` simulated seconds. Returns a handle
+        whose ``cancelled`` flag may be set to skip execution."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        item = _HeapItem(self.now + delay, next(self._seq), fn)
+        heapq.heappush(self._heap, item)
+        return item
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> _HeapItem:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.schedule(time - self.now, fn)
+
+    # -------------------------------------------------------------- processes
+    def spawn(self, gen: Generator[Command, Any, Any], name: str = "") -> SimProcess:
+        """Register a generator as a simulated process, starting it at the
+        current simulation time (before any already-queued events at a later
+        time, after already-queued events at the same time)."""
+        if not hasattr(gen, "send"):
+            raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
+        proc = SimProcess(self, gen, name or f"proc#{next(self._ids)}")
+        self._processes.append(proc)
+        self.schedule(0.0, lambda: self._step(proc, None, None))
+        return proc
+
+    def resume(self, proc: SimProcess, value: Any = None) -> None:
+        """Resume ``proc`` at the current time, sending ``value`` into it."""
+        if not proc.alive:
+            return
+        self._cancel_pending(proc)
+        self.schedule(0.0, lambda: self._step(proc, value, None))
+
+    def throw_in(self, proc: SimProcess, exc: BaseException) -> None:
+        """Raise ``exc`` inside ``proc`` at the current time."""
+        if not proc.alive:
+            return
+        self._cancel_pending(proc)
+        self.schedule(0.0, lambda: self._step(proc, None, exc))
+
+    @staticmethod
+    def _cancel_pending(proc: SimProcess) -> None:
+        if proc._pending_item is not None:
+            proc._pending_item.cancelled = True
+            proc._pending_item = None
+
+    def _step(self, proc: SimProcess, value: Any, exc: Optional[BaseException]) -> None:
+        if not proc.alive:
+            return
+        proc._pending_item = None
+        proc.blocked_on = None
+        try:
+            if exc is not None:
+                cmd = proc.gen.throw(exc)
+            else:
+                cmd = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.state = SimProcess._DONE
+            proc.result = stop.value
+            proc.done_event.trigger(stop.value)
+            return
+        except ProcessKilled:
+            proc.state = SimProcess._KILLED
+            proc.done_event.trigger(None)
+            return
+        except BaseException as err:  # noqa: BLE001 - report any process crash
+            proc.state = SimProcess._FAILED
+            self._failures.append((proc, err))
+            if proc.done_event.pending:
+                proc.done_event.fail(err)
+            return
+        if not isinstance(cmd, Command):
+            bad = InvalidYield(f"{proc.name} yielded {cmd!r}; expected a simulate.Command")
+            self.throw_in(proc, bad)
+            return
+        proc.blocked_on = cmd.blocking_reason
+        try:
+            cmd.execute(self, proc)
+        except BaseException as err:  # command setup failed synchronously
+            self.throw_in(proc, err)
+
+    # -------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event heap.
+
+        Returns the final simulation time.  Raises :class:`DeadlockError`
+        when processes remain blocked with nothing scheduled, and re-raises
+        the first process failure (with the others noted) to fail loudly
+        rather than silently producing partial results.
+        """
+        while True:
+            while self._heap:
+                if self._failures:
+                    self._raise_failures()
+                item = self._heap[0]
+                if until is not None and item.time > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._heap)
+                if item.cancelled:
+                    continue
+                if item.time < self.now - 1e-12:
+                    raise SimulationError(
+                        f"time went backwards: {item.time} < {self.now}"
+                    )
+                self.now = max(self.now, item.time)
+                item.fn()
+            if self._failures:
+                self._raise_failures()
+            # Allow layers to flush deferred work that may enqueue new events.
+            if any(hook() for hook in list(self.idle_hooks)):
+                continue
+            break
+        blocked = [
+            f"{p.name} (waiting on {p.blocked_on})"
+            for p in self._processes
+            if p.alive and p.blocked_on is not None
+        ]
+        if blocked:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def _raise_failures(self) -> None:
+        proc, err = self._failures[0]
+        others = ", ".join(p.name for p, _ in self._failures[1:])
+        note = f" (further failures in: {others})" if others else ""
+        raise SimulationError(f"process {proc.name!r} failed{note}") from err
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def live_processes(self) -> list[SimProcess]:
+        return [p for p in self._processes if p.alive]
+
+    def wait_all(self, procs: Iterable[SimProcess]) -> Generator[Command, Any, list[Any]]:
+        """Convenience subroutine: ``yield from sim.wait_all(procs)``."""
+        from .primitives import WaitEvent
+
+        results = []
+        for p in procs:
+            results.append((yield WaitEvent(p.done_event)))
+        return results

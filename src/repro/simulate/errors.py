@@ -1,0 +1,34 @@
+"""Exception hierarchy for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event heap drains while processes are still blocked.
+
+    The message lists every blocked process so that higher layers (e.g. the
+    simulated MPI matching engine) surface *which* ranks were waiting and on
+    what, mirroring how a hung ``mpiexec`` job is usually diagnosed.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        desc = ", ".join(blocked) if blocked else "<unknown>"
+        super().__init__(f"simulation deadlock: {len(self.blocked)} blocked process(es): {desc}")
+
+
+class ProcessKilled(SimulationError):
+    """Injected into a process generator when it is killed externally."""
+
+
+class SimTimeLimitExceeded(SimulationError):
+    """Raised by :meth:`Simulator.run` when ``until`` elapses with work left
+    and ``strict_until=True`` was requested."""
+
+
+class InvalidYield(SimulationError):
+    """A simulated process yielded an object that is not a kernel command."""

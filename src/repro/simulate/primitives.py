@@ -1,0 +1,188 @@
+"""Built-in kernel commands that simulated processes can ``yield``.
+
+Higher layers add their own commands (CPU work, network transfers, MPI
+calls); the ones here are pure-kernel: delays, event waits, and combinators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .core import Command, SimProcess, Simulator
+from .events import SimEvent
+
+__all__ = ["Timeout", "WaitEvent", "AnyOf", "AllOf", "Now", "Passivate"]
+
+
+class Timeout(Command):
+    """Resume the process after ``delay`` simulated seconds.
+
+    The optional ``value`` is what the ``yield`` expression evaluates to,
+    which keeps subroutine code symmetric with event waits.
+    """
+
+    blocking_reason = "timeout"
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def execute(self, sim: Simulator, proc: SimProcess) -> None:
+        proc._pending_item = sim.schedule(
+            self.delay, lambda: sim._step(proc, self.value, None)
+        )
+
+
+class WaitEvent(Command):
+    """Block until a :class:`SimEvent` triggers; yields the event's value.
+
+    If the event failed, the stored exception is raised inside the waiting
+    process.  Waiting on an already-triggered event resumes immediately (at
+    the current time, after already queued same-time events).
+    """
+
+    blocking_reason = "event"
+
+    def __init__(self, event: SimEvent):
+        if not isinstance(event, SimEvent):
+            raise TypeError(f"WaitEvent needs a SimEvent, got {type(event).__name__}")
+        self.event = event
+
+    def execute(self, sim: Simulator, proc: SimProcess) -> None:
+        proc.blocked_on = f"event:{self.event.name}"
+
+        def on_fire(ev: SimEvent) -> None:
+            if ev.failed:
+                try:
+                    ev.value
+                except BaseException as exc:  # noqa: BLE001
+                    sim.throw_in(proc, exc)
+                    return
+            sim.resume(proc, ev._value)
+
+        self.event.add_callback(on_fire)
+
+
+class AnyOf(Command):
+    """Block until *any* of the events fires.
+
+    Yields ``(index, value)`` of the first event to fire, with deterministic
+    lowest-index tie-breaking for events that are already triggered.  This is
+    the kernel primitive underneath ``MPI_Waitany``.
+    """
+
+    blocking_reason = "any-of"
+
+    def __init__(self, events: Iterable[SimEvent]):
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf needs at least one event")
+
+    def execute(self, sim: Simulator, proc: SimProcess) -> None:
+        proc.blocked_on = f"any-of[{len(self.events)}]"
+        done = False
+        callbacks: list[tuple[SimEvent, Any]] = []
+
+        def make_cb(index: int):
+            def on_fire(ev: SimEvent) -> None:
+                nonlocal done
+                if done:
+                    return
+                done = True
+                for other, cb in callbacks:
+                    if other is not ev:
+                        other.discard_callback(cb)
+                if ev.failed:
+                    try:
+                        ev.value
+                    except BaseException as exc:  # noqa: BLE001
+                        sim.throw_in(proc, exc)
+                        return
+                sim.resume(proc, (index, ev._value))
+
+            return on_fire
+
+        # Deterministic: check already-fired events in index order first.
+        for i, ev in enumerate(self.events):
+            if not ev.pending:
+                make_cb(i)(ev)
+                return
+        for i, ev in enumerate(self.events):
+            cb = make_cb(i)
+            callbacks.append((ev, cb))
+            ev.add_callback(cb)
+
+
+class AllOf(Command):
+    """Block until *all* events fire; yields the list of their values."""
+
+    blocking_reason = "all-of"
+
+    def __init__(self, events: Iterable[SimEvent]):
+        self.events = list(events)
+
+    def execute(self, sim: Simulator, proc: SimProcess) -> None:
+        proc.blocked_on = f"all-of[{len(self.events)}]"
+        remaining = sum(1 for ev in self.events if ev.pending)
+        failed = False
+
+        if remaining == 0:
+            self._finish(sim, proc)
+            return
+
+        def on_fire(ev: SimEvent) -> None:
+            nonlocal remaining, failed
+            if failed:
+                return
+            if ev.failed:
+                failed = True
+                try:
+                    ev.value
+                except BaseException as exc:  # noqa: BLE001
+                    sim.throw_in(proc, exc)
+                return
+            remaining -= 1
+            if remaining == 0:
+                self._finish(sim, proc)
+
+        for ev in self.events:
+            if ev.pending:
+                ev.add_callback(on_fire)
+            elif ev.failed:
+                on_fire(ev)
+                return
+
+    def _finish(self, sim: Simulator, proc: SimProcess) -> None:
+        sim.resume(proc, [ev._value for ev in self.events])
+
+
+class Now(Command):
+    """Yields the current simulation time without advancing it.
+
+    Resumes synchronously-next (same timestamp), so surrounding code observes
+    no delay.
+    """
+
+    blocking_reason = "now"
+
+    def execute(self, sim: Simulator, proc: SimProcess) -> None:
+        sim.resume(proc, sim.now)
+
+
+class Passivate(Command):
+    """Block forever until another process resumes or kills this one.
+
+    Used by simulated thread join points and by terminated-but-not-reaped
+    MPI processes.  An optional ``reason`` improves deadlock reports.
+    """
+
+    blocking_reason = "passivate"
+
+    def __init__(self, reason: str = "passivate"):
+        self.reason = reason
+
+    def execute(self, sim: Simulator, proc: SimProcess) -> None:
+        proc.blocked_on = self.reason
+        # Intentionally nothing: someone must sim.resume(proc) explicitly.

@@ -1,0 +1,58 @@
+"""Simulated MPI ("SMPI").
+
+A deterministic, discrete-event reimplementation of the MPI surface the
+paper's malleability framework needs — real payload delivery plus MPICH-like
+timing semantics (eager/rendezvous protocols, polling blocking calls,
+serialized pairwise blocking Alltoallv, dynamic process spawn, auxiliary
+threads).  See DESIGN.md §2 for the substitution argument.
+
+Quick use::
+
+    from repro.smpi import run_spmd
+
+    def main(mpi):
+        total = yield from mpi.allreduce(mpi.rank)
+        return total
+
+    results, sim = run_spmd(main, 4)
+"""
+
+from .collectives import op_max, op_min, op_prod, op_sum
+from .communicator import Communicator
+from .context import AsyncOpHandle, RankCtx, ThreadHandle
+from .datatypes import ANY_SOURCE, ANY_TAG, Blob, copy_payload, payload_nbytes
+from .endpoint import Endpoint, Message
+from .requests import MultiRequest, RecvRequest, Request, SendRequest
+from .rma import ArrayExposure, Window
+from .spawn import SpawnModel
+from .status import Status
+from .world import LaunchResult, MpiWorld, run_spmd
+
+__all__ = [
+    "MpiWorld",
+    "LaunchResult",
+    "run_spmd",
+    "RankCtx",
+    "ThreadHandle",
+    "AsyncOpHandle",
+    "Communicator",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "MultiRequest",
+    "Window",
+    "ArrayExposure",
+    "Status",
+    "SpawnModel",
+    "Endpoint",
+    "Message",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Blob",
+    "payload_nbytes",
+    "copy_payload",
+    "op_sum",
+    "op_max",
+    "op_min",
+    "op_prod",
+]

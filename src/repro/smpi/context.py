@@ -1,0 +1,718 @@
+"""Per-rank MPI API (the object user code receives).
+
+Every operation is a generator subroutine: user code runs inside the
+simulation and calls them as ``result = yield from mpi.recv(...)``.
+
+Timing semantics implemented here:
+
+* sends charge the fabric's per-message CPU overhead on the caller's node,
+  so message-heavy phases slow down under oversubscription;
+* blocking waits register the caller as a CPU *poller* (MPICH waits spin),
+  which is the paper's oversubscription mechanism during reconfigurations;
+* every wait/test holds the endpoint's progress engine, which is what lets
+  rendezvous handshakes advance — a process that merely computes makes no
+  rendezvous progress, exactly like MPICH without an async progress thread.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from ..cluster.cpu import Compute, PollerToken
+from ..simulate.core import SimProcess
+from ..simulate.events import SimEvent
+from ..simulate.primitives import AllOf, AnyOf, Timeout, WaitEvent
+from . import collectives as _coll
+from .communicator import Communicator
+from .datatypes import ANY_SOURCE, ANY_TAG, copy_payload, payload_nbytes
+from .endpoint import Endpoint, Message
+from .requests import RecvRequest, Request, SendRequest
+
+__all__ = ["RankCtx", "ThreadHandle"]
+
+
+class AsyncOpHandle:
+    """Handle of a non-blocking world operation (async spawn/merge).
+
+    The companion spawn paper [16] provides asynchronous variants of the
+    process-management stage; sources keep iterating and check
+    :attr:`completed` at their checkpoints (no CPU is burned waiting —
+    the launcher daemons do the work).
+    """
+
+    def __init__(self, event: SimEvent):
+        self.event = event
+
+    @property
+    def completed(self) -> bool:
+        return self.event.triggered
+
+    @property
+    def result(self) -> Any:
+        return self.event.value
+
+
+class ThreadHandle:
+    """Handle of an auxiliary communication thread (paper strategy **T**).
+
+    ``done`` mirrors the shared boolean ``endThread`` of Algorithm 4: the
+    main flow checks :attr:`finished` at each checkpoint without blocking.
+    """
+
+    def __init__(self, proc: SimProcess):
+        self.proc = proc
+
+    @property
+    def done(self) -> SimEvent:
+        return self.proc.done_event
+
+    @property
+    def finished(self) -> bool:
+        return not self.proc.alive
+
+    @property
+    def result(self) -> Any:
+        return self.proc.result
+
+
+class RankCtx:
+    """The simulated-MPI handle of one rank (or one of its threads)."""
+
+    def __init__(
+        self,
+        world,
+        gid: int,
+        slot: int,
+        comm_world: Communicator,
+        parent: Optional[Communicator] = None,
+        endpoint: Optional[Endpoint] = None,
+        is_thread: bool = False,
+    ):
+        self.world = world
+        self.sim = world.sim
+        self.machine = world.machine
+        self.gid = gid
+        self.slot = slot
+        self.comm_world = comm_world
+        #: inter-communicator to the spawning group (children only).
+        self.parent = parent
+        self.node = world.machine.node_for_slot(slot)
+        self._ep = endpoint if endpoint is not None else world.endpoints[gid]
+        self.is_thread = is_thread
+        self.proc: Optional[SimProcess] = None
+        #: per-communicator collective sequence numbers (tag allocation).
+        self._coll_seq: dict[int, int] = {}
+        #: per-(kind, comm) world-op sequence numbers (spawn/merge keys).
+        self._op_seq: dict[tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------- identity
+    @property
+    def rank(self) -> int:
+        return self.comm_world.rank_of_gid(self.gid)
+
+    @property
+    def size(self) -> int:
+        return self.comm_world.size
+
+    def rank_in(self, comm: Communicator) -> int:
+        return comm.rank_of_gid(self.gid)
+
+    def _comm(self, comm: Optional[Communicator]) -> Communicator:
+        return comm if comm is not None else self.comm_world
+
+    # ------------------------------------------------------------ time/work
+    def compute(self, seconds: float):
+        """Burn ``seconds`` of single-core CPU work on this rank's node."""
+        yield Compute(seconds)
+
+    def sleep(self, seconds: float):
+        """Idle (no CPU demand) for ``seconds``."""
+        yield Timeout(seconds)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # ------------------------------------------------------------------ P2P
+    def isend(
+        self,
+        payload: Any,
+        dest: int,
+        tag: int = 0,
+        comm: Optional[Communicator] = None,
+        nbytes: Optional[int] = None,
+        label: str = "",
+    ) -> Generator[Any, Any, SendRequest]:
+        """Non-blocking send to peer ``dest`` of ``comm``.
+
+        The payload is snapshotted immediately (MPI buffer semantics) and
+        the caller is charged the fabric's per-message CPU overhead.
+        """
+        comm = self._comm(comm)
+        dst_gid = comm.peer_gid(dest)
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        req = SendRequest(self.sim, dst_gid, tag, size)
+        msg = Message(
+            seq=self.world.next_chan_seq(self.gid, dst_gid),
+            ctx_id=comm.ctx_id,
+            src_gid=self.gid,
+            dst_gid=dst_gid,
+            src_rank=self._sender_rank_as_seen_by_peer(comm),
+            tag=tag,
+            payload=copy_payload(payload),
+            nbytes=size,
+            send_req=req,
+        )
+        spec = self.world.channel_spec(self.gid, dst_gid)
+        if spec.cpu_overhead > 0:
+            yield Compute(spec.cpu_overhead)
+        self.world.inject(msg, label=label)
+        return req
+
+    def _sender_rank_as_seen_by_peer(self, comm: Communicator) -> int:
+        # On an intra-comm, peers see my local rank; on an inter-comm, they
+        # see my rank within *their* remote group, which is my local rank.
+        return comm.rank_of_gid(self.gid)
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+    ) -> Generator[Any, Any, RecvRequest]:
+        """Non-blocking receive; the payload lands in ``req.data``."""
+        comm = self._comm(comm)
+        req = RecvRequest(self.sim, comm, source, tag)
+        self._ep.enter_progress()
+        try:
+            self._ep.post_recv(req)
+        finally:
+            self._ep.exit_progress()
+        return req
+        yield  # pragma: no cover - keeps this a generator for API symmetry
+
+    def send(self, payload, dest, tag=0, comm=None, nbytes=None, label=""):
+        """Blocking send (isend + wait)."""
+        req = yield from self.isend(payload, dest, tag, comm, nbytes, label)
+        yield from self.wait(req)
+        return req
+
+    def recv(self, source=ANY_SOURCE, tag=ANY_TAG, comm=None):
+        """Blocking receive; returns the payload (status on the request)."""
+        req = yield from self.irecv(source, tag, comm)
+        yield from self.wait(req)
+        return req.data
+
+    def sendrecv(
+        self,
+        payload,
+        dest: int,
+        source: int,
+        tag: int = 0,
+        comm=None,
+        nbytes=None,
+        recv_tag: Optional[int] = None,
+        label: str = "",
+    ):
+        """Simultaneous blocking send+recv (deadlock-free pairwise step)."""
+        sreq = yield from self.isend(payload, dest, tag, comm, nbytes, label)
+        rreq = yield from self.irecv(source, tag if recv_tag is None else recv_tag, comm)
+        yield from self.waitall([sreq, rreq])
+        return rreq.data
+
+    # ---------------------------------------------------------------- waits
+    def _polling_block(self, command):
+        """Block on a kernel command while polling (CPU) and holding the
+        progress engine — the shape of every blocking MPI call."""
+        self._ep.enter_progress()
+        tok = PollerToken(label=f"gid{self.gid}")
+        self.node.add_poller(tok)
+        try:
+            result = yield command
+        finally:
+            self.node.remove_poller(tok)
+            self._ep.exit_progress()
+        return result
+
+    def wait(self, req: Request):
+        """Blocking wait on one request (polls; progress engine held)."""
+        yield from self._polling_block(WaitEvent(req.done))
+        return req
+
+    def waitall(self, reqs: Sequence[Request]):
+        """Blocking wait until all requests complete (``MPI_Waitall``)."""
+        reqs = list(reqs)
+        if not reqs:
+            return reqs
+        yield from self._polling_block(AllOf([r.done for r in reqs]))
+        return reqs
+
+    def waitany(self, reqs: Sequence[Request]):
+        """Blocking wait for the first completion; returns ``(index, req)``.
+
+        The P2P redistribution of Algorithm 1 drives its state machine with
+        this call plus the request's :class:`~repro.smpi.status.Status`.
+        """
+        reqs = list(reqs)
+        if not reqs:
+            raise ValueError("waitany needs at least one request")
+        idx, _ = yield from self._polling_block(AnyOf([r.done for r in reqs]))
+        return idx, reqs[idx]
+
+    def progress_tick(self, cost: Optional[float] = None):
+        """One bounded progress-engine window (the heart of ``MPI_Test``).
+
+        Holds the progress engine for ``cost`` seconds of CPU work, letting
+        pending rendezvous handshakes advance, then returns.
+        """
+        if cost is None:
+            cost = self.machine.fabric.cpu_overhead
+        self._ep.enter_progress()
+        try:
+            if cost > 0:
+                yield Compute(cost)
+        finally:
+            self._ep.exit_progress()
+
+    def test(self, req: Request):
+        """Non-blocking completion check of one request."""
+        yield from self.progress_tick()
+        return req.completed
+
+    def testall(self, reqs: Sequence[Request]):
+        """Non-blocking completion check of all requests (``MPI_Testall``)."""
+        yield from self.progress_tick()
+        return all(r.completed for r in reqs)
+
+    # ------------------------------------------------------------ collectives
+    #: tags reserved per collective call; must exceed the phase count of any
+    #: collective (pairwise alltoallv uses one tag per peer).
+    COLL_TAG_WIDTH = 1 << 14
+
+    def next_coll_tag(self, comm: Communicator) -> int:
+        """Fresh negative tag block for one collective call on ``comm``.
+
+        Collective order per communicator is an MPI requirement, so every
+        member allocates the same block.  :data:`COLL_TAG_WIDTH` tags are
+        reserved (phases use ``base - phase``).
+        """
+        seq = self._coll_seq.get(comm.ctx_id, 0)
+        self._coll_seq[comm.ctx_id] = seq + 1
+        return -(seq * self.COLL_TAG_WIDTH) - 2
+
+    def barrier(self, comm=None):
+        yield from _coll.barrier(self, self._comm(comm))
+
+    def bcast(self, value, root: int = 0, comm=None):
+        result = yield from _coll.bcast(self, value, root, self._comm(comm))
+        return result
+
+    def allreduce(self, value, op: Callable[[Any, Any], Any] = None, comm=None):
+        op = _coll.op_sum if op is None else op
+        result = yield from _coll.allreduce(self, value, op, self._comm(comm))
+        return result
+
+    def allgatherv(self, block, comm=None):
+        result = yield from _coll.allgatherv(self, block, self._comm(comm))
+        return result
+
+    def alltoall(self, sendlist, comm=None, algorithm: str = "auto"):
+        result = yield from _coll.alltoall(self, sendlist, self._comm(comm), algorithm)
+        return result
+
+    def alltoallv(self, send_map, recv_from, comm=None, nbytes_map=None, label=""):
+        """Blocking vector all-to-all — MPICH's serialized pairwise-exchange
+        schedule (the reason Baseline-COL-S underperforms, §4.4.2)."""
+        result = yield from _coll.alltoallv_pairwise(
+            self, send_map, recv_from, self._comm(comm), nbytes_map, label
+        )
+        return result
+
+    def ialltoallv(self, send_map, recv_from, comm=None, nbytes_map=None, label=""):
+        """Non-blocking vector all-to-all: posts everything, returns
+        ``(MultiRequest, results_dict)``; the dict fills in as data lands."""
+        result = yield from _coll.ialltoallv(
+            self, send_map, recv_from, self._comm(comm), nbytes_map, label
+        )
+        return result
+
+    def ialltoall(self, sendlist, comm=None):
+        result = yield from _coll.ialltoall(self, sendlist, self._comm(comm))
+        return result
+
+    def gather(self, value, root: int = 0, comm=None):
+        """Gather one item per rank to the root (list by rank; None elsewhere)."""
+        result = yield from _coll.gather(self, value, root, self._comm(comm))
+        return result
+
+    def scatter(self, values=None, root: int = 0, comm=None):
+        """Scatter one item per rank from the root; returns my item."""
+        result = yield from _coll.scatter(self, values, root, self._comm(comm))
+        return result
+
+    def reduce(self, value, op=None, root: int = 0, comm=None):
+        """Reduce to the root (rank-ordered fold; None elsewhere)."""
+        op = _coll.op_sum if op is None else op
+        result = yield from _coll.reduce(self, value, op, root, self._comm(comm))
+        return result
+
+    def exscan(self, value, op=None, comm=None):
+        """Exclusive prefix reduction (None at rank 0)."""
+        op = _coll.op_sum if op is None else op
+        result = yield from _coll.exscan(self, value, op, self._comm(comm))
+        return result
+
+    # -------------------------------------------------------------- world ops
+    def _op_key(self, kind: str, comm: Communicator) -> str:
+        seq = self._op_seq.get((kind, comm.ctx_id), 0)
+        self._op_seq[(kind, comm.ctx_id)] = seq + 1
+        return f"{kind}:{comm.ctx_id}:{seq}"
+
+    def _comm_spawn_begin(
+        self,
+        func: Callable[..., Any],
+        slots: Sequence[int],
+        args: tuple,
+        comm: Communicator,
+        name_prefix: str,
+    ) -> SimEvent:
+        """Register this rank's arrival at a collective spawn; the last
+        arrival schedules the launch after the spawn-model cost and the
+        returned event fires with the parent-side inter-communicator."""
+        slots = list(slots)
+        key = self._op_key("spawn", comm)
+        op = self.world.pending_op(key, expected=comm.size)
+        if op.arrive():
+            cost = self.world.spawn_model.cost(
+                len(slots), self.world.nodes_of_slots(slots)
+            )
+            world = self.world
+
+            def fire() -> None:
+                inter_ctx_id = next(world._ctx_ids)
+                res = world.launch(
+                    func,
+                    slots,
+                    args=args,
+                    name_prefix=name_prefix,
+                    parent_intercomm_info=(inter_ctx_id, tuple(comm.group)),
+                )
+                local_inter = Communicator(
+                    inter_ctx_id,
+                    comm.group,
+                    remote_group=res.comm.group,
+                    name=f"spawn{inter_ctx_id}.parent",
+                )
+                world.finish_op(key)
+                op.event.trigger(local_inter)
+
+            self.sim.schedule(cost, fire)
+        return op.event
+
+    def comm_spawn(
+        self,
+        func: Callable[..., Any],
+        slots: Sequence[int],
+        args: tuple = (),
+        comm: Optional[Communicator] = None,
+        name_prefix: str = "spawned",
+    ):
+        """Collective ``MPI_Comm_spawn``: every member of ``comm`` calls it;
+        returns the parent-side inter-communicator to the new group.
+
+        ``slots`` fixes the placement of the children (the malleability layer
+        chooses them according to the Baseline/Merge policy).  Cost follows
+        :class:`~repro.smpi.spawn.SpawnModel` and is paid by all callers,
+        who poll while blocked, as MPICH processes do.
+        """
+        ev = self._comm_spawn_begin(
+            func, slots, args, self._comm(comm), name_prefix
+        )
+        inter = yield from self._polling_block(WaitEvent(ev))
+        return inter
+
+    def comm_spawn_async(
+        self,
+        func: Callable[..., Any],
+        slots: Sequence[int],
+        args: tuple = (),
+        comm: Optional[Communicator] = None,
+        name_prefix: str = "spawned",
+    ):
+        """Asynchronous spawn (the [16] async process-management variants):
+        returns an :class:`AsyncOpHandle` immediately; the caller keeps
+        iterating and checks ``handle.completed`` at its checkpoints."""
+        ev = self._comm_spawn_begin(
+            func, slots, args, self._comm(comm), name_prefix
+        )
+        return AsyncOpHandle(ev)
+        yield  # pragma: no cover - generator for API symmetry
+
+    def _merge_begin(self, inter: Communicator, high: bool) -> SimEvent:
+        if not inter.is_inter:
+            raise ValueError("merge_intercomm needs an inter-communicator")
+        seq = self._op_seq.get(("merge", inter.ctx_id), 0)
+        self._op_seq[("merge", inter.ctx_id)] = seq + 1
+        key = f"merge:{inter.ctx_id}:{seq}"
+        expected = inter.size + inter.remote_size
+        op = self.world.pending_op(key, expected=expected)
+        meta = op.result if op.result is not None else {
+            "groups": (tuple(inter.group), tuple(inter.remote_group)),
+            "high": {},
+        }
+        op.result = meta
+        # Normalise: record flags against the canonical (first-caller) groups.
+        group_a, group_b = meta["groups"]
+        side = "a" if self.gid in group_a else "b"
+        prev = meta["high"].get(side)
+        if prev is not None and prev != high:
+            raise ValueError("inconsistent high flags within one merge side")
+        meta["high"][side] = high
+        if op.arrive():
+            if set(meta["high"].values()) != {True, False}:
+                raise ValueError(
+                    "Intercomm_merge: both sides passed the same high flag"
+                )
+            low_first = group_a if meta["high"]["a"] is False else group_b
+            high_last = group_b if low_first is group_a else group_a
+            world = self.world
+
+            def fire() -> None:
+                ctx_id = next(world._ctx_ids)
+                merged = Communicator(
+                    ctx_id,
+                    tuple(low_first) + tuple(high_last),
+                    name=f"merged{ctx_id}",
+                )
+                world.finish_op(key)
+                op.event.trigger(merged)
+
+            self.sim.schedule(self.world.spawn_model.merge_cost, fire)
+        return op.event
+
+    def merge_intercomm(self, inter: Communicator, high: bool):
+        """Collective ``MPI_Intercomm_merge`` over both groups of ``inter``.
+
+        Each side passes its ``high`` flag; the low side takes ranks first.
+        Merge reconfigurations call this so sources keep ranks 0..NS-1.
+        """
+        ev = self._merge_begin(inter, high)
+        merged = yield from self._polling_block(WaitEvent(ev))
+        return merged
+
+    def merge_intercomm_async(self, inter: Communicator, high: bool):
+        """Non-blocking merge arrival; check ``handle.completed`` later.
+        The other side (spawned processes) typically merges blockingly."""
+        ev = self._merge_begin(inter, high)
+        return AsyncOpHandle(ev)
+        yield  # pragma: no cover - generator for API symmetry
+
+    def comm_dup(self, comm: Optional[Communicator] = None):
+        """Collective ``MPI_Comm_dup``: a same-group communicator with a
+        fresh context.  Malleability redistributes over a duplicate so its
+        traffic can never cross-match the application's (paper §3.2)."""
+        comm = self._comm(comm)
+        dup = yield from self.comm_create(comm, range(comm.size))
+        assert dup is not None  # every member is in the duplicate
+        return dup
+
+    def comm_create(self, comm: Communicator, ranks: Sequence[int]):
+        """Collective sub-communicator creation (``MPI_Comm_create`` shape).
+
+        All members of ``comm`` call it with the same ``ranks``; members of
+        the subset receive the new communicator, others get ``None``.  The
+        Merge shrink path uses this so the surviving NT ranks get a
+        right-sized communicator while ranks NT..NS-1 exit.
+        """
+        ranks = list(ranks)
+        if not ranks:
+            raise ValueError("comm_create needs a non-empty rank list")
+        key = self._op_key("create", comm)
+        op = self.world.pending_op(key, expected=comm.size)
+        if op.arrive():
+            gids = tuple(comm.group[r] for r in ranks)
+            world = self.world
+
+            def fire() -> None:
+                ctx_id = next(world._ctx_ids)
+                sub = Communicator(ctx_id, gids, name=f"sub{ctx_id}")
+                world.finish_op(key)
+                op.event.trigger(sub)
+
+            self.sim.schedule(self.world.spawn_model.merge_cost, fire)
+        sub = yield from self._polling_block(WaitEvent(op.event))
+        return sub if sub.contains_gid(self.gid) else None
+
+    def disconnect(self, comm: Communicator):
+        """``MPI_Comm_disconnect``: small synchronisation cost."""
+        yield Timeout(self.world.spawn_model.disconnect_cost)
+
+    # -------------------------------------------------------------------- RMA
+    def win_create(self, exposure: Any, comm: Optional[Communicator] = None):
+        """Collective window creation (``MPI_Win_create`` shape).
+
+        Each rank exposes ``exposure`` (any object with an ``apply_put``
+        method, e.g. :class:`~repro.smpi.rma.ArrayExposure`; ``None`` to
+        expose nothing).  Returns the shared :class:`~repro.smpi.rma.Window`.
+        """
+        from .rma import Window
+
+        comm = self._comm(comm)
+        key = self._op_key("win", comm)
+        expected = comm.size + (comm.remote_size if comm.is_inter else 0)
+        op = self.world.pending_op(key, expected=expected)
+        meta = op.result if op.result is not None else {"exposures": {}}
+        op.result = meta
+        meta["exposures"][self.gid] = exposure
+        if op.arrive():
+            world = self.world
+            exposures = meta["exposures"]
+
+            def fire() -> None:
+                win = Window(world, comm, exposures)
+                world.finish_op(key)
+                op.event.trigger(win)
+
+            self.sim.schedule(self.world.spawn_model.merge_cost, fire)
+        win = yield from self._polling_block(WaitEvent(op.event))
+        return win
+
+    def win_put(self, win, target_rank: int, payload: Any,
+                nbytes: Optional[int] = None, label: str = ""):
+        """One-sided put: ships ``payload`` to the target's exposure with no
+        target-side MPI call.  Returns the completion event (tracked by the
+        window for fences)."""
+        dst_gid = win.comm.peer_gid(target_rank)
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        spec = self.world.channel_spec(self.gid, dst_gid)
+        if spec.cpu_overhead > 0:
+            yield Compute(spec.cpu_overhead)
+        src_node = self.node
+        dst_node = self.world.endpoints[dst_gid].node
+        if label:
+            self.world.bytes_by_label[label] = (
+                self.world.bytes_by_label.get(label, 0.0) + size
+            )
+        flow_done = self.machine.transfer(
+            src_node, dst_node, size, label=f"rma-put:{label or size}"
+        )
+        done = self.sim.event(name=f"put@{win.win_id}->{target_rank}")
+        snapshot = copy_payload(payload)
+        exposure = win.exposures.get(dst_gid)
+
+        def land(_ev) -> None:
+            def apply() -> None:
+                if exposure is not None:
+                    exposure.apply_put(snapshot)
+                win._notify_put(dst_gid)
+                done.trigger(None)
+
+            # The target-side copy still costs target CPU on CPU-bound
+            # fabrics (RDMA fabrics make it negligible via copy_rate).
+            if spec.copy_rate > 0 and size > 0:
+                dst_node.submit(size / spec.copy_rate, apply,
+                                label=f"rma-copy:{label or size}")
+            else:
+                apply()
+
+        flow_done.add_callback(land)
+        win._track(done)
+        return done
+
+    def win_get(self, win, target_rank: int, offset: int, count: int,
+                item_nbytes: int = 8):
+        """One-sided get: request latency out, data flow back; reads the
+        target's exposure at response time.  Blocking (polls)."""
+        dst_gid = win.comm.peer_gid(target_rank)
+        dst_node = self.world.endpoints[dst_gid].node
+        exposure = win.exposures.get(dst_gid)
+        if exposure is None:
+            raise ValueError(f"rank {target_rank} exposes nothing in {win!r}")
+        done = self.sim.event(name=f"get@{win.win_id}<-{target_rank}")
+
+        def respond(_ev) -> None:
+            data = exposure.read(offset, count)
+            back = self.machine.transfer(
+                dst_node, self.node, count * item_nbytes,
+                label=f"rma-get:{count * item_nbytes}",
+            )
+            back.add_callback(lambda _e: done.trigger(data))
+
+        req_flow = self.machine.transfer(self.node, dst_node, 0, label="rma-get-req")
+        req_flow.add_callback(respond)
+        win._track(done)
+        data = yield from self._polling_block(WaitEvent(done))
+        return data
+
+    def win_fence(self, win):
+        """Collective fence: every member waits until all one-sided
+        operations of the epoch have completed everywhere."""
+        comm = win.comm
+        key = self._op_key("fence", comm)
+        expected = comm.size + (comm.remote_size if comm.is_inter else 0)
+        op = self.world.pending_op(key, expected=expected)
+        if op.arrive():
+            world = self.world
+            pending = win.pending_ops()
+            ev = op.event
+
+            def finish() -> None:
+                win.drain_completed()
+                world.finish_op(key)
+                ev.trigger(None)
+
+            if pending:
+                remaining = {"n": len(pending)}
+
+                def on_done(_e) -> None:
+                    remaining["n"] -= 1
+                    if remaining["n"] == 0:
+                        finish()
+
+                for p in pending:
+                    p.add_callback(on_done)
+            else:
+                finish()
+        yield from self._polling_block(WaitEvent(op.event))
+
+    # ---------------------------------------------------------------- threads
+    def spawn_thread(self, fn: Callable[..., Any], *args, name: str = ""):
+        """Create an auxiliary thread running ``fn(tctx, *args)``.
+
+        The thread shares this rank's MPI endpoint (same rank, same matching
+        queues) but is an independent schedulable entity on the same node —
+        its blocking MPI calls poll and therefore consume a CPU share, which
+        is the oversubscription cost the paper attributes to strategy T.
+        """
+        yield Compute(self.world.spawn_model.thread_cost)
+        tctx = RankCtx(
+            self.world,
+            gid=self.gid,
+            slot=self.slot,
+            comm_world=self.comm_world,
+            parent=self.parent,
+            endpoint=self._ep,
+            is_thread=True,
+        )
+        # Threads share collective/op sequence state with their rank: a
+        # collective issued by the thread must allocate the same tags the
+        # other ranks expect.
+        tctx._coll_seq = self._coll_seq
+        tctx._op_seq = self._op_seq
+        proc = self.sim.spawn(
+            fn(tctx, *args),
+            name=name or f"thread.g{self.gid}",
+        )
+        proc.context["node"] = self.node
+        tctx.proc = proc
+        return ThreadHandle(proc)
+
+    def join_thread(self, handle: ThreadHandle):
+        """Block (without polling — pthread_join sleeps) until the thread ends."""
+        yield WaitEvent(handle.done)
+        return handle.result
+
+    # --------------------------------------------------------------- finalize
+    def finalize(self) -> None:
+        """Tear down this rank's endpoint; call just before returning."""
+        self._ep.close()

@@ -1,0 +1,266 @@
+"""Per-process message endpoint: matching + the MPI progress-engine rule.
+
+This module encodes the mechanism behind the paper's synchronous vs
+asynchronous behaviour differences:
+
+* **eager** messages (size <= fabric eager threshold) flow immediately and
+  complete the send locally (buffered), landing in the receiver's unexpected
+  queue if no receive is posted yet;
+* **rendezvous** messages announce themselves with an RTS control message.
+  The payload only starts moving once (a) the receiver has a matching posted
+  receive *and* its progress engine is active — i.e. the receiving process
+  (or one of its auxiliary threads) is inside an MPI call — and then (b) the
+  returning CTS finds the *sender's* progress engine active.
+
+Consequence, exactly as in MPICH: a source that redistributes with
+non-blocking calls (strategy **A**) only makes rendezvous progress during
+its per-iteration ``MPI_Testall`` windows, while a source using an auxiliary
+thread (strategy **T**) progresses continuously because the thread sits in a
+blocking (polling) wait — at the cost of one extra CPU demand on the node.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Optional
+
+from .datatypes import ANY_SOURCE
+from .requests import RecvRequest, SendRequest
+from .status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cpu import Node
+    from .communicator import Communicator
+    from .world import MpiWorld
+
+__all__ = ["Message", "Endpoint"]
+
+
+class Message:
+    """One in-flight point-to-point message."""
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "msg_id", "seq", "ctx_id", "src_gid", "dst_gid", "src_rank", "tag",
+        "payload", "nbytes", "protocol", "send_req", "recv_req",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        ctx_id: int,
+        src_gid: int,
+        dst_gid: int,
+        src_rank: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+        send_req: SendRequest,
+    ):
+        self.msg_id = next(Message._ids)
+        #: per-(src,dst) channel sequence number — non-overtaking matching.
+        self.seq = seq
+        self.ctx_id = ctx_id
+        self.src_gid = src_gid
+        self.dst_gid = dst_gid
+        #: sender's rank as seen by the receiver (Status.source).
+        self.src_rank = src_rank
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.protocol = ""  # "eager" | "rndv", set at injection
+        self.send_req = send_req
+        self.recv_req: Optional[RecvRequest] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Message #{self.msg_id} {self.src_gid}->{self.dst_gid} "
+            f"tag={self.tag} {self.nbytes}B {self.protocol}>"
+        )
+
+
+class Endpoint:
+    """Matching engine + progress engine of one simulated MPI process.
+
+    Shared by the process's main flow of control and any auxiliary threads
+    (they are the same MPI rank).  ``progress`` is a refcount of how many of
+    them are currently inside an MPI call.
+    """
+
+    def __init__(self, world: "MpiWorld", gid: int, node: "Node"):
+        self.world = world
+        self.gid = gid
+        self.node = node
+        #: receives posted and not yet matched, in post order.
+        self.posted: list[RecvRequest] = []
+        #: eager messages that arrived before a matching receive was posted.
+        self.unexpected: list[Message] = []
+        #: rendezvous messages announced (RTS arrived) but not yet streaming.
+        self.pending_rts: list[Message] = []
+        #: (sender side) messages whose CTS arrived while we were outside MPI.
+        self.pending_cts: list[Message] = []
+        self.progress = 0
+        #: set when the process finalized; stray traffic is then an error.
+        self.closed = False
+        #: per-channel FIFO enforcement: next expected seq per sender gid.
+        #: Real MPI connections deliver envelopes in injection order even
+        #: when a later small message physically drains before an earlier
+        #: large one; without this, tag-matching could cross sessions.
+        self._next_seq: dict[int, int] = {}
+        #: out-of-order arrivals held back until their channel catches up.
+        self._reorder: dict[int, dict[int, tuple[str, Message]]] = {}
+
+    # ------------------------------------------------------------- progress
+    @property
+    def progress_active(self) -> bool:
+        return self.progress > 0
+
+    def enter_progress(self) -> None:
+        self.progress += 1
+        self._pump()
+
+    def exit_progress(self) -> None:
+        if self.progress <= 0:
+            raise RuntimeError(f"gid {self.gid}: unbalanced exit_progress")
+        self.progress -= 1
+
+    def _pump(self) -> None:
+        """Drive every handshake that was waiting for us to enter MPI."""
+        if not self.progress_active:
+            return
+        # Sender side: CTSs that arrived while we computed.
+        while self.pending_cts:
+            msg = self.pending_cts.pop(0)
+            self.world._start_payload(msg)
+        # Receiver side: RTSs that can now be matched against posted recvs.
+        for msg in list(self.pending_rts):
+            req = self._find_posted(msg)
+            if req is not None:
+                self._claim(msg, req)
+
+    # -------------------------------------------------------------- matching
+    def _find_posted(self, msg: Message) -> Optional[RecvRequest]:
+        for req in self.posted:
+            if req.matches(msg.ctx_id, msg.src_rank, msg.tag):
+                return req
+        return None
+
+    def _find_arrived(self, req: RecvRequest, pool: list[Message]) -> Optional[Message]:
+        """Lowest-sequence arrived message matching ``req`` (non-overtaking)."""
+        best: Optional[Message] = None
+        for msg in pool:
+            if req.matches(msg.ctx_id, msg.src_rank, msg.tag):
+                if best is None or (msg.src_gid, msg.seq) < (best.src_gid, best.seq):
+                    if req.source == ANY_SOURCE:
+                        # wildcard: arrival order, approximated by list order
+                        return msg
+                    best = msg
+        return best
+
+    def _claim(self, msg: Message, req: RecvRequest) -> None:
+        """Pair an announced rendezvous message with a posted receive and
+        fire the CTS back to the sender."""
+        self.pending_rts.remove(msg)
+        self.posted.remove(req)
+        msg.recv_req = req
+        self.world._send_cts(msg)
+
+    # ------------------------------------------------------------ transport
+    def post_recv(self, req: RecvRequest) -> None:
+        """Register a receive (caller must hold the progress engine)."""
+        if self.closed:
+            raise RuntimeError(f"gid {self.gid}: receive posted after finalize")
+        msg = self._find_arrived(req, self.unexpected)
+        if msg is not None:
+            self.unexpected.remove(msg)
+            self._complete_recv(msg, req)
+            return
+        msg = self._find_arrived(req, self.pending_rts)
+        if msg is not None:
+            self.pending_rts.remove(msg)
+            msg.recv_req = req
+            self.world._send_cts(msg)
+            return
+        self.posted.append(req)
+
+    def deliver_eager(self, msg: Message) -> None:
+        """Full payload of an eager message arrived (physically)."""
+        if self.closed:
+            raise RuntimeError(f"gid {self.gid}: eager message after finalize: {msg!r}")
+        self._arrive("eager", msg)
+
+    def rts_arrived(self, msg: Message) -> None:
+        """A rendezvous announcement arrived (physically)."""
+        if self.closed:
+            raise RuntimeError(f"gid {self.gid}: RTS after finalize: {msg!r}")
+        self._arrive("rts", msg)
+
+    def _arrive(self, kind: str, msg: Message) -> None:
+        """Per-channel FIFO gate: dispatch in seq order, buffering gaps."""
+        expected = self._next_seq.get(msg.src_gid, 0)
+        if msg.seq != expected:
+            self._reorder.setdefault(msg.src_gid, {})[msg.seq] = (kind, msg)
+            return
+        self._dispatch(kind, msg)
+        nxt = expected + 1
+        held = self._reorder.get(msg.src_gid)
+        while held and nxt in held:
+            k, m = held.pop(nxt)
+            self._dispatch(k, m)
+            nxt += 1
+        self._next_seq[msg.src_gid] = nxt
+
+    def _dispatch(self, kind: str, msg: Message) -> None:
+        if kind == "eager":
+            req = self._find_posted(msg)
+            if req is not None:
+                self.posted.remove(req)
+                self._complete_recv(msg, req)
+            else:
+                self.unexpected.append(msg)
+        else:  # rendezvous announcement becomes matchable
+            self.pending_rts.append(msg)
+            if self.progress_active:
+                req = self._find_posted(msg)
+                if req is not None:
+                    self._claim(msg, req)
+
+    def cts_arrived(self, msg: Message) -> None:
+        """(Sender side) the receiver is ready for our payload."""
+        if self.progress_active:
+            self.world._start_payload(msg)
+        else:
+            self.pending_cts.append(msg)
+
+    def payload_arrived(self, msg: Message) -> None:
+        """Rendezvous payload fully streamed: complete both requests."""
+        assert msg.recv_req is not None, f"{msg!r}: payload without claimed recv"
+        msg.send_req._complete(None)
+        self._complete_recv(msg, msg.recv_req)
+
+    def _complete_recv(self, msg: Message, req: RecvRequest) -> None:
+        req._complete(
+            data=msg.payload,
+            status=Status(source=msg.src_rank, tag=msg.tag, nbytes=msg.nbytes),
+        )
+
+    # ---------------------------------------------------------------- close
+    def close(self) -> None:
+        """Finalize: no further traffic may target this endpoint."""
+        self.closed = True
+        held = any(self._reorder.values())
+        leftovers = self.posted or self.unexpected or self.pending_rts or held
+        if leftovers:
+            raise RuntimeError(
+                f"gid {self.gid} finalized with pending traffic: "
+                f"{len(self.posted)} posted recvs, "
+                f"{len(self.unexpected)} unexpected msgs, "
+                f"{len(self.pending_rts)} unclaimed RTS"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Endpoint gid={self.gid} posted={len(self.posted)} "
+            f"unexpected={len(self.unexpected)} progress={self.progress}>"
+        )

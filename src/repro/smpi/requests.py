@@ -1,0 +1,104 @@
+"""MPI request objects for the simulated layer.
+
+Requests wrap one-shot completion events.  Waiting/testing on them is the
+job of :class:`~repro.smpi.context.RankCtx` (which also handles the CPU
+polling and progress-engine bookkeeping); the classes here only carry state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Optional
+
+from ..simulate.core import Simulator
+from ..simulate.events import SimEvent
+from .status import Status
+
+__all__ = ["Request", "SendRequest", "RecvRequest", "MultiRequest"]
+
+
+class Request:
+    """Base request: a completion event plus optional data/status."""
+
+    _ids = itertools.count()
+
+    def __init__(self, sim: Simulator, kind: str):
+        self.req_id = next(Request._ids)
+        self.kind = kind
+        self.done: SimEvent = sim.event(name=f"{kind}#{self.req_id}")
+        #: payload delivered to a receive (None for sends).
+        self.data: Any = None
+        #: envelope of a completed receive.
+        self.status: Optional[Status] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.done.triggered
+
+    def _complete(self, data: Any = None, status: Optional[Status] = None) -> None:
+        self.data = data
+        self.status = status
+        self.done.trigger(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.completed else "pending"
+        return f"<{type(self).__name__} #{self.req_id} {state}>"
+
+
+class SendRequest(Request):
+    """Pending send.  Eager sends complete at injection (buffered semantics);
+    rendezvous sends complete when the payload has fully drained."""
+
+    def __init__(self, sim: Simulator, dst_gid: int, tag: int, nbytes: int):
+        super().__init__(sim, "send")
+        self.dst_gid = dst_gid
+        self.tag = tag
+        self.nbytes = nbytes
+
+
+class RecvRequest(Request):
+    """Posted receive.  ``source``/``tag`` may be wildcards; the matched
+    sender's communicator-relative rank lands in :attr:`Request.status`."""
+
+    def __init__(self, sim: Simulator, comm, source: int, tag: int):
+        super().__init__(sim, "recv")
+        self.comm = comm
+        self.source = source  # comm-relative rank or ANY_SOURCE
+        self.tag = tag
+
+    def matches(self, ctx_id: int, src_rank: int, tag: int) -> bool:
+        from .datatypes import ANY_SOURCE, ANY_TAG
+
+        if self.comm.ctx_id != ctx_id:
+            return False
+        if self.source != ANY_SOURCE and self.source != src_rank:
+            return False
+        if self.tag != ANY_TAG and self.tag != tag:
+            return False
+        return True
+
+
+class MultiRequest(Request):
+    """Aggregate of child requests (non-blocking collectives).
+
+    Completes when every child completes.  ``Testall`` on the parent is the
+    paper's Algorithm-3 completion check for ``MPI_Ialltoallv``.
+    """
+
+    def __init__(self, sim: Simulator, children: Iterable[Request]):
+        super().__init__(sim, "multi")
+        self.children = list(children)
+        remaining = sum(1 for c in self.children if not c.completed)
+        if remaining == 0:
+            self._complete(None)
+            return
+        state = {"n": remaining}
+
+        def on_child(_ev):
+            state["n"] -= 1
+            if state["n"] == 0:
+                self._complete(None)
+
+        for c in self.children:
+            if not c.completed:
+                c.done.add_callback(on_child)

@@ -1,0 +1,103 @@
+"""One-sided communication (MPI-3 RMA subset).
+
+The paper's future work names RMA as a candidate Stage-3 transport.  This
+module provides the substrate: window creation (collective), ``Put`` /
+``Get``, fence synchronisation, and put-notification counters (the
+"RMA + notify" pattern redistribution needs to detect completeness without
+two-sided matching).
+
+Timing: a put is a flow from origin to target plus the fabric's receive
+path; *no target-side MPI call is needed* — the defining property of RMA
+and the reason it sidesteps the progress-engine stalls of the non-blocking
+two-sided strategy.  A get pays one request latency plus the data flow
+back.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from ..simulate.events import SimEvent
+from .communicator import Communicator
+
+__all__ = ["Window", "ArrayExposure"]
+
+
+class ArrayExposure:
+    """Adapter exposing a numpy array through a window.
+
+    Puts carry ``(offset, values)`` tuples; gets read slices.
+    """
+
+    def __init__(self, array):
+        self.array = array
+
+    def apply_put(self, payload) -> None:
+        offset, values = payload
+        self.array[offset : offset + len(values)] = values
+
+    def read(self, offset: int, count: int):
+        return self.array[offset : offset + count].copy()
+
+
+class Window:
+    """A window over one communicator: one exposure object per rank.
+
+    Created collectively via ``mpi.win_create(exposure)``; the same Window
+    instance is shared by every member (read-mostly).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, world, comm: Communicator, exposures: dict[int, Any]):
+        self.win_id = next(Window._ids)
+        self.world = world
+        self.comm = comm
+        #: gid -> exposure object (None for ranks exposing nothing).  Keyed
+        #: by gid so inter-communicator windows (Baseline redistribution)
+        #: cannot collide the two sides' rank numberings.
+        self.exposures = exposures
+        #: in-flight one-sided operations (cleared by fences).
+        self._pending: list[SimEvent] = []
+        members = tuple(comm.group) + tuple(comm.remote_group or ())
+        #: completed puts *targeting* each member gid (the notify counters).
+        self.puts_received: dict[int, int] = {g: 0 for g in members}
+        self._watchers: list[tuple[int, int, SimEvent]] = []
+
+    # -------------------------------------------------------------- plumbing
+    def _track(self, ev: SimEvent) -> None:
+        self._pending.append(ev)
+
+    def _notify_put(self, target_gid: int) -> None:
+        self.puts_received[target_gid] += 1
+        fired = []
+        for i, (gid, threshold, ev) in enumerate(self._watchers):
+            if gid == target_gid and self.puts_received[gid] >= threshold:
+                fired.append(i)
+                ev.trigger(self.puts_received[gid])
+        for i in reversed(fired):
+            self._watchers.pop(i)
+
+    def notification_event(self, gid: int, threshold: int) -> SimEvent:
+        """Event that fires when member ``gid`` has received >= threshold
+        puts.
+
+        The RMA-with-notification completeness pattern: a target waits for
+        exactly as many puts as its redistribution plan predicts.
+        """
+        ev = self.world.sim.event(name=f"win{self.win_id}-notify-{gid}")
+        if self.puts_received[gid] >= threshold:
+            ev.trigger(self.puts_received[gid])
+        else:
+            self._watchers.append((gid, threshold, ev))
+        return ev
+
+    def pending_ops(self) -> list[SimEvent]:
+        return [ev for ev in self._pending if ev.pending]
+
+    def drain_completed(self) -> None:
+        self._pending = [ev for ev in self._pending if ev.pending]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Window {self.win_id} over {self.comm.name}>"

@@ -1,0 +1,22 @@
+"""Receive status objects (mirrors ``MPI_Status``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Envelope information of a completed receive.
+
+    ``source`` is the *communicator-relative* rank of the sender (for an
+    inter-communicator: the rank in the remote group), matching what
+    ``MPI_Waitany`` + ``status.MPI_SOURCE`` give the P2P redistribution
+    algorithm of the paper (Algorithm 1 keys its state machine on it).
+    """
+
+    source: int
+    tag: int
+    nbytes: int

@@ -1,0 +1,271 @@
+"""The MPI world: process registry, transport, spawn, merge.
+
+:class:`MpiWorld` owns every simulated MPI process (endpoint), implements
+the message transport on top of the cluster's flow network, and provides
+the collective world-level operations that need global knowledge —
+``Comm_spawn`` and ``Intercomm_merge``.
+
+User code never touches this directly; it receives a
+:class:`~repro.smpi.context.RankCtx` and yields from its methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..cluster.fabrics import FabricSpec
+from ..cluster.machine import Machine
+from ..simulate.core import SimProcess, Simulator
+from ..simulate.events import SimEvent
+from .communicator import Communicator
+from .endpoint import Endpoint, Message
+from .spawn import SpawnModel
+
+__all__ = ["MpiWorld", "LaunchResult", "run_spmd"]
+
+
+@dataclass
+class LaunchResult:
+    """Handles of one launched process group."""
+
+    comm: Communicator
+    procs: list[SimProcess]
+    contexts: list  # list[RankCtx]
+
+
+class _PendingOp:
+    """A world-level collective op (spawn or merge) that all participants
+    must reach before any can leave."""
+
+    def __init__(self, sim: Simulator, expected: int, name: str):
+        self.expected = expected
+        self.arrived = 0
+        self.event: SimEvent = sim.event(name=name)
+        self.result: Any = None
+
+    def arrive(self) -> bool:
+        """Returns True for the last arrival (who performs the op)."""
+        self.arrived += 1
+        if self.arrived > self.expected:
+            raise RuntimeError(f"{self.event.name}: more arrivals than participants")
+        return self.arrived == self.expected
+
+
+class MpiWorld:
+    """Registry + transport for one simulated MPI universe."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        spawn_model: Optional[SpawnModel] = None,
+    ):
+        self.machine = machine
+        self.sim: Simulator = machine.sim
+        self.spawn_model = spawn_model or SpawnModel()
+        self.endpoints: dict[int, Endpoint] = {}
+        self._gids = itertools.count()
+        self._ctx_ids = itertools.count(1)
+        self._chan_seq: dict[tuple[int, int], int] = {}
+        self._ops: dict[str, _PendingOp] = {}
+        #: gid -> slot, kept so reconfiguration layers can reason about
+        #: placement (e.g. which ranks share nodes).
+        self.slot_of: dict[int, int] = {}
+        #: traffic accounting by label prefix, for experiment reports.
+        self.bytes_by_label: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ launch
+    def launch(
+        self,
+        func: Callable[..., Any],
+        slots: Sequence[int],
+        args: tuple = (),
+        name_prefix: str = "rank",
+        parent_intercomm_info: Optional[tuple[int, Sequence[int]]] = None,
+    ) -> LaunchResult:
+        """Create a process group running ``func(ctx, *args)`` on ``slots``.
+
+        ``parent_intercomm_info`` — ``(inter_ctx_id, parent_gids)`` — is used
+        by ``comm_spawn`` to hand the children their side of the parent
+        inter-communicator.
+        """
+        from .context import RankCtx
+
+        slots = list(slots)
+        if not slots:
+            raise ValueError("launch needs at least one slot")
+        gids = [next(self._gids) for _ in slots]
+        ctx_id = next(self._ctx_ids)
+        comm = Communicator(ctx_id, gids, name=f"{name_prefix}-world{ctx_id}")
+        parent = None
+        if parent_intercomm_info is not None:
+            inter_ctx_id, parent_gids = parent_intercomm_info
+            parent = Communicator(
+                inter_ctx_id,
+                gids,
+                remote_group=tuple(parent_gids),
+                name=f"spawn{inter_ctx_id}.child",
+            )
+        contexts = []
+        procs = []
+        for rank, (gid, slot) in enumerate(zip(gids, slots)):
+            node = self.machine.node_for_slot(slot)
+            ep = Endpoint(self, gid, node)
+            self.endpoints[gid] = ep
+            self.slot_of[gid] = slot
+            ctx = RankCtx(self, gid=gid, slot=slot, comm_world=comm, parent=parent)
+            contexts.append(ctx)
+        for rank, ctx in enumerate(contexts):
+            gen = func(ctx, *args)
+            proc = self.sim.spawn(gen, name=f"{name_prefix}{rank}.g{gids[rank]}")
+            proc.context["node"] = ctx.node
+            ctx.proc = proc
+            procs.append(proc)
+        return LaunchResult(comm=comm, procs=procs, contexts=contexts)
+
+    # --------------------------------------------------------------- transport
+    def next_chan_seq(self, src_gid: int, dst_gid: int) -> int:
+        key = (src_gid, dst_gid)
+        seq = self._chan_seq.get(key, 0)
+        self._chan_seq[key] = seq + 1
+        return seq
+
+    def channel_spec(self, src_gid: int, dst_gid: int) -> FabricSpec:
+        """Which fabric's parameters govern a (src,dst) message."""
+        src_node = self.endpoints[src_gid].node
+        dst_node = self.endpoints[dst_gid].node
+        if src_node.node_id == dst_node.node_id:
+            return self.machine.memory_channel
+        return self.machine.fabric
+
+    def inject(self, msg: Message, label: str = "") -> None:
+        """Start a message: choose eager vs rendezvous and kick it off."""
+        src_ep = self.endpoints[msg.src_gid]
+        dst_ep = self.endpoints[msg.dst_gid]
+        spec = self.channel_spec(msg.src_gid, msg.dst_gid)
+        if label:
+            self.bytes_by_label[label] = self.bytes_by_label.get(label, 0.0) + msg.nbytes
+        if msg.nbytes <= spec.eager_threshold:
+            msg.protocol = "eager"
+            # Buffered semantics: local completion at injection.
+            msg.send_req._complete(None)
+            ev = self.machine.transfer(
+                src_ep.node, dst_ep.node, msg.nbytes, label=f"eager:{msg.msg_id}"
+            )
+            ev.add_callback(
+                lambda _ev: self._after_copy(msg, spec, lambda: dst_ep.deliver_eager(msg))
+            )
+        else:
+            msg.protocol = "rndv"
+            ev = self.machine.transfer(
+                src_ep.node, dst_ep.node, 0, label=f"rts:{msg.msg_id}"
+            )
+            ev.add_callback(lambda _ev: dst_ep.rts_arrived(msg))
+
+    def _after_copy(self, msg: Message, spec: FabricSpec, deliver) -> None:
+        """Charge the receiver's CPU for the payload touch-copy, then
+        deliver.  On CPU-bound transports (Ethernet/TCP) an oversubscribed
+        receiving node therefore also slows incoming traffic; RDMA fabrics
+        set a copy rate high enough to make this negligible."""
+        if spec.copy_rate <= 0 or msg.nbytes <= 0:
+            deliver()
+            return
+        dst_node = self.endpoints[msg.dst_gid].node
+        dst_node.submit(msg.nbytes / spec.copy_rate, deliver,
+                        label=f"rxcopy:{msg.msg_id}")
+
+    def _send_cts(self, msg: Message) -> None:
+        src_ep = self.endpoints[msg.src_gid]
+        dst_ep = self.endpoints[msg.dst_gid]
+        ev = self.machine.transfer(
+            dst_ep.node, src_ep.node, 0, label=f"cts:{msg.msg_id}"
+        )
+        ev.add_callback(lambda _ev: src_ep.cts_arrived(msg))
+
+    def _start_payload(self, msg: Message) -> None:
+        src_ep = self.endpoints[msg.src_gid]
+        dst_ep = self.endpoints[msg.dst_gid]
+        spec = self.channel_spec(msg.src_gid, msg.dst_gid)
+        ev = self.machine.transfer(
+            src_ep.node, dst_ep.node, msg.nbytes, label=f"data:{msg.msg_id}"
+        )
+        ev.add_callback(
+            lambda _ev: self._after_copy(msg, spec, lambda: dst_ep.payload_arrived(msg))
+        )
+
+    # ------------------------------------------------------------- world ops
+    def pending_op(self, key: str, expected: int) -> _PendingOp:
+        """Fetch-or-create the rendezvous record of a world-level collective."""
+        op = self._ops.get(key)
+        if op is None:
+            op = _PendingOp(self.sim, expected, name=key)
+            self._ops[key] = op
+        elif op.expected != expected:
+            raise RuntimeError(
+                f"collective mismatch on {key}: {op.expected} vs {expected} participants"
+            )
+        return op
+
+    def finish_op(self, key: str) -> None:
+        self._ops.pop(key, None)
+
+    def make_intercomm_pair(
+        self,
+        local_gids: Sequence[int],
+        remote_gids: Sequence[int],
+        name: str,
+    ) -> tuple[Communicator, Communicator]:
+        """Two views (A->B, B->A) of a fresh inter-communicator."""
+        ctx_id = next(self._ctx_ids)
+        a = Communicator(ctx_id, local_gids, remote_group=remote_gids, name=f"{name}.local")
+        b = Communicator(ctx_id, remote_gids, remote_group=local_gids, name=f"{name}.remote")
+        return a, b
+
+    def merged_comm(self, inter: Communicator, low_side_local: bool) -> Communicator:
+        """The intra-communicator produced by Intercomm_merge.
+
+        ``low_side_local``: whether the *local* group of ``inter`` takes the
+        low ranks.  In the Merge method, sources call with ``high=False`` so
+        they keep ranks ``0..NS-1`` and the spawned processes follow.
+        """
+        ctx_id = next(self._ctx_ids)
+        if low_side_local:
+            gids = list(inter.group) + list(inter.remote_group)
+        else:
+            gids = list(inter.remote_group) + list(inter.group)
+        return Communicator(ctx_id, gids, name=f"merge{ctx_id}")
+
+    # ---------------------------------------------------------------- helpers
+    def nodes_of_slots(self, slots: Iterable[int]) -> int:
+        return len({self.machine.node_for_slot(s).node_id for s in slots})
+
+
+def run_spmd(
+    func: Callable[..., Any],
+    n: int,
+    machine: Optional[Machine] = None,
+    *,
+    n_nodes: int = 2,
+    cores_per_node: int = 2,
+    fabric: Optional[FabricSpec] = None,
+    spawn_model: Optional[SpawnModel] = None,
+    args: tuple = (),
+    seed: int = 0,
+) -> tuple[list[Any], Simulator]:
+    """Convenience: run ``func`` as an ``n``-rank SPMD job to completion.
+
+    Returns ``(per-rank results, simulator)``; ``sim.now`` is the makespan.
+    Used pervasively by tests and examples.
+    """
+    from ..cluster.fabrics import ETHERNET_10G
+
+    if machine is None:
+        sim = Simulator()
+        machine = Machine(
+            sim, n_nodes, cores_per_node, fabric or ETHERNET_10G, seed=seed
+        )
+    world = MpiWorld(machine, spawn_model=spawn_model)
+    res = world.launch(func, slots=range(n), args=args)
+    machine.sim.run()
+    return [p.result for p in res.procs], machine.sim

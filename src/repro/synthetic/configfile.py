@@ -1,0 +1,164 @@
+"""Configuration files for the synthetic application.
+
+The paper's tool is "parameterized through a configuration file, which
+includes the main features of the computational behaviour and the
+communication pattern of the emulated application, as well as the
+description of the reconfiguration stages" (§4.1).  We use TOML::
+
+    [general]
+    iterations = 1000
+    n_rows = 4147110
+    fidelity = "sketch"
+
+    [data]
+    constant_bytes = 3.813e9
+    variable_bytes = 0.134e9
+
+    [[stages]]
+    kind = "compute"
+    work = 9.6
+
+    [[stages]]
+    kind = "allreduce"
+    nbytes = 8
+
+    [[reconfigurations]]
+    at_iteration = 500
+    n_targets = 120
+
+Parsed with the stdlib ``tomllib``; :meth:`SyntheticConfig.to_toml` writes
+the same format back (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import io
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from ..malleability.rms import ReconfigRequest
+from .stages import StageSpec
+
+__all__ = ["SyntheticConfig"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Full description of one synthetic-application run."""
+
+    iterations: int
+    n_rows: int
+    constant_bytes: float
+    variable_bytes: float
+    stages: tuple[StageSpec, ...]
+    reconfigurations: tuple[ReconfigRequest, ...] = ()
+    fidelity: str = "sketch"
+
+    def __post_init__(self):
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.n_rows < 1:
+            raise ValueError("n_rows must be >= 1")
+        if self.constant_bytes < 0 or self.variable_bytes < 0:
+            raise ValueError("data byte counts must be >= 0")
+        if not self.stages:
+            raise ValueError("a synthetic run needs at least one stage")
+        if self.fidelity not in ("full", "sketch"):
+            raise ValueError(f"unknown fidelity {self.fidelity!r}")
+        for req in self.reconfigurations:
+            if req.at_iteration >= self.iterations:
+                raise ValueError(
+                    f"reconfiguration at iteration {req.at_iteration} is beyond "
+                    f"the {self.iterations}-iteration run"
+                )
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def total_bytes(self) -> float:
+        """Bytes redistributed at a reconfiguration (paper: 3.947 GB)."""
+        return self.constant_bytes + self.variable_bytes
+
+    @property
+    def async_fraction(self) -> float:
+        """Fraction redistributable asynchronously (paper: 96.6 %)."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.constant_bytes / self.total_bytes
+
+    # ----------------------------------------------------------------- TOML
+    @classmethod
+    def from_toml(cls, source: Union[str, Path]) -> "SyntheticConfig":
+        """Parse a config from a TOML string or file path."""
+        if isinstance(source, Path) or (
+            isinstance(source, str) and "\n" not in source and source.endswith(".toml")
+        ):
+            data = tomllib.loads(Path(source).read_text())
+        else:
+            data = tomllib.loads(source)
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SyntheticConfig":
+        try:
+            general = data["general"]
+            data_section = data["data"]
+            stages_raw = data["stages"]
+        except KeyError as missing:
+            raise ValueError(f"config missing section {missing}") from None
+        stages = tuple(
+            StageSpec(
+                kind=s["kind"],
+                work=float(s.get("work", 0.0)),
+                nbytes=float(s.get("nbytes", 0.0)),
+                scale=s.get("scale", "linear"),
+                jitter=float(s.get("jitter", 0.02)),
+            )
+            for s in stages_raw
+        )
+        reconfs = tuple(
+            ReconfigRequest(int(r["at_iteration"]), int(r["n_targets"]))
+            for r in data.get("reconfigurations", [])
+        )
+        return cls(
+            iterations=int(general["iterations"]),
+            n_rows=int(general["n_rows"]),
+            fidelity=general.get("fidelity", "sketch"),
+            constant_bytes=float(data_section["constant_bytes"]),
+            variable_bytes=float(data_section["variable_bytes"]),
+            stages=stages,
+            reconfigurations=reconfs,
+        )
+
+    def to_toml(self) -> str:
+        out = io.StringIO()
+        out.write("[general]\n")
+        out.write(f"iterations = {self.iterations}\n")
+        out.write(f"n_rows = {self.n_rows}\n")
+        out.write(f'fidelity = "{self.fidelity}"\n\n')
+        out.write("[data]\n")
+        out.write(f"constant_bytes = {self.constant_bytes!r}\n")
+        out.write(f"variable_bytes = {self.variable_bytes!r}\n")
+        for s in self.stages:
+            out.write("\n[[stages]]\n")
+            out.write(f'kind = "{s.kind}"\n')
+            if s.work:
+                out.write(f"work = {s.work!r}\n")
+            if s.nbytes:
+                out.write(f"nbytes = {s.nbytes!r}\n")
+            if s.scale != "linear":
+                out.write(f'scale = "{s.scale}"\n')
+            if s.jitter != 0.02:
+                out.write(f"jitter = {s.jitter!r}\n")
+        for r in self.reconfigurations:
+            out.write("\n[[reconfigurations]]\n")
+            out.write(f"at_iteration = {r.at_iteration}\n")
+            out.write(f"n_targets = {r.n_targets}\n")
+        return out.getvalue()
+
+    def with_reconfigurations(self, reconfs) -> "SyntheticConfig":
+        """Copy with a different reconfiguration schedule (harness sweeps)."""
+        from dataclasses import replace
+
+        return replace(self, reconfigurations=tuple(reconfs))

@@ -1,0 +1,58 @@
+"""Monitoring/Completion modules: export run telemetry for analysis.
+
+The paper's tool stores per-level timings in intermediate files; here the
+shared :class:`~repro.malleability.stats.RunStats` is serialised to plain
+dicts / JSON so the harness (and users) can post-process with standard
+tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..malleability.stats import ReconfigRecord, RunStats
+
+__all__ = ["stats_to_dict", "write_stats_json", "read_stats_json"]
+
+
+def _reconfig_to_dict(rec: ReconfigRecord) -> dict:
+    return {
+        "n_sources": rec.n_sources,
+        "n_targets": rec.n_targets,
+        "requested_iteration": rec.requested_iteration,
+        "spawn_started_at": rec.spawn_started_at,
+        "spawn_finished_at": rec.spawn_finished_at,
+        "redist_started_at": rec.redist_started_at,
+        "const_data_complete_at": rec.const_data_complete_at,
+        "data_complete_at": rec.data_complete_at,
+        "sources_stopped_iteration": rec.sources_stopped_iteration,
+        "overlapped_iterations": rec.overlapped_iterations,
+        "reconfiguration_time": (
+            rec.reconfiguration_time
+            if rec.spawn_started_at is not None and rec.data_complete_at is not None
+            else None
+        ),
+    }
+
+
+def stats_to_dict(stats: RunStats) -> dict:
+    """Flatten a run's telemetry to JSON-serialisable primitives."""
+    return {
+        "started_at": stats.started_at,
+        "finished_at": stats.finished_at,
+        "app_time": stats.app_time if stats.finished_at is not None else None,
+        "total_iterations": stats.total_iterations(),
+        "iterations_by_group": dict(stats.iterations_by_group),
+        "reconfigurations": [_reconfig_to_dict(r) for r in stats.reconfigs],
+        "iteration_times": stats.iteration_times,
+    }
+
+
+def write_stats_json(stats: RunStats, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(stats_to_dict(stats), indent=2))
+
+
+def read_stats_json(path: Union[str, Path]) -> dict:
+    return json.loads(Path(path).read_text())

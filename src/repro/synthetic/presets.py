@@ -1,0 +1,109 @@
+"""Workload presets — most importantly the paper's CG emulation (§4.2).
+
+The emulated parallel CG defines six stages: three intensive compute
+stages, two 8-byte ``MPI_Allreduce`` (the dot products) and one
+``MPI_Allgatherv`` of N doubles (the SpMV gather).  Data: the Queen_4147
+CSR plus vectors, ≈3.947 GB in total, 96.6 % of which (the constant matrix
+and rhs) can be redistributed asynchronously.
+
+Scales (DESIGN.md §5): ``paper`` is the full-size configuration (160-core
+ladder); ``small``/``tiny`` shrink rows, bytes and iterations
+proportionally so sweeps and CI run in seconds while preserving the ratio
+of iteration time to reconfiguration time — the quantity that drives the
+paper's trade-offs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.matrices import queen4147_stats
+from ..smpi.spawn import SpawnModel
+from .configfile import SyntheticConfig
+from .stages import StageSpec
+
+__all__ = ["ScalePreset", "SCALES", "cg_emulation_config"]
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Machine + ladder for one evaluation scale."""
+
+    name: str
+    n_nodes: int
+    cores_per_node: int
+    #: process counts evaluated pairwise (42 pairs at paper scale).
+    ladder: tuple[int, ...]
+    iterations: int
+    reconfigure_at: int
+    #: scale factor applied to rows and bytes relative to the paper.
+    data_scale: float
+    #: statistical repetitions per cell (paper: 5).
+    repetitions: int
+    #: spawn cost parameters, scaled so the reconfiguration-to-iteration
+    #: time ratio stays in the paper's regime (10-80 overlapped iterations).
+    spawn_model: SpawnModel
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """All ordered (NS, NT) pairs of the ladder (42 at paper scale)."""
+        return [(a, b) for a in self.ladder for b in self.ladder if a != b]
+
+
+SCALES: dict[str, ScalePreset] = {
+    "paper": ScalePreset(
+        name="paper", n_nodes=8, cores_per_node=20,
+        ladder=(2, 10, 20, 40, 80, 120, 160),
+        iterations=1000, reconfigure_at=500,
+        data_scale=1.0, repetitions=5,
+        spawn_model=SpawnModel(),
+    ),
+    "small": ScalePreset(
+        name="small", n_nodes=8, cores_per_node=4,
+        ladder=(2, 4, 8, 16, 24, 32),
+        iterations=100, reconfigure_at=50,
+        data_scale=1.0 / 8.0, repetitions=3,
+        spawn_model=SpawnModel(base=0.05, per_process=0.004, per_node=0.02),
+    ),
+    "tiny": ScalePreset(
+        name="tiny", n_nodes=4, cores_per_node=2,
+        ladder=(2, 4, 8),
+        iterations=30, reconfigure_at=15,
+        data_scale=1.0 / 64.0, repetitions=2,
+        spawn_model=SpawnModel(base=0.01, per_process=0.002, per_node=0.005),
+    ),
+}
+
+
+def cg_emulation_config(scale: str = "small", fidelity: str = "sketch") -> SyntheticConfig:
+    """The §4.2 CG emulation at the requested scale.
+
+    Compute work is calibrated so a full-ladder group iterates in tens of
+    milliseconds — which, against the spawn + 3.9 GB redistribution cost,
+    lands the overlapped-iteration counts in the ranges the paper reports
+    (10-80 on Ethernet, 5-10 on Infiniband).
+    """
+    preset = SCALES[scale]
+    q = queen4147_stats()
+    n_rows = max(1000, int(q.n_rows * preset.data_scale))
+    # Constant data: CSR + rhs; variable: the CG work vectors (x, r, p).
+    const_bytes = (q.csr_nbytes() + q.vector_nbytes()) * preset.data_scale
+    var_bytes = 3 * q.vector_nbytes() * preset.data_scale
+    # Aggregate compute seconds per iteration (all ranks): 2 nnz flops at a
+    # memory-bound effective rate, split across the three compute stages.
+    total_work = 2.0 * q.nnz * preset.data_scale / 1.0e9
+    gather_bytes = 8.0 * n_rows
+    return SyntheticConfig(
+        iterations=preset.iterations,
+        n_rows=n_rows,
+        fidelity=fidelity,
+        constant_bytes=const_bytes,
+        variable_bytes=var_bytes,
+        stages=(
+            StageSpec(kind="compute", work=total_work * 0.5),
+            StageSpec(kind="allgatherv", nbytes=gather_bytes),
+            StageSpec(kind="compute", work=total_work * 0.3),
+            StageSpec(kind="allreduce", nbytes=8.0),
+            StageSpec(kind="compute", work=total_work * 0.2),
+            StageSpec(kind="allreduce", nbytes=8.0),
+        ),
+    )

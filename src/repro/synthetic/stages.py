@@ -1,0 +1,147 @@
+"""Iteration stages of the synthetic application.
+
+The paper's tool parameterises each emulated iteration as a sequence of
+stages: compute blocks and communication operations with configured byte
+counts (§4.1).  Each stage here is runnable at two fidelities:
+
+* ``full`` — the real simulated-MPI collective, message for message (used
+  by tests and small runs);
+* ``sketch`` — an aggregate-equivalent exchange: the same total bytes
+  through each NIC and a latency make-up term, but one neighbour message
+  instead of p-1 ring steps.  This keeps event counts tractable for the
+  6000-simulation evaluation sweeps while preserving NIC contention, which
+  is what couples the application to a concurrent redistribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from ..simulate.primitives import Timeout
+from ..smpi.datatypes import Blob
+
+__all__ = ["StageSpec", "run_stage", "STAGE_KINDS"]
+
+STAGE_KINDS = ("compute", "allreduce", "allgatherv", "p2p")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of the emulated iteration.
+
+    ``work``: aggregate single-core seconds for compute stages; divided by
+    the group size (``scale="linear"``, the default for data-parallel work)
+    or charged per rank as-is (``scale="constant"``).
+
+    ``nbytes``: allreduce — message size; allgatherv — the *total* gathered
+    vector size; p2p — bytes per neighbour message.
+    """
+
+    kind: str
+    work: float = 0.0
+    nbytes: float = 0.0
+    scale: str = "linear"
+    #: relative lognormal jitter applied to compute stages (run-to-run noise
+    #: for the statistics pipeline).
+    jitter: float = 0.02
+
+    def __post_init__(self):
+        if self.kind not in STAGE_KINDS:
+            raise ValueError(f"unknown stage kind {self.kind!r}")
+        if self.scale not in ("linear", "constant"):
+            raise ValueError(f"unknown scale {self.scale!r}")
+        if self.work < 0 or self.nbytes < 0 or self.jitter < 0:
+            raise ValueError("stage parameters must be >= 0")
+
+
+def run_stage(mpi, comm, spec: StageSpec, iteration: int, fidelity: str = "full"):
+    """Execute one stage on the calling rank (generator)."""
+    if fidelity not in ("full", "sketch"):
+        raise ValueError(f"unknown fidelity {fidelity!r}")
+    if spec.kind == "compute":
+        yield from _compute(mpi, comm, spec)
+    elif spec.kind == "allreduce":
+        yield from _allreduce(mpi, comm, spec, iteration, fidelity)
+    elif spec.kind == "allgatherv":
+        yield from _allgatherv(mpi, comm, spec, fidelity)
+    else:
+        yield from _p2p(mpi, comm, spec)
+
+
+def _compute(mpi, comm, spec: StageSpec):
+    p = comm.size
+    work = spec.work / p if spec.scale == "linear" else spec.work
+    if spec.jitter > 0:
+        work *= float(mpi.machine.rng.lognormal(0.0, spec.jitter))
+    if work > 0:
+        yield from mpi.compute(work)
+
+
+def _allreduce(mpi, comm, spec: StageSpec, iteration: int, fidelity: str):
+    p = comm.size
+    if p == 1:
+        return
+    if fidelity == "full":
+        yield from mpi.allreduce(Blob(spec.nbytes) if spec.nbytes > 8 else 0.0,
+                                 op=_combine, comm=comm)
+        return
+    # sketch: one butterfly exchange with a rotating partner + a latency
+    # make-up term for the remaining recursive-doubling rounds.  The
+    # rotating distance restores global lock-step over log2(p) iterations.
+    rounds = max(1, math.ceil(math.log2(p)))
+    r = comm.rank_of_gid(mpi.gid)
+    dist = 1 << (iteration % rounds)
+    partner = r ^ dist
+    base = mpi.next_coll_tag(comm)
+    if partner < p:
+        yield from mpi.sendrecv(
+            Blob(spec.nbytes), partner, partner, tag=base, comm=comm
+        )
+    remaining = rounds - 1
+    spec_net = mpi.machine.fabric
+    if remaining > 0:
+        yield Timeout(remaining * (spec_net.latency + spec.nbytes / spec_net.bandwidth))
+
+
+def _combine(a, b):
+    """Reduction op tolerant of Blob payloads (size is all that matters)."""
+    if isinstance(a, Blob) or isinstance(b, Blob):
+        return a if isinstance(a, Blob) else b
+    return a + b
+
+
+def _allgatherv(mpi, comm, spec: StageSpec, fidelity: str):
+    p = comm.size
+    if p == 1:
+        return
+    block = spec.nbytes / p
+    if fidelity == "full":
+        yield from mpi.allgatherv(Blob(block), comm=comm)
+        return
+    # sketch: the ring moves (p-1) blocks through every NIC; send them as
+    # one aggregate message to the right neighbour, receive the same from
+    # the left, and add the ring's residual latency.
+    r = comm.rank_of_gid(mpi.gid)
+    right = (r + 1) % p
+    left = (r - 1) % p
+    base = mpi.next_coll_tag(comm)
+    agg = Blob((p - 1) * block)
+    yield from mpi.sendrecv(agg, right, left, tag=base, comm=comm)
+    if p > 2:
+        yield Timeout((p - 2) * mpi.machine.fabric.latency)
+
+
+def _p2p(mpi, comm, spec: StageSpec):
+    """Nearest-neighbour halo exchange (both directions)."""
+    p = comm.size
+    if p == 1:
+        return
+    r = comm.rank_of_gid(mpi.gid)
+    right = (r + 1) % p
+    left = (r - 1) % p
+    base = mpi.next_coll_tag(comm)
+    sreq1 = yield from mpi.isend(Blob(spec.nbytes), right, tag=base, comm=comm)
+    sreq2 = yield from mpi.isend(Blob(spec.nbytes), left, tag=base - 1, comm=comm)
+    rreq1 = yield from mpi.irecv(source=left, tag=base, comm=comm)
+    rreq2 = yield from mpi.irecv(source=right, tag=base - 1, comm=comm)
+    yield from mpi.waitall([sreq1, sreq2, rreq1, rreq2])

@@ -1,0 +1,14 @@
+"""Tracing and timeline visualisation for simulated runs.
+
+Attach a :class:`Tracer` to a machine before launching work::
+
+    tracer = Tracer().attach(machine)
+    ... run the simulation ...
+    print(ascii_timeline(tracer.events))
+    Path("run.json").write_text(tracer.to_chrome_trace())  # chrome://tracing
+"""
+
+from .recorder import TraceEvent, Tracer
+from .render import ascii_timeline
+
+__all__ = ["Tracer", "TraceEvent", "ascii_timeline"]

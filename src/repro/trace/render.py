@@ -1,0 +1,61 @@
+"""ASCII timeline rendering of traces."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .recorder import TraceEvent
+
+__all__ = ["ascii_timeline"]
+
+_CHARS = {"flow": "=", "cpu": "#", "mark": "|"}
+
+
+def ascii_timeline(
+    events: Sequence[TraceEvent],
+    width: int = 80,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+    max_lanes: int = 24,
+) -> str:
+    """One text row per lane; ``#`` CPU, ``=`` network, ``|`` marks.
+
+    Overlapping intervals on a lane overwrite left to right; the goal is a
+    quick visual of who was busy when, not exact accounting.
+    """
+    if not events:
+        return "(no trace events)"
+    lo = min(e.t0 for e in events) if t0 is None else t0
+    hi = max(e.t1 for e in events) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1e-9
+    span = hi - lo
+
+    def col(t: float) -> int:
+        return int(min(width - 1, max(0, (t - lo) / span * (width - 1))))
+
+    lanes: dict[str, list[str]] = {}
+    for e in sorted(events, key=lambda e: e.t0):
+        if e.t1 < lo or e.t0 > hi:
+            continue
+        row = lanes.setdefault(e.lane, [" "] * width)
+        a, b = col(e.t0), col(e.t1)
+        ch = _CHARS.get(e.category, "?")
+        for i in range(a, b + 1):
+            row[i] = ch
+
+    if len(lanes) > max_lanes:
+        shown = dict(sorted(lanes.items())[:max_lanes])
+        hidden = len(lanes) - max_lanes
+    else:
+        shown, hidden = lanes, 0
+
+    name_w = max(len(n) for n in shown) if shown else 4
+    lines = [f"{'lane':<{name_w}} | t = [{lo:.4g} .. {hi:.4g}] s"]
+    lines.append("-" * (name_w + 3 + width))
+    for name in sorted(shown):
+        lines.append(f"{name:<{name_w}} |" + "".join(shown[name]))
+    if hidden:
+        lines.append(f"... {hidden} more lane(s) hidden")
+    lines.append("legend: # cpu   = network   | mark")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Terminal plots and table emission."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import csv_table, format_cell, line_chart, markdown_table, method_grid
+
+
+# ----------------------------------------------------------------- tables
+def test_markdown_table_shape():
+    text = markdown_table(["a", "b"], [[1, 2.5], ["x", None]])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert "2.500" in lines[2]
+    assert "| x | - |" == lines[3]
+
+
+def test_format_cell_ranges():
+    assert format_cell(None) == "-"
+    assert format_cell(0.0) == "0"
+    assert format_cell(1234.5) == "1.234e+03" or "e" in format_cell(1234.5)
+    assert format_cell(0.25) == "0.250"
+    assert format_cell("name") == "name"
+    assert format_cell(5) == "5"
+
+
+def test_csv_table_roundtrip():
+    text = csv_table(["x", "y"], [[1, 2], [3, None]])
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows == [["x", "y"], ["1", "2"], ["3", ""]]
+
+
+# ------------------------------------------------------------------ charts
+def test_line_chart_contains_marks_and_legend():
+    text = line_chart(
+        {"fast": [1.0, 2.0, 3.0], "slow": [2.0, 4.0, 6.0]},
+        x_labels=[10, 20, 40],
+        title="demo",
+    )
+    assert "demo" in text
+    assert "o=fast" in text and "x=slow" in text
+    assert "10" in text and "40" in text
+
+
+def test_line_chart_flat_series():
+    text = line_chart({"flat": [1.0, 1.0]}, x_labels=["a", "b"])
+    assert "o=flat" in text
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart({}, x_labels=[1])
+    with pytest.raises(ValueError):
+        line_chart({"s": [1.0]}, x_labels=[1, 2])
+    with pytest.raises(ValueError):
+        line_chart({"s": [None]}, x_labels=[1])
+
+
+def test_line_chart_skips_none_points():
+    text = line_chart({"s": [1.0, None, 3.0]}, x_labels=[1, 2, 3])
+    assert "o=s" in text
+
+
+def test_method_grid_layout():
+    preferred = {
+        (2, 4): "Merge COLS",
+        (4, 2): "Merge COLS",
+        (2, 8): "Baseline P2PS",
+        (8, 2): "Merge COLS",
+        (4, 8): "Merge COLS",
+        (8, 4): "Merge COLS",
+    }
+    text = method_grid(preferred, ladder=[2, 4, 8], title="grid")
+    assert "grid" in text
+    assert "1: Merge COLS" in text
+    assert "2: Baseline P2PS" in text
+    # Diagonal shows dots.
+    assert "." in text
+
+
+def test_method_grid_with_explicit_legend():
+    text = method_grid({(2, 4): "m"}, ladder=[2, 4], legend={"m": 7})
+    assert "7: m" in text

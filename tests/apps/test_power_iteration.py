@@ -1,0 +1,62 @@
+"""Power iteration: convergence and reconfiguration transparency."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PowerIterationApp, laplacian_3d, power_iteration_reference
+from repro.cluster import INFINIBAND_EDR, Machine
+from repro.malleability import (
+    ReconfigConfig,
+    ReconfigRequest,
+    RunStats,
+    run_malleable,
+)
+from repro.simulate import Simulator
+from repro.smpi import MpiWorld, SpawnModel
+
+
+def run_malleable_power(config_key, ns, nt, iters=20, reconf_at=8):
+    a = laplacian_3d(4)
+    app = PowerIterationApp(a, n_iterations=iters, seed=3)
+    sim = Simulator()
+    machine = Machine(sim, 4, 2, INFINIBAND_EDR)
+    world = MpiWorld(
+        machine, spawn_model=SpawnModel(base=0.002, per_process=2e-4, per_node=2e-4)
+    )
+    stats = RunStats()
+    requests = [ReconfigRequest(at_iteration=reconf_at, n_targets=nt)]
+    world.launch(
+        run_malleable, slots=range(ns),
+        args=(app, ReconfigConfig.parse(config_key), requests, stats),
+    )
+    sim.run()
+    return app, stats, a
+
+
+@pytest.mark.parametrize("config_key,ns,nt", [
+    ("merge-col-a", 2, 5),
+    ("baseline-p2p-s", 4, 2),
+    ("merge-rma-a", 3, 6),
+])
+def test_reconfiguration_preserves_eigenvalue_stream(config_key, ns, nt):
+    iters = 20
+    app, stats, a = run_malleable_power(config_key, ns, nt, iters=iters)
+    _, ref = power_iteration_reference(a, iters, seed=3)
+    assert app.eigenvalue_estimates == pytest.approx(ref, rel=1e-12)
+    assert stats.total_iterations() == iters
+
+
+def test_estimates_converge_to_dominant_eigenvalue():
+    a = laplacian_3d(4)
+    app, stats, _ = run_malleable_power("merge-col-s", 2, 4, iters=60, reconf_at=20)
+    from scipy.sparse.linalg import eigsh
+
+    top = float(eigsh(a, k=1, return_eigenvectors=False)[0])
+    assert app.eigenvalue_estimates[-1] == pytest.approx(top, rel=1e-4)
+
+
+def test_rejects_nonsquare():
+    from scipy import sparse as sp
+
+    with pytest.raises(ValueError):
+        PowerIterationApp(sp.csr_matrix((3, 5)), 10)

@@ -1,0 +1,64 @@
+"""Receiver-side copy cost: the CPU/network coupling of TCP-like fabrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ETHERNET_10G, INFINIBAND_EDR, Machine
+from repro.simulate import Simulator
+from repro.smpi import MpiWorld
+
+PAYLOAD = np.zeros(2_000_000)  # 16 MB
+
+
+def delivery_time(fabric, busy_receiver_node: bool):
+    """Time for rank 1 to receive 16 MB while (optionally) its node is
+    fully loaded with compute."""
+    sim = Simulator()
+    machine = Machine(sim, 2, 1, fabric)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(PAYLOAD, dest=1)
+            return None
+        t0 = mpi.now
+        yield from mpi.recv(source=0)
+        return mpi.now - t0
+
+    def burner(mpi):
+        yield from mpi.compute(10.0)
+        return None
+
+    res = world.launch(main, slots=[0, 1])
+    if busy_receiver_node:
+        world.launch(burner, slots=[1])  # same node as rank 1
+    sim.run(until=10.0)
+    return res.procs[1].result
+
+
+def test_ethernet_receive_slows_under_load():
+    idle = delivery_time(ETHERNET_10G, busy_receiver_node=False)
+    busy = delivery_time(ETHERNET_10G, busy_receiver_node=True)
+    # The touch-copy now shares the core with the burner: measurably slower.
+    assert busy > idle * 1.15
+
+
+def test_infiniband_less_load_sensitive_than_ethernet():
+    """RDMA receive path is much less CPU-coupled than TCP's."""
+    ratios = {}
+    for fabric in (ETHERNET_10G, INFINIBAND_EDR):
+        idle = delivery_time(fabric, busy_receiver_node=False)
+        busy = delivery_time(fabric, busy_receiver_node=True)
+        ratios[fabric.name] = busy / idle
+    assert ratios["infiniband"] < ratios["ethernet"]
+    # And in absolute terms, IB load sensitivity stays small.
+    assert ratios["infiniband"] < 1.25
+
+
+def test_copy_cost_share_of_ethernet_delivery():
+    idle = delivery_time(ETHERNET_10G, busy_receiver_node=False)
+    wire = PAYLOAD.nbytes / ETHERNET_10G.bandwidth
+    copy = PAYLOAD.nbytes / ETHERNET_10G.copy_rate
+    # The receiver polls while its rx copy runs: on a single-core node the
+    # two demands share the core, so the copy takes ~2x its nominal time.
+    assert idle == pytest.approx(wire + 2 * copy, rel=0.1)

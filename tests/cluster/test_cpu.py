@@ -1,0 +1,226 @@
+"""Processor-sharing CPU model tests: rates, oversubscription, pollers."""
+
+import pytest
+
+from repro.cluster import ComputeOn, Node, PollerToken
+from repro.simulate import Simulator, Timeout
+
+
+def make_node(cores=2):
+    sim = Simulator()
+    return sim, Node(sim, 0, cores)
+
+
+def test_single_task_runs_at_full_rate():
+    sim, node = make_node(cores=2)
+
+    def proc():
+        yield ComputeOn(node, 3.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_tasks_within_core_count_do_not_interfere():
+    sim, node = make_node(cores=2)
+    ends = []
+
+    def proc(w):
+        yield ComputeOn(node, w)
+        ends.append(sim.now)
+
+    sim.spawn(proc(2.0))
+    sim.spawn(proc(3.0))
+    sim.run()
+    assert ends == [pytest.approx(2.0), pytest.approx(3.0)]
+
+
+def test_oversubscription_halves_rate():
+    sim, node = make_node(cores=1)
+    ends = []
+
+    def proc(w):
+        yield ComputeOn(node, w)
+        ends.append(sim.now)
+
+    # Two 1-second tasks on one core: both at rate 1/2, both end at t=2.
+    sim.spawn(proc(1.0))
+    sim.spawn(proc(1.0))
+    sim.run()
+    assert ends == [pytest.approx(2.0), pytest.approx(2.0)]
+
+
+def test_rate_recovers_when_task_finishes():
+    sim, node = make_node(cores=1)
+    ends = {}
+
+    def proc(name, w):
+        yield ComputeOn(node, w)
+        ends[name] = sim.now
+
+    # Short (1s work) and long (2s work) share a core.
+    # Phase 1: both at rate .5 until short finishes at t=2 (short did 1s work).
+    # Long then has 1s work left at rate 1 -> ends t=3.
+    sim.spawn(proc("short", 1.0))
+    sim.spawn(proc("long", 2.0))
+    sim.run()
+    assert ends["short"] == pytest.approx(2.0)
+    assert ends["long"] == pytest.approx(3.0)
+
+
+def test_late_arrival_slows_running_task():
+    sim, node = make_node(cores=1)
+    ends = {}
+
+    def first():
+        yield ComputeOn(node, 2.0)
+        ends["first"] = sim.now
+
+    def second():
+        yield Timeout(1.0)
+        yield ComputeOn(node, 2.0)
+        ends["second"] = sim.now
+
+    sim.spawn(first())
+    sim.spawn(second())
+    sim.run()
+    # first: 1s solo (1.0 work done) + shares until its remaining 1.0 work
+    # done at rate .5 -> +2s -> t=3.  second: at t=3 it has done 1.0 of 2.0,
+    # then runs solo -> t=4.
+    assert ends["first"] == pytest.approx(3.0)
+    assert ends["second"] == pytest.approx(4.0)
+
+
+def test_poller_consumes_share():
+    sim, node = make_node(cores=1)
+    ends = {}
+    tok = PollerToken("waiter")
+
+    def worker():
+        yield ComputeOn(node, 1.0)
+        ends["worker"] = sim.now
+
+    def poller():
+        node.add_poller(tok)
+        yield Timeout(10.0)
+        node.remove_poller(tok)
+
+    sim.spawn(worker())
+    sim.spawn(poller())
+    sim.run()
+    # Worker shares its single core with the polling process: rate 1/2.
+    assert ends["worker"] == pytest.approx(2.0)
+
+
+def test_poller_removal_restores_rate():
+    sim, node = make_node(cores=1)
+    ends = {}
+    tok = PollerToken()
+
+    def worker():
+        yield ComputeOn(node, 2.0)
+        ends["worker"] = sim.now
+
+    def poller():
+        node.add_poller(tok)
+        yield Timeout(2.0)
+        node.remove_poller(tok)
+
+    sim.spawn(worker())
+    sim.spawn(poller())
+    sim.run()
+    # 2s at rate .5 (1.0 work done), then 1s at rate 1 -> t=3.
+    assert ends["worker"] == pytest.approx(3.0)
+
+
+def test_pollers_alone_do_not_advance_anything():
+    sim, node = make_node(cores=1)
+    tok = PollerToken()
+
+    def poller():
+        node.add_poller(tok)
+        yield Timeout(5.0)
+        node.remove_poller(tok)
+
+    sim.spawn(poller())
+    sim.run()
+    assert sim.now == pytest.approx(5.0)
+    assert node.demand == 0
+
+
+def test_zero_work_completes_immediately():
+    sim, node = make_node()
+    ends = []
+
+    def proc():
+        yield ComputeOn(node, 0.0)
+        ends.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert ends == [0.0]
+
+
+def test_negative_or_nan_work_rejected():
+    sim, node = make_node()
+    with pytest.raises(ValueError):
+        node.submit(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        node.submit(float("nan"), lambda: None)
+
+
+def test_double_poller_registration_rejected():
+    sim, node = make_node()
+    tok = PollerToken()
+    node.add_poller(tok)
+    with pytest.raises(ValueError):
+        node.add_poller(tok)
+    node.remove_poller(tok)
+    with pytest.raises(ValueError):
+        node.remove_poller(tok)
+
+
+def test_many_tasks_rate_is_cores_over_n():
+    sim, node = make_node(cores=4)
+    ends = []
+
+    def proc():
+        yield ComputeOn(node, 1.0)
+        ends.append(sim.now)
+
+    for _ in range(8):
+        sim.spawn(proc())
+    sim.run()
+    # 8 equal tasks on 4 cores -> rate .5 each -> all end at t=2.
+    assert all(t == pytest.approx(2.0) for t in ends)
+    assert len(ends) == 8
+
+
+def test_busy_coreseconds_accounting():
+    sim, node = make_node(cores=2)
+
+    def proc():
+        yield ComputeOn(node, 4.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert node.busy_coreseconds == pytest.approx(4.0)
+
+
+def test_node_requires_positive_cores():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Node(sim, 0, 0)
+
+
+def test_compute_value_passthrough():
+    sim, node = make_node()
+    got = []
+
+    def proc():
+        got.append((yield ComputeOn(node, 1.0, value="done-token")))
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == ["done-token"]

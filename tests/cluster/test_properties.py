@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for the cluster substrate invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ComputeOn, Network, Node
+from repro.cluster.network import Flow
+from repro.simulate import Simulator
+
+
+# ---------------------------------------------------------------- max-min
+@st.composite
+def network_with_flows(draw):
+    """A random network plus random flows over subsets of links."""
+    sim = Simulator()
+    net = Network(sim)
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    caps = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+            min_size=n_links,
+            max_size=n_links,
+        )
+    )
+    links = [net.add_link(f"l{i}", c) for i, c in enumerate(caps)]
+    n_flows = draw(st.integers(min_value=1, max_value=12))
+    flows = []
+    for i in range(n_flows):
+        route_idx = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=1,
+                max_size=n_links,
+                unique=True,
+            )
+        )
+        route = [links[j] for j in route_idx]
+        f = Flow(route, size=1.0, done=sim.event(), label=f"f{i}")
+        net._active.add(f)
+        for l in route:
+            l.flows.add(f)
+        flows.append(f)
+    return net, links, flows
+
+
+@given(network_with_flows())
+@settings(max_examples=60, deadline=None)
+def test_max_min_allocation_is_feasible(setup):
+    """No link carries more than its capacity (within float tolerance)."""
+    net, links, flows = setup
+    net._max_min_allocate()
+    for link in links:
+        total = sum(f.rate for f in link.flows)
+        assert total <= link.capacity * (1 + 1e-9)
+
+
+@given(network_with_flows())
+@settings(max_examples=60, deadline=None)
+def test_max_min_allocation_gives_everyone_positive_rate(setup):
+    net, links, flows = setup
+    net._max_min_allocate()
+    for f in flows:
+        assert f.rate > 0
+
+
+@given(network_with_flows())
+@settings(max_examples=60, deadline=None)
+def test_max_min_allocation_is_pareto_efficient(setup):
+    """Every flow crosses at least one saturated link (can't raise any rate
+    without lowering another) — the defining property of max-min."""
+    net, links, flows = setup
+    net._max_min_allocate()
+    saturated = {
+        l.link_id
+        for l in links
+        if sum(f.rate for f in l.flows) >= l.capacity * (1 - 1e-6)
+    }
+    for f in flows:
+        assert any(l.link_id in saturated for l in f.route), (
+            f"flow {f.label} crosses no saturated link"
+        )
+
+
+@given(network_with_flows())
+@settings(max_examples=40, deadline=None)
+def test_max_min_fairness_within_saturated_link(setup):
+    """On a saturated link, a flow's rate can only be below the link's
+    equal-share if it is limited elsewhere (i.e. rates are max-min)."""
+    net, links, flows = setup
+    net._max_min_allocate()
+    for link in links:
+        if not link.flows:
+            continue
+        rates = sorted(f.rate for f in link.flows)
+        # Max-min implies: the largest rate on a saturated link equals the
+        # residual fair share; nobody exceeds it by more than tolerance.
+        total = sum(rates)
+        if total >= link.capacity * (1 - 1e-6):
+            max_rate = rates[-1]
+            for f in link.flows:
+                assert f.rate <= max_rate * (1 + 1e-9)
+
+
+# ---------------------------------------------------------------- CPU sharing
+@given(
+    works=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=10,
+    ),
+    cores=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_total_time_conserves_work(works, cores):
+    """Processor sharing conserves work: makespan >= total_work/cores and
+    >= max individual work; and equals max(work) when undersubscribed."""
+    sim = Simulator()
+    node = Node(sim, 0, cores)
+    ends = []
+
+    def proc(w):
+        yield ComputeOn(node, w)
+        ends.append(sim.now)
+
+    for w in works:
+        sim.spawn(proc(w))
+    sim.run()
+    makespan = max(ends)
+    assert makespan >= max(works) * (1 - 1e-9)
+    assert makespan >= (sum(works) / cores) * (1 - 1e-9)
+    if len(works) <= cores:
+        assert makespan == pytest.approx(max(works))
+
+
+@given(
+    works=st.lists(
+        st.floats(min_value=0.05, max_value=10.0, allow_nan=False),
+        min_size=2,
+        max_size=8,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_single_core_makespan_is_total_work(works):
+    """With one core, processor sharing finishes everything at sum(works)."""
+    sim = Simulator()
+    node = Node(sim, 0, 1)
+    ends = []
+
+    def proc(w):
+        yield ComputeOn(node, w)
+        ends.append(sim.now)
+
+    for w in works:
+        sim.spawn(proc(w))
+    sim.run()
+    assert max(ends) == pytest.approx(sum(works), rel=1e-6)
+
+
+@given(
+    works=st.lists(
+        st.floats(min_value=0.05, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    cores=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_cpu_completion_order_matches_work_order(works, cores):
+    """Equal-priority PS: tasks finish in order of their work amounts."""
+    sim = Simulator()
+    node = Node(sim, 0, cores)
+    ends = {}
+
+    def proc(i, w):
+        yield ComputeOn(node, w)
+        ends[i] = sim.now
+
+    for i, w in enumerate(works):
+        sim.spawn(proc(i, w))
+    sim.run()
+    order_by_end = sorted(range(len(works)), key=lambda i: (ends[i], works[i]))
+    order_by_work = sorted(range(len(works)), key=lambda i: (works[i], i))
+    # Ends must be monotone in work (ties allowed).
+    for a, b in zip(order_by_work, order_by_work[1:]):
+        assert ends[a] <= ends[b] * (1 + 1e-9)

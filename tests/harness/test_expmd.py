@@ -1,0 +1,63 @@
+"""EXPERIMENTS.md generation from sweep data."""
+
+import pytest
+
+from repro.harness import ResultSet, evaluate_claims, experiments_markdown, run_sweep
+from repro.malleability import ALL_CONFIGS
+from repro.synthetic.presets import SCALES
+
+
+@pytest.fixture(scope="module")
+def grid_sweep():
+    """Full tiny grid, 1 rep (claims need every figure's cells)."""
+    preset = SCALES["tiny"]
+    return run_sweep(
+        preset.pairs(),
+        [c.key for c in ALL_CONFIGS],
+        ["ethernet", "infiniband"],
+        scale="tiny",
+        repetitions=1,
+    )
+
+
+def test_claims_cover_every_figure(grid_sweep):
+    claims = evaluate_claims(grid_sweep, "tiny")
+    figures = {c.figure for c in claims}
+    for i in range(2, 10):
+        assert any(f"Figure {i}" in f or f"{i}" in f for f in figures), i
+    # The core orderings must hold even on a single-rep sweep.
+    by_paper = {c.paper: c for c in claims}
+    assert by_paper[
+        "Merge reconfigurations outperform Baseline (ethernet)"
+    ].holds
+    assert by_paper[
+        "Infiniband reconfigures faster than Ethernet across the board"
+    ].holds
+
+
+def test_markdown_structure(grid_sweep):
+    text = experiments_markdown(grid_sweep, "tiny")
+    assert text.startswith("# EXPERIMENTS")
+    assert "| figure | paper claim | measured | verdict |" in text
+    assert "Headline numbers" in text
+    assert "1.14x" in text and "1.21x" in text
+    assert "PASS" in text
+
+
+def test_markdown_extra_sections(grid_sweep):
+    text = experiments_markdown(grid_sweep, "tiny", extra_sections="## Custom\nbody")
+    assert text.rstrip().endswith("body")
+
+
+def test_cli_experiments_md(grid_sweep, tmp_path, capsys):
+    from repro.harness.cli import main as cli_main
+
+    csv = tmp_path / "r.csv"
+    grid_sweep.to_csv(csv)
+    out = tmp_path / "EXP.md"
+    code = cli_main([
+        "experiments-md", "--results", str(csv), "--scale", "tiny",
+        "--out", str(out),
+    ])
+    assert code == 0
+    assert out.read_text().startswith("# EXPERIMENTS")

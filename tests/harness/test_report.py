@@ -1,0 +1,81 @@
+"""Figure builders on hand-crafted result sets (no simulations)."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, ResultSet, RunResult, build_figure
+from repro.harness.report import BASELINE_REFERENCE
+from repro.malleability import ALL_CONFIGS
+from repro.synthetic.presets import SCALES
+
+LADDER = SCALES["tiny"].ladder  # (2, 4, 8)
+
+
+def synthetic_results():
+    """Deterministic fake sweep: reconfig_time = f(config, pair); app_time
+    designed so baseline-col-s is 2.0 and merge-col-a is 1.6 everywhere."""
+    rows = []
+    reconfig_base = {
+        "baseline": 0.5,
+        "merge": 0.3,
+    }
+    for fabric in ("ethernet",):
+        for ns in LADDER:
+            for nt in LADDER:
+                if ns == nt:
+                    continue
+                for cfg in ALL_CONFIGS:
+                    rt = reconfig_base[cfg.spawn.value]
+                    if cfg.strategy.value in ("A", "T"):
+                        rt *= 1.2 if cfg.strategy.value == "A" else 1.4
+                    app = 2.0
+                    if cfg.key == "merge-col-a":
+                        app = 1.6
+                    for rep in range(2):
+                        rows.append(RunResult(
+                            ns=ns, nt=nt, config_key=cfg.key, fabric=fabric,
+                            scale="tiny", rep=rep,
+                            reconfig_time=rt + 0.001 * rep,
+                            app_time=app + 0.001 * rep,
+                            spawn_time=0.1,
+                            overlapped_iterations=0,
+                            total_iterations=30,
+                        ))
+    return ResultSet(rows)
+
+
+@pytest.fixture(scope="module")
+def rs():
+    return synthetic_results()
+
+
+def test_times_figure_medians(rs):
+    fig = build_figure(EXPERIMENTS["fig2"], rs, "tiny", "ethernet", "shrink")
+    assert fig.x_values == [2, 4]
+    assert fig.series["Merge COLS"] == pytest.approx([0.3005, 0.3005])
+    assert fig.series["Baseline COLS"] == pytest.approx([0.5005, 0.5005])
+
+
+def test_alpha_figure_ratios(rs):
+    fig = build_figure(EXPERIMENTS["fig4"], rs, "tiny", "ethernet", "expand")
+    # A strategies: 1.2x their sync counterpart; T: 1.4x.
+    for name, vals in fig.series.items():
+        expected = 1.2 if name.endswith("A") else 1.4
+        assert vals == pytest.approx([expected] * len(vals), rel=1e-2)
+
+
+def test_speedup_figure_reference_and_ratios(rs):
+    fig = build_figure(EXPERIMENTS["fig7"], rs, "tiny", "ethernet", "shrink")
+    assert "Baseline COLS time (s)" in fig.series
+    assert fig.series["Merge COLA"] == pytest.approx([1.25, 1.25], rel=1e-2)
+    assert fig.series["Merge P2PS"] == pytest.approx([1.0, 1.0], rel=1e-2)
+    # The reference config never appears as a speedup series.
+    assert "Baseline COLS" not in fig.series
+
+
+def test_preferred_grid_picks_the_designed_winner(rs):
+    fig = build_figure(EXPERIMENTS["fig9"], rs, "tiny", "ethernet", "grid")
+    assert set(fig.preferred.values()) == {"merge-col-a"}
+
+
+def test_reference_constant_is_a_real_config():
+    assert BASELINE_REFERENCE in {c.key for c in ALL_CONFIGS}

@@ -1,0 +1,59 @@
+"""The drain path: iteration budget ends while a reconfiguration is in
+flight — the manager must complete it rather than orphan spawned ranks."""
+
+import pytest
+
+from repro.cluster import ETHERNET_10G, Machine
+from repro.malleability import (
+    ReconfigConfig,
+    ReconfigRequest,
+    RunStats,
+    run_malleable,
+)
+from repro.simulate import Simulator
+from repro.smpi import MpiWorld, SpawnModel
+from tests.malleability.test_manager import ToyApp
+
+
+@pytest.mark.parametrize("config_key", ["merge-col-a", "baseline-p2p-a", "merge-p2p-t"])
+def test_reconfig_requested_on_last_iterations_still_completes(config_key):
+    """Reconfigure 2 iterations before the end with a spawn cost that takes
+    far longer than the remaining iterations: the drain loop must finish the
+    reconfiguration, run 0 remaining iterations on the new group, and leave
+    a complete record."""
+    sim = Simulator()
+    machine = Machine(sim, 4, 2, ETHERNET_10G)
+    # Slow spawn: the overlap cannot complete within the iteration budget.
+    world = MpiWorld(
+        machine, spawn_model=SpawnModel(base=0.5, per_process=0.01, per_node=0.01)
+    )
+    stats = RunStats()
+    app = ToyApp()
+    config = ReconfigConfig.parse(config_key)
+    requests = [ReconfigRequest(at_iteration=app.n_iterations - 2, n_targets=6)]
+    world.launch(run_malleable, slots=range(3), args=(app, config, requests, stats))
+    sim.run()  # must not deadlock
+    assert stats.total_iterations() == app.n_iterations
+    rec = stats.last_reconfig
+    assert rec.data_complete_at is not None
+    assert rec.reconfiguration_time > 0.5  # dominated by the slow spawn
+
+
+def test_drain_handoff_group_runs_zero_iterations():
+    sim = Simulator()
+    machine = Machine(sim, 4, 2, ETHERNET_10G)
+    world = MpiWorld(
+        machine, spawn_model=SpawnModel(base=1.0, per_process=0.01, per_node=0.01)
+    )
+    stats = RunStats()
+    app = ToyApp()
+    requests = [ReconfigRequest(at_iteration=app.n_iterations - 1, n_targets=4)]
+    world.launch(
+        run_malleable, slots=range(2),
+        args=(app, ReconfigConfig.parse("merge-col-a"), requests, stats),
+    )
+    sim.run()
+    # All iterations ran in group 0; group 1 exists but iterated 0 times.
+    assert stats.iterations_by_group.get(0, 0) == app.n_iterations
+    assert stats.iterations_by_group.get(1, 0) == 0
+    assert stats.finished_at is not None

@@ -1,0 +1,128 @@
+"""Block-distribution arithmetic: exactness, ownership, overlap merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.redistribution import (
+    block_counts,
+    block_offsets,
+    block_range,
+    owner_of_row,
+    range_overlaps,
+)
+
+
+def test_block_counts_even_split():
+    np.testing.assert_array_equal(block_counts(12, 4), [3, 3, 3, 3])
+
+
+def test_block_counts_remainder_goes_to_low_ranks():
+    np.testing.assert_array_equal(block_counts(10, 4), [3, 3, 2, 2])
+
+
+def test_block_counts_more_ranks_than_rows():
+    np.testing.assert_array_equal(block_counts(2, 4), [1, 1, 0, 0])
+
+
+def test_block_offsets_cumulative():
+    np.testing.assert_array_equal(block_offsets(10, 4), [0, 3, 6, 8, 10])
+
+
+def test_block_range():
+    assert block_range(10, 4, 0) == (0, 3)
+    assert block_range(10, 4, 3) == (8, 10)
+    with pytest.raises(ValueError):
+        block_range(10, 4, 4)
+
+
+def test_owner_of_row():
+    assert owner_of_row(10, 4, 0) == 0
+    assert owner_of_row(10, 4, 2) == 0
+    assert owner_of_row(10, 4, 3) == 1
+    assert owner_of_row(10, 4, 9) == 3
+    with pytest.raises(ValueError):
+        owner_of_row(10, 4, 10)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        block_counts(10, 0)
+    with pytest.raises(ValueError):
+        block_counts(-1, 2)
+
+
+def test_range_overlaps_simple():
+    a = np.array([0, 5, 10])
+    b = np.array([0, 3, 6, 10])
+    got = list(range_overlaps(a, b))
+    assert got == [(0, 0, 0, 3), (0, 1, 3, 5), (1, 1, 5, 6), (1, 2, 6, 10)]
+
+
+def test_range_overlaps_mismatched_totals_rejected():
+    with pytest.raises(ValueError):
+        list(range_overlaps(np.array([0, 5]), np.array([0, 6])))
+
+
+@given(
+    n=st.integers(min_value=0, max_value=10_000),
+    p=st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_block_partition_is_exact(n, p):
+    """Counts sum to n; every count differs by at most 1; offsets monotone."""
+    counts = block_counts(n, p)
+    assert counts.sum() == n
+    assert counts.max() - counts.min() <= 1
+    offsets = block_offsets(n, p)
+    assert offsets[0] == 0 and offsets[-1] == n
+    assert np.all(np.diff(offsets) >= 0)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=2000),
+    p=st.integers(min_value=1, max_value=64),
+    row_frac=st.floats(min_value=0, max_value=1, exclude_max=True),
+)
+@settings(max_examples=100, deadline=None)
+def test_owner_matches_range(n, p, row_frac):
+    row = int(row_frac * n)
+    r = owner_of_row(n, p, row)
+    lo, hi = block_range(n, p, r)
+    assert lo <= row < hi
+
+
+@given(
+    n=st.integers(min_value=0, max_value=5000),
+    pa=st.integers(min_value=1, max_value=50),
+    pb=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_overlaps_tile_the_row_space_exactly(n, pa, pb):
+    """Overlaps are disjoint, ordered, and cover [0, n) exactly once."""
+    a = block_offsets(n, pa)
+    b = block_offsets(n, pb)
+    cursor = 0
+    for ra, rb, lo, hi in range_overlaps(a, b):
+        assert lo == cursor
+        assert hi > lo
+        # Consistency with the owning ranges:
+        assert a[ra] <= lo and hi <= a[ra + 1]
+        assert b[rb] <= lo and hi <= b[rb + 1]
+        cursor = hi
+    assert cursor == n
+
+
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    pa=st.integers(min_value=1, max_value=50),
+    pb=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_overlap_count_bounded_by_sum_of_ranks(n, pa, pb):
+    """Block overlap structure is sparse: at most pa + pb - 1 chunks."""
+    a = block_offsets(n, pa)
+    b = block_offsets(n, pb)
+    chunks = list(range_overlaps(a, b))
+    assert len(chunks) <= pa + pb - 1

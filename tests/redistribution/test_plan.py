@@ -1,0 +1,146 @@
+"""Redistribution plan structure and the movement-minimising extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.redistribution import (
+    RedistributionPlan,
+    block_offsets,
+    movement_minimizing_offsets,
+)
+
+
+def test_block_plan_shapes():
+    plan = RedistributionPlan.block(100, 4, 2)
+    assert plan.n_sources == 4 and plan.n_targets == 2 and plan.n_rows == 100
+    # 4 sources of 25 rows -> 2 targets of 50 rows: each target gets 2 chunks.
+    assert [t.src for t in plan.recvs_for(0)] == [0, 1]
+    assert [t.src for t in plan.recvs_for(1)] == [2, 3]
+    assert [t.dst for t in plan.sends_for(0)] == [0]
+
+
+def test_expansion_plan():
+    plan = RedistributionPlan.block(100, 2, 4)
+    assert [t.dst for t in plan.sends_for(0)] == [0, 1]
+    assert [t.dst for t in plan.sends_for(1)] == [2, 3]
+    for t in range(4):
+        recvs = plan.recvs_for(t)
+        assert sum(tr.n_rows for tr in recvs) == 25
+
+
+def test_self_rows_when_groups_overlap():
+    """NS=2 -> NT=4 over 100 rows: source 0 owns [0,50) and target 0 owns
+    [0,25), so rank 0 keeps 25 rows; source 1 owns [50,100) but target 1
+    owns [25,50) — disjoint, so rank 1 keeps nothing."""
+    plan = RedistributionPlan.block(100, 2, 4)
+    assert plan.self_rows(0) == 25
+    assert plan.self_rows(1) == 0
+    assert plan.self_rows(3) == 0  # pure target
+
+
+def test_identity_plan_moves_nothing():
+    plan = RedistributionPlan.block(100, 4, 4)
+    assert plan.moved_rows() == 0
+    for r in range(4):
+        assert plan.self_rows(r) == 25
+
+
+def test_invalid_offsets_rejected():
+    with pytest.raises(ValueError):
+        RedistributionPlan(np.array([1, 5]), np.array([0, 5]))
+    with pytest.raises(ValueError):
+        RedistributionPlan(np.array([0, 5, 3]), np.array([0, 5]))
+    with pytest.raises(ValueError):
+        RedistributionPlan(np.array([0, 5]), np.array([0, 6]))
+
+
+def test_rank_bounds_checked():
+    plan = RedistributionPlan.block(10, 2, 3)
+    with pytest.raises(ValueError):
+        plan.sends_for(2)
+    with pytest.raises(ValueError):
+        plan.recvs_for(3)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    ns=st.integers(min_value=1, max_value=40),
+    nt=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_plan_conservation(n, ns, nt):
+    """Every row leaves exactly one source and reaches exactly one target."""
+    plan = RedistributionPlan.block(n, ns, nt)
+    sent = sum(tr.n_rows for s in range(ns) for tr in plan.sends_for(s))
+    received = sum(tr.n_rows for t in range(nt) for tr in plan.recvs_for(t))
+    assert sent == n
+    assert received == n
+    # Per-target: receives tile the target range exactly.
+    for t in range(nt):
+        lo, hi = plan.dst_range(t)
+        cursor = lo
+        for tr in plan.recvs_for(t):
+            assert tr.lo == cursor
+            cursor = tr.hi
+        assert cursor == hi
+
+
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    ns=st.integers(min_value=1, max_value=40),
+    nt=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_send_recv_views_agree(n, ns, nt):
+    plan = RedistributionPlan.block(n, ns, nt)
+    by_send = {(tr.src, tr.dst, tr.lo, tr.hi)
+               for s in range(ns) for tr in plan.sends_for(s)}
+    by_recv = {(tr.src, tr.dst, tr.lo, tr.hi)
+               for t in range(nt) for tr in plan.recvs_for(t)}
+    assert by_send == by_recv
+
+
+# ------------------------------------------------- movement-minimising mode
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    ns=st.integers(min_value=1, max_value=30),
+    nt=st.integers(min_value=1, max_value=30),
+    slack=st.floats(min_value=0.0, max_value=2.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_movement_minimizing_offsets_valid_partition(n, ns, nt, slack):
+    off = movement_minimizing_offsets(n, ns, nt, slack)
+    assert off[0] == 0 and off[-1] == n
+    assert np.all(np.diff(off) >= 0)
+    assert len(off) == nt + 1
+
+
+@given(
+    n=st.integers(min_value=100, max_value=5000),
+    ns=st.integers(min_value=1, max_value=20),
+    nt=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_movement_minimizing_never_moves_more_than_block(n, ns, nt):
+    """The extension's whole point: moved rows <= balanced block plan."""
+    base = RedistributionPlan.block(n, ns, nt)
+    opt = RedistributionPlan.movement_minimizing(n, ns, nt, slack=0.5)
+    assert opt.moved_rows() <= base.moved_rows()
+
+
+def test_movement_minimizing_identity_is_free():
+    opt = RedistributionPlan.movement_minimizing(1000, 4, 4, slack=0.5)
+    assert opt.moved_rows() == 0
+
+
+def test_movement_minimizing_keeps_persisting_data_on_expand():
+    """2 -> 4 over 100 rows with generous slack: ranks 0,1 keep more than
+    the balanced 25 rows each."""
+    off = movement_minimizing_offsets(100, 2, 4, slack=0.5)
+    counts = np.diff(off)
+    assert counts[0] > 25 or counts[1] > 25
+    plan = RedistributionPlan(block_offsets(100, 2), off)
+    base = RedistributionPlan.block(100, 2, 4)
+    assert plan.moved_rows() < base.moved_rows()

@@ -1,0 +1,232 @@
+"""End-to-end redistribution over simulated MPI.
+
+Every combination of {P2P, COL, RMA} x {merge-style intra, baseline-style
+inter} x {blocking, test-driven} must deliver bit-identical data.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.redistribution import (
+    Dataset,
+    FieldSpec,
+    RedistMethod,
+    RedistributionPlan,
+    make_session,
+)
+from repro.smpi import run_spmd
+
+N_ROWS = 60
+N_COLS = 30
+
+
+def specs():
+    return (
+        FieldSpec("A", "csr", constant=True),
+        FieldSpec("x", "dense", constant=False),
+        FieldSpec("blob", "virtual", constant=True, bytes_per_row=500.0),
+    )
+
+
+def global_matrix():
+    rng = np.random.default_rng(42)
+    return sp.random(N_ROWS, N_COLS, density=0.3, random_state=rng, format="csr")
+
+
+def global_vector():
+    return np.arange(N_ROWS, dtype=np.float64) * 1.5
+
+
+def source_dataset(plan, s):
+    lo, hi = plan.src_range(s)
+    return Dataset.create(
+        N_ROWS, specs(), lo, hi,
+        data={"A": global_matrix()[lo:hi], "x": global_vector()[lo:hi]},
+        fill_virtual=True,
+    )
+
+
+def target_dataset(plan, t):
+    lo, hi = plan.dst_range(t)
+    return Dataset.create(N_ROWS, specs(), lo, hi)
+
+
+def check_target(ds, plan, t):
+    lo, hi = plan.dst_range(t)
+    np.testing.assert_allclose(
+        ds.stores["A"].matrix.toarray(), global_matrix()[lo:hi].toarray()
+    )
+    np.testing.assert_array_equal(ds.stores["x"].data, global_vector()[lo:hi])
+    assert ds.stores["blob"].complete
+
+
+def merge_style_main(mpi, method, ns, nt, driving):
+    """All ranks share one intra-comm; ranks < ns are sources, < nt targets."""
+    plan = RedistributionPlan.block(N_ROWS, ns, nt)
+    r = mpi.rank
+    src_rank = r if r < ns else None
+    dst_rank = r if r < nt else None
+    if src_rank is None and dst_rank is None:
+        return "idle"
+    session = make_session(
+        method,
+        mpi,
+        mpi.comm_world,
+        plan,
+        names=["A", "x", "blob"],
+        src_rank=src_rank,
+        dst_rank=dst_rank,
+        src_dataset=source_dataset(plan, src_rank) if src_rank is not None else None,
+        dst_dataset=target_dataset(plan, dst_rank) if dst_rank is not None else None,
+    )
+    if driving == "blocking":
+        yield from session.run_blocking()
+    else:  # test-driven (strategy A shape)
+        yield from session.start()
+        while not (yield from session.test()):
+            yield from mpi.compute(1e-4)
+    if dst_rank is not None:
+        check_target(session.dst_dataset, plan, dst_rank)
+        return "target-ok"
+    return "source-done"
+
+
+MERGE_CASES = [(4, 2), (2, 4), (3, 5), (5, 3), (4, 4), (1, 5), (5, 1)]
+
+
+@pytest.mark.parametrize("method", [RedistMethod.P2P, RedistMethod.COL, RedistMethod.RMA])
+@pytest.mark.parametrize("ns,nt", MERGE_CASES)
+def test_merge_style_blocking(method, ns, nt):
+    p = max(ns, nt)
+    results, _ = run_spmd(
+        merge_style_main, p, args=(method, ns, nt, "blocking"),
+        n_nodes=4, cores_per_node=2,
+    )
+    assert all(r in ("target-ok", "source-done") for r in results)
+    assert results.count("target-ok") == nt
+
+
+@pytest.mark.parametrize("method", [RedistMethod.P2P, RedistMethod.COL, RedistMethod.RMA])
+@pytest.mark.parametrize("ns,nt", [(4, 2), (2, 4), (3, 3)])
+def test_merge_style_test_driven(method, ns, nt):
+    """Strategy-A shape: sources/targets drive the session with test()."""
+    p = max(ns, nt)
+    results, _ = run_spmd(
+        merge_style_main, p, args=(method, ns, nt, "testing"),
+        n_nodes=4, cores_per_node=2,
+    )
+    assert results.count("target-ok") == nt
+
+
+def baseline_style_main(mpi, method, ns, nt, driving):
+    """Sources spawn nt children and redistribute over the inter-comm."""
+    plan = RedistributionPlan.block(N_ROWS, ns, nt)
+
+    def child(cmpi):
+        t = cmpi.rank
+        session = make_session(
+            method, cmpi, cmpi.parent, plan,
+            names=["A", "x", "blob"],
+            dst_rank=t,
+            dst_dataset=target_dataset(plan, t),
+        )
+        if driving == "blocking":
+            yield from session.run_blocking()
+        else:
+            # Async strategies: every rank must enter the same non-blocking
+            # collectives; targets just wait on them immediately (§3.2).
+            yield from session.start()
+            yield from session.finish()
+        check_target(session.dst_dataset, plan, t)
+        cmpi.finalize()
+        return "child-ok"
+
+    inter = yield from mpi.comm_spawn(child, slots=range(ns, ns + nt))
+    s = mpi.rank
+    session = make_session(
+        method, mpi, inter, plan,
+        names=["A", "x", "blob"],
+        src_rank=s,
+        src_dataset=source_dataset(plan, s),
+    )
+    if driving == "blocking":
+        yield from session.run_blocking()
+    else:
+        yield from session.start()
+        while not (yield from session.test()):
+            yield from mpi.compute(1e-4)
+    return "source-done"
+
+
+@pytest.mark.parametrize("method", [RedistMethod.P2P, RedistMethod.COL, RedistMethod.RMA])
+@pytest.mark.parametrize("ns,nt", [(2, 3), (3, 2), (2, 2)])
+def test_baseline_style_blocking(method, ns, nt):
+    results, sim = run_spmd(
+        baseline_style_main, ns, args=(method, ns, nt, "blocking"),
+        n_nodes=4, cores_per_node=2,
+    )
+    assert results == ["source-done"] * ns
+    child_results = [
+        p.result for p in sim._processes if p.name.startswith("spawned")
+    ]
+    assert child_results == ["child-ok"] * nt
+
+
+@pytest.mark.parametrize("method", [RedistMethod.P2P, RedistMethod.COL])
+def test_baseline_style_async_sources(method):
+    ns, nt = 3, 2
+    results, sim = run_spmd(
+        baseline_style_main, ns, args=(method, ns, nt, "testing"),
+        n_nodes=4, cores_per_node=2,
+    )
+    assert results == ["source-done"] * ns
+
+
+def test_thread_driven_redistribution():
+    """Strategy-T shape: an aux thread runs the blocking session while the
+    main flow computes; data must still arrive intact."""
+    ns, nt = 3, 2
+    method = RedistMethod.P2P
+
+    def main(mpi):
+        plan = RedistributionPlan.block(N_ROWS, ns, nt)
+        r = mpi.rank
+        src_rank = r if r < ns else None
+        dst_rank = r if r < nt else None
+        session = make_session(
+            method, mpi, mpi.comm_world, plan,
+            names=["A", "x", "blob"],
+            src_rank=src_rank,
+            dst_rank=dst_rank,
+            src_dataset=source_dataset(plan, src_rank) if src_rank is not None else None,
+            dst_dataset=target_dataset(plan, dst_rank) if dst_rank is not None else None,
+        )
+
+        def comm_thread(tmpi):
+            yield from session.run_blocking()
+            return "thread-done"
+
+        handle = yield from mpi.spawn_thread(comm_thread)
+        iterations = 0
+        while not handle.finished:
+            yield from mpi.compute(1e-3)
+            iterations += 1
+        if dst_rank is not None:
+            check_target(session.dst_dataset, plan, dst_rank)
+        return iterations
+
+    results, _ = run_spmd(main, max(ns, nt), n_nodes=3, cores_per_node=2)
+    assert all(isinstance(r, int) for r in results)
+
+
+def test_session_validation():
+    from repro.redistribution import P2PRedistribution
+
+    plan = RedistributionPlan.block(10, 2, 2)
+    with pytest.raises(ValueError, match="at least one role"):
+        P2PRedistribution(None, None, plan, ["x"])
+    with pytest.raises(ValueError, match="source dataset"):
+        P2PRedistribution(None, None, plan, ["x"], src_rank=0)
+    with pytest.raises(ValueError, match="empty field list"):
+        P2PRedistribution(None, None, plan, [], src_rank=0, src_dataset=object())

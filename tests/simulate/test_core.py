@@ -1,0 +1,313 @@
+"""Unit tests for the discrete-event kernel: scheduling, processes, run()."""
+
+import pytest
+
+from repro.simulate import (
+    DeadlockError,
+    Passivate,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+    Timeout,
+    WaitEvent,
+)
+
+
+def test_empty_run_returns_zero_time():
+    sim = Simulator()
+    assert sim.run() == 0.0
+    assert sim.now == 0.0
+
+
+def test_single_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(2.5)
+        return "done"
+
+    p = sim.spawn(proc(), name="p")
+    sim.run()
+    assert sim.now == 2.5
+    assert p.result == "done"
+    assert p.done_event.triggered
+
+
+def test_timeout_yields_its_value():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        got = yield Timeout(1.0, value="payload")
+        seen.append(got)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        for _ in range(4):
+            yield Timeout(0.5)
+            times.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [0.5, 1.0, 1.5, 2.0]
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    trace = []
+
+    def proc(name, dt):
+        for _ in range(3):
+            yield Timeout(dt)
+            trace.append((name, sim.now))
+
+    sim.spawn(proc("a", 1.0))
+    sim.spawn(proc("b", 1.5))
+    sim.run()
+    # At t=3.0 both are due; b's wakeup was scheduled earlier (at t=1.5)
+    # than a's (at t=2.0), so FIFO tie-breaking runs b first.
+    assert trace == [
+        ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0),
+        ("b", 4.5),
+    ]
+
+
+def test_same_time_events_fire_in_spawn_order():
+    sim = Simulator()
+    trace = []
+
+    def proc(name):
+        yield Timeout(1.0)
+        trace.append(name)
+
+    for name in ["x", "y", "z"]:
+        sim.spawn(proc(name))
+    sim.run()
+    assert trace == ["x", "y", "z"]
+
+
+def test_run_until_pauses_before_future_events():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(10.0)
+
+    sim.spawn(proc())
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_process_exception_propagates_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad(), name="bad")
+    with pytest.raises(SimulationError) as exc:
+        sim.run()
+    assert isinstance(exc.value.__cause__, ValueError)
+
+
+def test_invalid_yield_is_reported():
+    sim = Simulator()
+
+    def bad():
+        yield 42  # not a Command
+
+    sim.spawn(bad(), name="bad")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+def test_deadlock_detection_lists_blocked_process():
+    sim = Simulator()
+
+    def stuck():
+        yield WaitEvent(sim.event("never"))
+
+    sim.spawn(stuck(), name="stuck-proc")
+    with pytest.raises(DeadlockError) as exc:
+        sim.run()
+    assert "stuck-proc" in str(exc.value)
+
+
+def test_passivate_then_external_resume():
+    sim = Simulator()
+    out = []
+
+    def sleeper():
+        got = yield Passivate("waiting for poke")
+        out.append(got)
+
+    p = sim.spawn(sleeper())
+
+    def poker():
+        yield Timeout(5.0)
+        sim.resume(p, "poked")
+
+    sim.spawn(poker())
+    sim.run()
+    assert out == ["poked"]
+    assert sim.now == 5.0
+
+
+def test_kill_injects_processkilled():
+    sim = Simulator()
+    cleaned = []
+
+    def victim():
+        try:
+            yield Timeout(100.0)
+        except ProcessKilled:
+            cleaned.append(True)
+            raise
+
+    v = sim.spawn(victim(), name="victim")
+
+    def killer():
+        yield Timeout(1.0)
+        v.kill()
+
+    sim.spawn(killer())
+    sim.run()
+    assert cleaned == [True]
+    assert not v.alive
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_killed_process_done_event_triggers():
+    sim = Simulator()
+
+    def victim():
+        yield Timeout(100.0)
+
+    v = sim.spawn(victim(), name="victim")
+    joined = []
+
+    def joiner():
+        yield WaitEvent(v.done_event)
+        joined.append(sim.now)
+
+    sim.spawn(joiner())
+
+    def killer():
+        yield Timeout(2.0)
+        v.kill()
+
+    sim.spawn(killer())
+    sim.run()
+    assert joined == [2.0]
+
+
+def test_subroutine_via_yield_from():
+    sim = Simulator()
+
+    def sub(dt):
+        yield Timeout(dt)
+        return dt * 2
+
+    def main():
+        a = yield from sub(1.0)
+        b = yield from sub(2.0)
+        return a + b
+
+    p = sim.spawn(main())
+    sim.run()
+    assert p.result == 6.0
+    assert sim.now == 3.0
+
+
+def test_process_return_value_in_done_event():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return {"answer": 42}
+
+    p = sim.spawn(proc())
+    got = []
+
+    def watcher():
+        value = yield WaitEvent(p.done_event)
+        got.append(value)
+
+    sim.spawn(watcher())
+    sim.run()
+    assert got == [{"answer": 42}]
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    sim.spawn(proc())
+    sim.run()
+
+
+def test_cancelled_heap_item_skipped():
+    sim = Simulator()
+    fired = []
+    item = sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    item.cancelled = True
+    sim.run()
+    assert fired == ["b"]
+
+
+def test_resume_on_dead_process_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+
+    p = sim.spawn(proc())
+    sim.run()
+    sim.resume(p, "late")  # must not raise or revive
+    sim.run()
+    assert not p.alive
+
+
+def test_wait_all_helper():
+    sim = Simulator()
+
+    def worker(dt, val):
+        yield Timeout(dt)
+        return val
+
+    ps = [sim.spawn(worker(d, d * 10)) for d in (3.0, 1.0, 2.0)]
+
+    def main():
+        results = yield from sim.wait_all(ps)
+        return results
+
+    m = sim.spawn(main())
+    sim.run()
+    assert m.result == [30.0, 10.0, 20.0]
+    assert sim.now == 3.0

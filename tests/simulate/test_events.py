@@ -1,0 +1,266 @@
+"""Unit tests for SimEvent and the event-combinator commands."""
+
+import pytest
+
+from repro.simulate import (
+    AllOf,
+    AnyOf,
+    EventState,
+    Now,
+    Simulator,
+    Timeout,
+    WaitEvent,
+)
+
+
+def test_event_lifecycle():
+    sim = Simulator()
+    ev = sim.event("e")
+    assert ev.pending and not ev.triggered and not ev.failed
+    ev.trigger(7)
+    assert ev.triggered
+    assert ev.value == 7
+    assert ev.state is EventState.TRIGGERED
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger()
+    with pytest.raises(RuntimeError):
+        ev.trigger()
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError("x"))
+
+
+def test_value_of_pending_event_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_failed_event_value_reraises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(KeyError("missing"))
+    with pytest.raises(KeyError):
+        _ = ev.value
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_wait_event_receives_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        got.append((yield WaitEvent(ev)))
+
+    sim.spawn(waiter())
+
+    def firer():
+        yield Timeout(2.0)
+        ev.trigger("hello")
+
+    sim.spawn(firer())
+    sim.run()
+    assert got == ["hello"]
+    assert sim.now == 2.0
+
+
+def test_wait_on_already_triggered_event_is_immediate():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger("pre")
+    got = []
+
+    def waiter():
+        got.append((yield WaitEvent(ev)))
+        got.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == ["pre", 0.0]
+
+
+def test_wait_on_failed_event_raises_in_process():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield WaitEvent(ev)
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+
+    def failer():
+        yield Timeout(1.0)
+        ev.fail(ValueError("deliberate"))
+
+    sim.spawn(failer())
+    sim.run()
+    assert caught == ["deliberate"]
+
+
+def test_wait_event_type_check():
+    with pytest.raises(TypeError):
+        WaitEvent("not an event")  # type: ignore[arg-type]
+
+
+def test_anyof_returns_first_index_and_value():
+    sim = Simulator()
+    evs = [sim.event(f"e{i}") for i in range(3)]
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf(evs)))
+
+    sim.spawn(waiter())
+
+    def firer():
+        yield Timeout(1.0)
+        evs[2].trigger("two")
+        evs[0].trigger("zero")  # later same-time trigger must be ignored
+
+    sim.spawn(firer())
+    sim.run()
+    assert got == [(2, "two")]
+
+
+def test_anyof_pretriggered_prefers_lowest_index():
+    sim = Simulator()
+    evs = [sim.event(f"e{i}") for i in range(3)]
+    evs[1].trigger("one")
+    evs[2].trigger("two")
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf(evs)))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(1, "one")]
+
+
+def test_anyof_empty_rejected():
+    with pytest.raises(ValueError):
+        AnyOf([])
+
+
+def test_allof_collects_all_values_in_order():
+    sim = Simulator()
+    evs = [sim.event(f"e{i}") for i in range(3)]
+    got = []
+
+    def waiter():
+        got.append((yield AllOf(evs)))
+
+    sim.spawn(waiter())
+
+    def firer():
+        yield Timeout(1.0)
+        evs[1].trigger("b")
+        yield Timeout(1.0)
+        evs[0].trigger("a")
+        yield Timeout(1.0)
+        evs[2].trigger("c")
+
+    sim.spawn(firer())
+    sim.run()
+    assert got == [["a", "b", "c"]]
+    assert sim.now == 3.0
+
+
+def test_allof_with_empty_list_resumes_immediately():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        got.append((yield AllOf([])))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [[]]
+
+
+def test_allof_with_pretriggered_events():
+    sim = Simulator()
+    evs = [sim.event(), sim.event()]
+    evs[0].trigger(1)
+    evs[1].trigger(2)
+    got = []
+
+    def waiter():
+        got.append((yield AllOf(evs)))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [[1, 2]]
+
+
+def test_allof_failure_propagates():
+    sim = Simulator()
+    evs = [sim.event(), sim.event()]
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf(evs)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+
+    def failer():
+        yield Timeout(1.0)
+        evs[0].fail(RuntimeError("bad"))
+
+    sim.spawn(failer())
+    sim.run()
+    assert caught == ["bad"]
+
+
+def test_now_command_reads_clock_without_advancing():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        yield Timeout(4.0)
+        t = yield Now()
+        got.append(t)
+        yield Timeout(1.0)
+        got.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == [4.0, 5.0]
+
+
+def test_callback_on_fired_event_runs_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger("v")
+    seen = []
+    ev.add_callback(lambda e: seen.append(e._value))
+    assert seen == ["v"]
+
+
+def test_discard_callback():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+    cb = lambda e: seen.append(1)  # noqa: E731
+    ev.add_callback(cb)
+    ev.discard_callback(cb)
+    ev.trigger()
+    assert seen == []

@@ -1,0 +1,81 @@
+"""Kernel odds and ends: run(until), idle hooks, misc guards."""
+
+import pytest
+
+from repro.simulate import Simulator, Timeout, WaitEvent
+
+
+def test_run_until_can_resume_repeatedly():
+    sim = Simulator()
+    ticks = []
+
+    def clock():
+        for _ in range(10):
+            yield Timeout(1.0)
+            ticks.append(sim.now)
+
+    sim.spawn(clock())
+    sim.run(until=2.5)
+    assert ticks == [1.0, 2.0]
+    sim.run(until=4.0)
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+    sim.run()
+    assert len(ticks) == 10
+
+
+def test_idle_hook_can_inject_more_work():
+    sim = Simulator()
+    fired = []
+    state = {"refills": 0}
+
+    def hook():
+        if state["refills"] < 3:
+            state["refills"] += 1
+            sim.schedule(1.0, lambda: fired.append(sim.now))
+            return True
+        return False
+
+    sim.idle_hooks.append(hook)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_negative_schedule_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_event_names_are_unique_by_default():
+    sim = Simulator()
+    names = {sim.event().name for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_live_processes_listing():
+    sim = Simulator()
+
+    def sleeper():
+        yield Timeout(5.0)
+
+    p1 = sim.spawn(sleeper(), name="s1")
+    p2 = sim.spawn(sleeper(), name="s2")
+    sim.run(until=1.0)
+    assert {p.name for p in sim.live_processes} == {"s1", "s2"}
+    sim.run()
+    assert sim.live_processes == []
+
+
+def test_failure_includes_other_failures_note():
+    from repro.simulate import SimulationError
+
+    sim = Simulator()
+
+    def bad(name):
+        yield Timeout(1.0)
+        raise RuntimeError(name)
+
+    sim.spawn(bad("first"), name="first")
+    sim.spawn(bad("second"), name="second")
+    with pytest.raises(SimulationError):
+        sim.run()

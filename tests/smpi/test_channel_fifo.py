@@ -1,0 +1,67 @@
+"""Per-channel FIFO: envelopes match in injection order even when a later
+small message physically drains before an earlier large one (the bug class
+that let redistribution sessions cross-match, fixed in Endpoint._arrive)."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import ANY_TAG, run_spmd
+
+BIG = np.zeros(6000)  # 48 KB: eager on Ethernet but slow to drain
+SMALL = np.ones(4)
+
+
+def test_big_then_small_same_tag_matches_in_order():
+    def main(mpi):
+        if mpi.rank == 0:
+            r1 = yield from mpi.isend(BIG, dest=1, tag=7)
+            r2 = yield from mpi.isend(SMALL, dest=1, tag=7)
+            yield from mpi.waitall([r1, r2])
+            return None
+        first = yield from mpi.recv(source=0, tag=7)
+        second = yield from mpi.recv(source=0, tag=7)
+        return (first.size, second.size)
+
+    results, _ = run_spmd(main, 2, n_nodes=2, cores_per_node=1)
+    assert results[1] == (BIG.size, SMALL.size)
+
+
+def test_interleaved_tags_still_respect_channel_order():
+    """recv(tag=8) posted first must get the tag-8 message even though a
+    tag-9 message was injected earlier; but two tag-8 messages keep order."""
+
+    def main(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            reqs.append((yield from mpi.isend(BIG, dest=1, tag=9)))
+            reqs.append((yield from mpi.isend(SMALL * 1, dest=1, tag=8)))
+            reqs.append((yield from mpi.isend(SMALL * 2, dest=1, tag=8)))
+            yield from mpi.waitall(reqs)
+            return None
+        a = yield from mpi.recv(source=0, tag=8)
+        b = yield from mpi.recv(source=0, tag=8)
+        c = yield from mpi.recv(source=0, tag=9)
+        return (float(a[0]), float(b[0]), c.size)
+
+    results, _ = run_spmd(main, 2, n_nodes=2, cores_per_node=1)
+    assert results[1] == (1.0, 2.0, BIG.size)
+
+
+def test_rendezvous_envelope_ordered_behind_eager():
+    """An eager message injected before a rendezvous one must match first
+    for a wildcard-tag receiver."""
+    huge = np.zeros(200_000)  # rendezvous
+
+    def main(mpi):
+        if mpi.rank == 0:
+            r1 = yield from mpi.isend(SMALL, dest=1, tag=1)
+            r2 = yield from mpi.isend(huge, dest=1, tag=2)
+            yield from mpi.waitall([r1, r2])
+            return None
+        first_req = yield from mpi.irecv(source=0, tag=ANY_TAG)
+        yield from mpi.wait(first_req)
+        second = yield from mpi.recv(source=0, tag=ANY_TAG)
+        return (first_req.status.tag, second.size)
+
+    results, _ = run_spmd(main, 2, n_nodes=2, cores_per_node=1)
+    assert results[1] == (1, huge.size)

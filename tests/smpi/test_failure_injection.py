@@ -1,0 +1,134 @@
+"""Failure injection: crashes and kills must fail loudly, not hang silently.
+
+A simulator is only trustworthy if broken runs are *diagnosable*: a dead
+rank must surface as a deadlock report naming the stuck peers, and
+exceptions in rank code must propagate out of ``sim.run()``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ETHERNET_10G, Machine
+from repro.simulate import DeadlockError, ProcessKilled, SimulationError, Simulator, Timeout
+from repro.smpi import MpiWorld, run_spmd
+
+
+def test_rank_exception_propagates_with_context():
+    def main(mpi):
+        yield from mpi.compute(0.01)
+        if mpi.rank == 1:
+            raise RuntimeError("rank 1 exploded")
+        yield from mpi.barrier()
+
+    with pytest.raises(SimulationError) as err:
+        run_spmd(main, 3)
+    assert isinstance(err.value.__cause__, RuntimeError)
+
+
+def test_killed_rank_leaves_peers_diagnosably_stuck():
+    sim = Simulator()
+    machine = Machine(sim, 2, 2, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.recv(source=1, tag=7)  # will never arrive
+            return "got it"
+        yield from mpi.compute(10.0)
+        yield from mpi.send("late", dest=0, tag=7)
+        return None
+
+    res = world.launch(main, slots=[0, 1])
+
+    def assassin():
+        yield Timeout(1.0)
+        res.procs[1].kill("node failure")
+
+    sim.spawn(assassin())
+    with pytest.raises(DeadlockError) as err:
+        sim.run()
+    # The report names the stuck receiver.
+    assert "rank0" in str(err.value)
+
+
+def test_kill_during_redistribution_is_detected():
+    """Killing a source mid-transfer leaves targets waiting: deadlock
+    report, not silent corruption."""
+    from repro.redistribution import Dataset, FieldSpec, RedistributionPlan
+    from repro.redistribution.api import RedistMethod, make_session
+
+    n = 50_000
+    specs = (FieldSpec("v", "dense", constant=True),)
+    plan = RedistributionPlan.block(n, 2, 2)
+    sim = Simulator()
+    machine = Machine(sim, 4, 1, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        r = mpi.rank
+        lo, hi = plan.src_range(r)
+        session = make_session(
+            RedistMethod.P2P, mpi, mpi.comm_world, plan, names=["v"],
+            src_rank=r, dst_rank=1 - r,  # full swap: everyone needs the other
+            src_dataset=Dataset.create(
+                n, specs, lo, hi, data={"v": np.zeros(hi - lo)}
+            ),
+            dst_dataset=Dataset.create(n, specs, *plan.dst_range(1 - r)),
+        )
+        yield from session.run_blocking()
+        return "done"
+
+    res = world.launch(main, slots=[0, 2])
+
+    def assassin():
+        yield Timeout(1e-4)  # mid-rendezvous
+        res.procs[0].kill()
+
+    sim.spawn(assassin())
+    with pytest.raises(DeadlockError):
+        sim.run()
+    assert res.procs[1].result != "done"
+
+
+def test_killed_thread_reports_cleanup():
+    """An aux thread killed mid-wait triggers its done event so the main
+    flow can observe the failure rather than spin forever."""
+
+    def main(mpi):
+        def stuck_thread(tmpi):
+            yield from tmpi.recv(source=0, tag=99)  # never sent
+
+        handle = yield from mpi.spawn_thread(stuck_thread)
+        yield from mpi.compute(0.01)
+        handle.proc.kill("cancelled")
+        yield from mpi.join_thread(handle)
+        return handle.finished
+
+    results, _ = run_spmd(main, 1, n_nodes=1, cores_per_node=2)
+    assert results == [True]
+
+
+def test_processkilled_cleanup_runs():
+    """Rank code can catch ProcessKilled for cleanup (and must re-raise)."""
+    cleaned = []
+
+    sim = Simulator()
+    machine = Machine(sim, 1, 2, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        try:
+            yield from mpi.compute(100.0)
+        except ProcessKilled:
+            cleaned.append(mpi.rank)
+            raise
+
+    res = world.launch(main, slots=[0])
+
+    def assassin():
+        yield Timeout(0.5)
+        res.procs[0].kill()
+
+    sim.spawn(assassin())
+    sim.run()
+    assert cleaned == [0]

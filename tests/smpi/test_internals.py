@@ -1,0 +1,95 @@
+"""Internal invariants: pending ops, endpoint close, request objects."""
+
+import pytest
+
+from repro.cluster import ETHERNET_10G, Machine
+from repro.simulate import Simulator
+from repro.smpi import MpiWorld, MultiRequest, run_spmd
+from repro.smpi.endpoint import Endpoint
+from repro.smpi.requests import RecvRequest, SendRequest
+
+
+def make_world():
+    sim = Simulator()
+    machine = Machine(sim, 2, 2, ETHERNET_10G)
+    return sim, MpiWorld(machine)
+
+
+def test_pending_op_participant_mismatch_detected():
+    sim, world = make_world()
+    world.pending_op("spawn:1:0", expected=3)
+    with pytest.raises(RuntimeError, match="mismatch"):
+        world.pending_op("spawn:1:0", expected=4)
+
+
+def test_pending_op_over_arrival_detected():
+    sim, world = make_world()
+    op = world.pending_op("x", expected=1)
+    assert op.arrive()
+    with pytest.raises(RuntimeError, match="more arrivals"):
+        op.arrive()
+
+
+def test_endpoint_close_reports_leftovers():
+    sim, world = make_world()
+    ep = Endpoint(world, gid=99, node=world.machine.nodes[0])
+    from repro.smpi import Communicator
+
+    comm = Communicator(50, (99, 100))
+    ep.posted.append(RecvRequest(sim, comm, source=0, tag=1))
+    with pytest.raises(RuntimeError, match="pending traffic"):
+        ep.close()
+
+
+def test_endpoint_unbalanced_exit_progress():
+    sim, world = make_world()
+    ep = Endpoint(world, gid=98, node=world.machine.nodes[0])
+    with pytest.raises(RuntimeError, match="unbalanced"):
+        ep.exit_progress()
+
+
+def test_multirequest_completion_semantics():
+    sim, world = make_world()
+    a = SendRequest(sim, 0, 0, 10)
+    b = SendRequest(sim, 0, 0, 10)
+    multi = MultiRequest(sim, [a, b])
+    assert not multi.completed
+    a._complete(None)
+    assert not multi.completed
+    b._complete(None)
+    assert multi.completed
+    # All children already done at construction -> complete immediately.
+    multi2 = MultiRequest(sim, [a, b])
+    assert multi2.completed
+    # Empty aggregate completes immediately too.
+    assert MultiRequest(sim, []).completed
+
+
+def test_recv_request_matching_rules():
+    sim, world = make_world()
+    from repro.smpi import ANY_SOURCE, ANY_TAG, Communicator
+
+    comm = Communicator(7, (1, 2, 3))
+    req = RecvRequest(sim, comm, source=1, tag=5)
+    assert req.matches(7, 1, 5)
+    assert not req.matches(8, 1, 5)   # other communicator
+    assert not req.matches(7, 2, 5)   # other source
+    assert not req.matches(7, 1, 6)   # other tag
+    wild = RecvRequest(sim, comm, source=ANY_SOURCE, tag=ANY_TAG)
+    assert wild.matches(7, 2, 99)
+
+
+def test_channel_spec_selects_fabric():
+    sim, world = make_world()
+
+    def main(mpi):
+        return None
+        yield
+
+    res = world.launch(main, slots=[0, 1, 2])  # ranks 0,1 node0; rank 2 node1
+    gids = list(res.comm.group)
+    same = world.channel_spec(gids[0], gids[1])
+    cross = world.channel_spec(gids[0], gids[2])
+    assert same.name == "memory"
+    assert cross.name == "ethernet"
+    sim.run()

@@ -1,0 +1,142 @@
+"""API edge cases: error paths, accounting, small conveniences."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ETHERNET_10G, Machine
+from repro.simulate import Simulator
+from repro.smpi import MpiWorld, run_spmd
+
+
+def test_sendrecv_distinct_recv_tag():
+    def main(mpi):
+        other = 1 - mpi.rank
+        got = yield from mpi.sendrecv(
+            f"from-{mpi.rank}", other, other,
+            tag=10 + mpi.rank, recv_tag=10 + other,
+        )
+        return got
+
+    results, _ = run_spmd(main, 2)
+    assert results == ["from-1", "from-0"]
+
+
+def test_test_single_request():
+    def main(mpi):
+        if mpi.rank == 0:
+            req = yield from mpi.isend(np.zeros(500_000), dest=1)
+            early = yield from mpi.test(req)
+            yield from mpi.wait(req)
+            late = yield from mpi.test(req)
+            return (early, late)
+        yield from mpi.recv(source=0)
+        return None
+
+    results, _ = run_spmd(main, 2, n_nodes=2, cores_per_node=1)
+    assert results[0] == (False, True)
+
+
+def test_waitall_empty_and_waitany_empty():
+    def main(mpi):
+        out = yield from mpi.waitall([])
+        assert out == []
+        try:
+            yield from mpi.waitany([])
+        except ValueError:
+            return "rejected"
+        return "accepted"
+
+    results, _ = run_spmd(main, 1)
+    assert results == ["rejected"]
+
+
+def test_bytes_by_label_accounting():
+    sim = Simulator()
+    machine = Machine(sim, 2, 1, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(np.zeros(1000), dest=1, label="tagged")
+            yield from mpi.send(np.zeros(500), dest=1, label="tagged")
+            yield from mpi.send(np.zeros(100), dest=1)  # unlabelled
+            return None
+        for _ in range(3):
+            yield from mpi.recv(source=0)
+        return None
+
+    world.launch(main, slots=[0, 1])
+    sim.run()
+    assert world.bytes_by_label == {"tagged": 12000.0}
+
+
+def test_sleep_does_not_consume_cpu():
+    """A sleeping rank must not slow a co-located computing rank."""
+
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.sleep(1.0)
+            return None
+        t0 = mpi.now
+        yield from mpi.compute(0.5)
+        return mpi.now - t0
+
+    sim = Simulator()
+    machine = Machine(sim, 1, 1, ETHERNET_10G)
+    world = MpiWorld(machine)
+    res = world.launch(main, slots=[0, 0])  # same single-core node
+    sim.run()
+    assert res.procs[1].result == pytest.approx(0.5)
+
+
+def test_progress_tick_custom_cost():
+    def main(mpi):
+        t0 = mpi.now
+        yield from mpi.progress_tick(cost=0.25)
+        return mpi.now - t0
+
+    results, _ = run_spmd(main, 1)
+    assert results[0] == pytest.approx(0.25)
+
+
+def test_finalize_with_pending_recv_raises():
+    from repro.simulate import SimulationError
+
+    def main(mpi):
+        if mpi.rank == 0:
+            _ = yield from mpi.irecv(source=1, tag=5)  # never satisfied
+            mpi.finalize()
+        return None
+
+    with pytest.raises(SimulationError):
+        run_spmd(main, 2)
+
+
+def test_world_launch_rejects_empty_slots():
+    sim = Simulator()
+    machine = Machine(sim, 1, 1, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        return None
+        yield
+
+    with pytest.raises(ValueError):
+        world.launch(main, slots=[])
+
+
+def test_slot_of_registry():
+    sim = Simulator()
+    machine = Machine(sim, 2, 2, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        return mpi.node.node_id
+        yield
+
+    res = world.launch(main, slots=[3, 0])
+    sim.run()
+    assert [p.result for p in res.procs] == [1, 0]
+    gids = list(res.comm.group)
+    assert world.slot_of[gids[0]] == 3
+    assert world.slot_of[gids[1]] == 0

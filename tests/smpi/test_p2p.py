@@ -1,0 +1,238 @@
+"""Point-to-point semantics: matching, ordering, wildcards, protocols."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ETHERNET_10G, INFINIBAND_EDR
+from repro.simulate import DeadlockError, SimulationError
+from repro.smpi import ANY_SOURCE, ANY_TAG, run_spmd
+
+
+def test_blocking_send_recv_delivers_payload():
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+            return None
+        data = yield from mpi.recv(source=0, tag=11)
+        return data
+
+    results, _sim = run_spmd(main, 2)
+    assert results[1] == {"a": 7, "b": 3.14}
+
+
+def test_numpy_payload_roundtrip():
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(np.arange(1000, dtype=np.float64), dest=1)
+            return None
+        data = yield from mpi.recv(source=0)
+        return data
+
+    results, _ = run_spmd(main, 2)
+    np.testing.assert_array_equal(results[1], np.arange(1000.0))
+
+
+def test_send_buffer_snapshot_semantics():
+    """Mutating the array after isend must not corrupt the message."""
+
+    def main(mpi):
+        if mpi.rank == 0:
+            buf = np.ones(8)
+            req = yield from mpi.isend(buf, dest=1)
+            buf[:] = -1  # mutate after posting
+            yield from mpi.wait(req)
+            return None
+        data = yield from mpi.recv(source=0)
+        return data
+
+    results, _ = run_spmd(main, 2)
+    np.testing.assert_array_equal(results[1], np.ones(8))
+
+
+def test_rendezvous_large_message_roundtrip():
+    big = np.arange(200_000, dtype=np.float64)  # 1.6 MB >> eager threshold
+
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(big, dest=1)
+            return None
+        data = yield from mpi.recv(source=0)
+        return data
+
+    results, sim = run_spmd(main, 2, n_nodes=2, cores_per_node=1)
+    np.testing.assert_array_equal(results[1], big)
+    # Time must be at least the serialisation time over Ethernet.
+    assert sim.now >= big.nbytes / ETHERNET_10G.bandwidth
+
+
+def test_tag_matching_separates_streams():
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send("tag5", dest=1, tag=5)
+            yield from mpi.send("tag9", dest=1, tag=9)
+            return None
+        # Receive in reverse tag order: matching must be by tag, not arrival.
+        nine = yield from mpi.recv(source=0, tag=9)
+        five = yield from mpi.recv(source=0, tag=5)
+        return (five, nine)
+
+    results, _ = run_spmd(main, 2)
+    assert results[1] == ("tag5", "tag9")
+
+
+def test_same_tag_messages_do_not_overtake():
+    def main(mpi):
+        if mpi.rank == 0:
+            for i in range(5):
+                yield from mpi.send(i, dest=1, tag=7)
+            return None
+        got = []
+        for _ in range(5):
+            got.append((yield from mpi.recv(source=0, tag=7)))
+        return got
+
+    results, _ = run_spmd(main, 2)
+    assert results[1] == [0, 1, 2, 3, 4]
+
+
+def test_any_source_any_tag_wildcards():
+    def main(mpi):
+        if mpi.rank == 0:
+            got = []
+            for _ in range(2):
+                data = yield from mpi.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                got.append(data)
+            return sorted(got)
+        yield from mpi.send(f"from-{mpi.rank}", dest=0, tag=mpi.rank)
+        return None
+
+    results, _ = run_spmd(main, 3)
+    assert results[0] == ["from-1", "from-2"]
+
+
+def test_status_carries_source_tag_nbytes():
+    def main(mpi):
+        if mpi.rank == 1:
+            yield from mpi.send(np.zeros(4), dest=0, tag=42)
+            return None
+        if mpi.rank == 0:
+            req = yield from mpi.irecv(source=ANY_SOURCE, tag=ANY_TAG)
+            yield from mpi.wait(req)
+            return (req.status.source, req.status.tag, req.status.nbytes)
+        return None
+
+    results, _ = run_spmd(main, 2)
+    assert results[0] == (1, 42, 32)
+
+
+def test_waitany_reports_first_completion():
+    """Small message from a near rank beats a huge one: waitany sees it."""
+
+    def main(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            r1 = yield from mpi.irecv(source=1, tag=1)
+            r2 = yield from mpi.irecv(source=2, tag=2)
+            idx, req = yield from mpi.waitany([r1, r2])
+            yield from mpi.waitall([r1, r2])
+            return idx
+        if mpi.rank == 1:
+            yield from mpi.send(np.zeros(1_000_000), dest=0, tag=1)  # slow
+        else:
+            yield from mpi.send(b"x", dest=0, tag=2)  # fast, eager
+        return None
+
+    results, _ = run_spmd(main, 3, n_nodes=3, cores_per_node=1)
+    assert results[0] == 1  # index of the small message's request
+
+
+def test_isend_irecv_with_testall_loop():
+    def main(mpi):
+        if mpi.rank == 0:
+            req = yield from mpi.isend(np.ones(500_000), dest=1)
+            while not (yield from mpi.testall([req])):
+                yield from mpi.compute(1e-4)
+            return "sent"
+        req = yield from mpi.irecv(source=0)
+        while not (yield from mpi.testall([req])):
+            yield from mpi.compute(1e-4)
+        return float(req.data.sum())
+
+    results, _ = run_spmd(main, 2)
+    assert results == ["sent", 500_000.0]
+
+
+def test_unmatched_recv_deadlocks_with_report():
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.recv(source=1, tag=99)  # never sent
+        return None
+
+    with pytest.raises(DeadlockError):
+        run_spmd(main, 2)
+
+
+def test_intranode_faster_than_internode():
+    payload = np.zeros(4_000_000)  # 32 MB
+
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(payload, dest=1)
+            return None
+        if mpi.rank == 1:
+            yield from mpi.recv(source=0)
+            return mpi.now
+        return None
+
+    # Same node (2 cores on 1 node):
+    r_same, sim_same = run_spmd(main, 2, n_nodes=1, cores_per_node=2)
+    # Different nodes:
+    r_diff, sim_diff = run_spmd(main, 2, n_nodes=2, cores_per_node=1)
+    assert r_same[1] < r_diff[1]
+
+
+def test_infiniband_beats_ethernet_for_large_messages():
+    payload = np.zeros(4_000_000)
+
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(payload, dest=1)
+        else:
+            yield from mpi.recv(source=0)
+        return mpi.now
+
+    _, sim_e = run_spmd(main, 2, n_nodes=2, cores_per_node=1, fabric=ETHERNET_10G)
+    _, sim_i = run_spmd(main, 2, n_nodes=2, cores_per_node=1, fabric=INFINIBAND_EDR)
+    assert sim_i.now < sim_e.now
+
+
+def test_self_message_via_comm():
+    """MPI allows sending to yourself with non-blocking calls."""
+
+    def main(mpi):
+        req_r = yield from mpi.irecv(source=0, tag=3)
+        req_s = yield from mpi.isend("self", dest=0, tag=3)
+        yield from mpi.waitall([req_s, req_r])
+        return req_r.data
+
+    results, _ = run_spmd(main, 1)
+    assert results == ["self"]
+
+
+def test_eager_messages_complete_send_immediately():
+    """An eager (small) send completes without the receiver ever calling recv
+    — buffered semantics (the receive side would deadlock, so the sender
+    just finishes; the payload sits in the unexpected queue)."""
+
+    def main(mpi):
+        if mpi.rank == 0:
+            req = yield from mpi.isend(b"tiny", dest=1)
+            assert req.completed  # buffered: done at injection
+            return "ok"
+        # Rank 1 receives much later.
+        yield from mpi.compute(0.5)
+        data = yield from mpi.recv(source=0)
+        return data
+
+    results, _ = run_spmd(main, 2)
+    assert results == ["ok", b"tiny"]

@@ -1,0 +1,151 @@
+"""One-sided communication: windows, put/get, fences, notifications."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ETHERNET_10G, INFINIBAND_EDR, Machine
+from repro.simulate import Simulator, WaitEvent
+from repro.smpi import ArrayExposure, MpiWorld, run_spmd
+
+
+def test_put_writes_target_exposure_without_target_mpi_calls():
+    """The target only computes; the put lands anyway (true one-sidedness)."""
+
+    def main(mpi):
+        local = np.zeros(10)
+        win = yield from mpi.win_create(ArrayExposure(local))
+        if mpi.rank == 0:
+            ev = yield from mpi.win_put(win, 1, (2, np.array([7.0, 8.0, 9.0])))
+            yield from mpi.compute(0.2)  # plenty of time for delivery
+            assert ev.triggered
+            return None
+        yield from mpi.compute(0.2)  # never calls MPI while the put lands
+        return local.copy()
+
+    results, _ = run_spmd(main, 2, n_nodes=2, cores_per_node=2)
+    np.testing.assert_array_equal(results[1][2:5], [7.0, 8.0, 9.0])
+    assert results[1][0] == 0.0
+
+
+def test_get_reads_remote_data():
+    def main(mpi):
+        local = np.arange(8, dtype=np.float64) * (mpi.rank + 1)
+        win = yield from mpi.win_create(ArrayExposure(local))
+        if mpi.rank == 0:
+            data = yield from mpi.win_get(win, 1, offset=2, count=3)
+            return data
+        yield from mpi.compute(0.05)
+        return None
+
+    results, _ = run_spmd(main, 2, n_nodes=2, cores_per_node=2)
+    np.testing.assert_array_equal(results[0], [4.0, 6.0, 8.0])
+
+
+def test_get_from_unexposed_rank_rejected():
+    def main(mpi):
+        win = yield from mpi.win_create(
+            ArrayExposure(np.zeros(4)) if mpi.rank == 0 else None
+        )
+        if mpi.rank == 0:
+            try:
+                yield from mpi.win_get(win, 1, 0, 1)
+            except ValueError:
+                return "rejected"
+        yield from mpi.compute(0.01)
+        return None
+
+    results, _ = run_spmd(main, 2)
+    assert results[0] == "rejected"
+
+
+def test_fence_completes_epoch():
+    """After the fence, every put has landed on every rank."""
+    p = 4
+
+    def main(mpi):
+        local = np.zeros(p)
+        win = yield from mpi.win_create(ArrayExposure(local))
+        # Everyone puts its rank into everyone else's slot [rank].
+        for target in range(p):
+            if target != mpi.rank:
+                yield from mpi.win_put(
+                    win, target, (mpi.rank, np.array([float(mpi.rank + 1)]))
+                )
+        yield from mpi.win_fence(win)
+        return local.copy()
+
+    results, _ = run_spmd(main, p, n_nodes=4, cores_per_node=2)
+    for r in range(p):
+        for src in range(p):
+            if src != r:
+                assert results[r][src] == float(src + 1)
+
+
+def test_fence_with_no_ops_is_cheap_sync():
+    def main(mpi):
+        win = yield from mpi.win_create(None)
+        yield from mpi.win_fence(win)
+        return mpi.now
+
+    results, _ = run_spmd(main, 3)
+    assert all(t < 0.1 for t in results)
+
+
+def test_notification_counters():
+    def main(mpi):
+        local = np.zeros(4)
+        win = yield from mpi.win_create(ArrayExposure(local))
+        if mpi.rank == 0:
+            # Wait for exactly 2 puts using the notification event.
+            ev = win.notification_event(mpi.gid, threshold=2)
+            got = yield WaitEvent(ev)
+            return got
+        yield from mpi.win_put(win, 0, (mpi.rank, np.array([1.0])))
+        return None
+
+    results, _ = run_spmd(main, 3, n_nodes=3, cores_per_node=1)
+    assert results[0] == 2
+
+
+def test_notification_event_pre_satisfied():
+    def main(mpi):
+        win = yield from mpi.win_create(ArrayExposure(np.zeros(2)))
+        if mpi.rank == 1:
+            yield from mpi.win_put(win, 0, (0, np.array([5.0])))
+        yield from mpi.win_fence(win)
+        if mpi.rank == 0:
+            ev = win.notification_event(mpi.gid, threshold=1)
+            assert ev.triggered  # already satisfied after the fence
+            return ev.value
+        return None
+
+    results, _ = run_spmd(main, 2)
+    assert results[0] == 1
+
+
+def test_put_faster_on_infiniband():
+    payload = (0, np.zeros(1_000_000))
+
+    def main(mpi):
+        local = np.zeros(1_000_000)
+        win = yield from mpi.win_create(ArrayExposure(local))
+        if mpi.rank == 0:
+            ev = yield from mpi.win_put(win, 1, payload)
+            yield from self_wait(mpi, ev)
+            return mpi.now
+        yield from mpi.compute(2.0)
+        return None
+
+    def self_wait(mpi, ev):
+        while not ev.triggered:
+            yield from mpi.compute(1e-4)
+
+    t = {}
+    for fabric in (ETHERNET_10G, INFINIBAND_EDR):
+        sim = Simulator()
+        machine = Machine(sim, 2, 2, fabric)
+        world = MpiWorld(machine)
+        res = world.launch(main, slots=[0, 2])
+        sim.run()
+        t[fabric.name] = res.procs[0].result
+    assert t["infiniband"] < t["ethernet"]

@@ -1,0 +1,127 @@
+"""gather / scatter / reduce / exscan correctness across sizes and roots."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import op_max, op_sum, run_spmd
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_gather(p, root):
+    root = p - 1 if root == "last" else 0
+
+    def main(mpi):
+        result = yield from mpi.gather(f"item-{mpi.rank}", root=root)
+        return result
+
+    results, _ = run_spmd(main, p)
+    for r in range(p):
+        if r == root:
+            assert results[r] == [f"item-{i}" for i in range(p)]
+        else:
+            assert results[r] is None
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_scatter(p, root):
+    root = p - 1 if root == "last" else 0
+
+    def main(mpi):
+        values = [i * 10 for i in range(p)] if mpi.rank == root else None
+        mine = yield from mpi.scatter(values, root=root)
+        return mine
+
+    results, _ = run_spmd(main, p)
+    assert results == [i * 10 for i in range(p)]
+
+
+def test_scatter_arrays_roundtrip():
+    p = 4
+
+    def main(mpi):
+        values = (
+            [np.full(3, float(i)) for i in range(p)] if mpi.rank == 0 else None
+        )
+        mine = yield from mpi.scatter(values)
+        return float(mine.sum())
+
+    results, _ = run_spmd(main, p)
+    assert results == [0.0, 3.0, 6.0, 9.0]
+
+
+def test_scatter_root_validates_length():
+    def main(mpi):
+        try:
+            yield from mpi.scatter([1, 2, 3] if mpi.rank == 0 else None)
+        except ValueError:
+            return "rejected"
+        return "accepted"
+
+    from repro.simulate import DeadlockError, SimulationError
+
+    # Root rejects synchronously; the other rank then has no partner.
+    with pytest.raises((DeadlockError, SimulationError)):
+        run_spmd(main, 2)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_reduce(p):
+    def main(mpi):
+        result = yield from mpi.reduce(mpi.rank + 1, op_sum, root=0)
+        return result
+
+    results, _ = run_spmd(main, p)
+    assert results[0] == p * (p + 1) // 2
+    assert all(r is None for r in results[1:])
+
+
+def test_reduce_max_at_nonzero_root():
+    p = 5
+
+    def main(mpi):
+        result = yield from mpi.reduce((mpi.rank * 7) % p, op_max, root=2)
+        return result
+
+    results, _ = run_spmd(main, p)
+    assert results[2] == max((r * 7) % p for r in range(p))
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_exscan_prefix_sums(p):
+    def main(mpi):
+        result = yield from mpi.exscan(mpi.rank + 1, op_sum)
+        return result
+
+    results, _ = run_spmd(main, p)
+    assert results[0] is None
+    for r in range(1, p):
+        assert results[r] == sum(range(1, r + 1))
+
+
+def test_exscan_computes_distributed_offsets():
+    """The canonical use: variable-size blocks -> starting offsets."""
+    sizes = [3, 1, 4, 1, 5]
+
+    def main(mpi):
+        offset = yield from mpi.exscan(sizes[mpi.rank], op_sum)
+        return 0 if offset is None else offset
+
+    results, _ = run_spmd(main, len(sizes))
+    expected = [0, 3, 4, 8, 9]
+    assert results == expected
+
+
+def test_gather_then_scatter_inverse():
+    p = 6
+
+    def main(mpi):
+        gathered = yield from mpi.gather(mpi.rank * 2, root=3)
+        back = yield from mpi.scatter(gathered, root=3)
+        return back
+
+    results, _ = run_spmd(main, p)
+    assert results == [r * 2 for r in range(p)]

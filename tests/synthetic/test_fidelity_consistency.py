@@ -1,0 +1,42 @@
+"""Cross-fidelity consistency: 'sketch' must preserve 'full' orderings.
+
+The evaluation sweeps run at sketch fidelity for tractability; this test
+verifies the central ordering (Merge sync reconfig < Baseline sync
+reconfig; async app time < sync app time) holds identically at both
+fidelities on the same cells.
+"""
+
+import pytest
+
+from repro.harness.runner import RunSpec, run_one
+from repro.synthetic import cg_emulation_config
+
+
+def times(fidelity, config_key, ns=8, nt=4):
+    cfg = cg_emulation_config("tiny", fidelity=fidelity)
+    r = run_one(
+        RunSpec(ns, nt, config_key, "ethernet", "tiny", 0), synth_config=cfg
+    )
+    return r.reconfig_time, r.app_time
+
+
+@pytest.mark.parametrize("fidelity", ["full", "sketch"])
+def test_merge_beats_baseline_at_both_fidelities(fidelity):
+    merge_rt, _ = times(fidelity, "merge-p2p-s")
+    base_rt, _ = times(fidelity, "baseline-p2p-s")
+    assert merge_rt < base_rt
+
+
+@pytest.mark.parametrize("fidelity", ["full", "sketch"])
+def test_async_app_time_beats_sync_at_both_fidelities(fidelity):
+    _, sync_app = times(fidelity, "merge-col-s")
+    _, async_app = times(fidelity, "merge-col-a")
+    assert async_app < sync_app
+
+
+def test_fidelities_agree_on_magnitudes():
+    for key in ("merge-col-s", "baseline-p2p-a"):
+        rt_full, app_full = times("full", key)
+        rt_sketch, app_sketch = times("sketch", key)
+        assert app_sketch == pytest.approx(app_full, rel=0.5)
+        assert rt_sketch == pytest.approx(rt_full, rel=0.6)

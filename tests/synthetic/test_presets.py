@@ -1,0 +1,52 @@
+"""Scale presets: ladders, pair counts, spawn models, scaling coherence."""
+
+import pytest
+
+from repro.synthetic.presets import SCALES, cg_emulation_config
+
+
+def test_paper_scale_matches_the_paper():
+    p = SCALES["paper"]
+    assert p.n_nodes == 8 and p.cores_per_node == 20
+    assert max(p.ladder) == 160
+    assert len(p.pairs()) == 42
+    assert p.iterations == 1000 and p.reconfigure_at == 500
+    assert p.repetitions == 5
+
+
+@pytest.mark.parametrize("scale", ["tiny", "small", "paper"])
+def test_scale_internal_consistency(scale):
+    p = SCALES[scale]
+    assert max(p.ladder) <= p.n_nodes * p.cores_per_node
+    assert 0 < p.reconfigure_at < p.iterations
+    assert p.spawn_model.cost(max(p.ladder), p.n_nodes) > 0
+    # Pairs are all ordered non-equal ladder combinations.
+    pairs = p.pairs()
+    assert len(pairs) == len(p.ladder) * (len(p.ladder) - 1)
+    assert all(a != b for a, b in pairs)
+
+
+def test_data_scales_proportionally():
+    paper = cg_emulation_config("paper")
+    small = cg_emulation_config("small")
+    assert small.total_bytes == pytest.approx(paper.total_bytes / 8, rel=0.01)
+    assert small.async_fraction == pytest.approx(paper.async_fraction, abs=1e-6)
+
+
+def test_cg_preset_has_the_six_stages():
+    cfg = cg_emulation_config("small")
+    kinds = [s.kind for s in cfg.stages]
+    assert kinds.count("compute") == 3
+    assert kinds.count("allreduce") == 2
+    assert kinds.count("allgatherv") == 1
+    # Allgatherv moves N doubles; allreduce moves one double.
+    gather = next(s for s in cfg.stages if s.kind == "allgatherv")
+    assert gather.nbytes == pytest.approx(8.0 * cfg.n_rows)
+    for s in cfg.stages:
+        if s.kind == "allreduce":
+            assert s.nbytes == 8.0
+
+
+def test_unknown_scale_raises():
+    with pytest.raises(KeyError):
+        cg_emulation_config("galactic")

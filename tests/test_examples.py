@@ -1,0 +1,63 @@
+"""Smoke-run every example script (the documented user journeys)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "CG converged" in out
+    assert "received rows" in out
+
+
+def test_malleable_cg():
+    out = run_example("malleable_cg.py")
+    assert "matches the sequential reference" in out
+
+
+def test_malleable_cg_alternate_config():
+    out = run_example("malleable_cg.py", "baseline-p2p-t")
+    assert "Baseline P2PT" in out
+    assert "matches the sequential reference" in out
+
+
+def test_custom_application():
+    out = run_example("custom_application.py")
+    assert "Jacobi ran 40 sweeps" in out
+    assert "TOML" in out or "parsed workload" in out
+
+
+def test_trace_reconfiguration(tmp_path, monkeypatch):
+    import os
+    monkeypatch.chdir(tmp_path)  # the script writes its JSON to the cwd
+    out = run_example("trace_reconfiguration.py")
+    assert "iterations overlapped" in out
+    assert (tmp_path / "reconfiguration_trace.json").exists()
+
+
+def test_makespan_study():
+    out = run_example("makespan_study.py", timeout=360)
+    assert "makespan improvement" in out
+
+
+@pytest.mark.slow
+def test_synthetic_evaluation():
+    out = run_example("synthetic_evaluation.py", "4", "2", timeout=400)
+    assert "best on ethernet" in out
+    assert "best on infiniband" in out
