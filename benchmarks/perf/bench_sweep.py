@@ -1,0 +1,99 @@
+"""Sweep throughput benchmark (sequential vs. parallel) -> BENCH_sweep.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sweep.py [--quick]
+        [--workers N] [--out PATH]
+
+Runs the same tiny-scale grid sequentially and with ``workers=N``
+(default ``min(8, cpu_count)``), checks the two ResultSets serialize to
+**byte-identical CSV** (the PR 1 contract), and records wall-clock times
+plus the parallel speedup.  ``cpu_count`` is recorded alongside because
+the achievable speedup is bounded by physical cores — on a 1-core
+container the parallel path is exercised for correctness but cannot be
+faster than sequential.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+if str(REPO / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.runner import run_sweep  # noqa: E402
+from repro.malleability import ALL_CONFIGS  # noqa: E402
+from repro.synthetic.presets import SCALES  # noqa: E402
+
+BASELINE = HERE / "baseline_pre_pr.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller grid (CI smoke)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel width (default min(8, cpu_count))")
+    parser.add_argument("--out", default=str(HERE / "BENCH_sweep.json"))
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    # At least 2 even on a 1-core box, so the ProcessPoolExecutor path (and
+    # its byte-identity contract) is actually exercised.
+    workers = (
+        args.workers if args.workers is not None else max(2, min(8, cpus))
+    )
+    keys = [c.key for c in ALL_CONFIGS]
+    if args.quick:
+        pairs, keys, reps = [(2, 4), (4, 8)], keys[:4], 1
+    else:
+        pairs, reps = SCALES["tiny"].pairs(), 2
+    fabrics = ["ethernet", "infiniband"] if not args.quick else ["ethernet"]
+    grid = dict(scale="tiny", repetitions=reps)
+
+    t0 = time.perf_counter()
+    seq = run_sweep(pairs, keys, fabrics, **grid)
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = run_sweep(pairs, keys, fabrics, workers=workers, **grid)
+    t_par = time.perf_counter() - t0
+
+    identical = seq.to_csv() == par.to_csv()
+    out = {
+        "recorded_at": time.strftime("%Y-%m-%d"),
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "cpu_count": cpus,
+        "grid_cells": len(seq),
+        "workers": workers,
+        "sequential_s": round(t_seq, 3),
+        "parallel_s": round(t_par, 3),
+        "parallel_speedup": round(t_seq / t_par, 3),
+        "csv_bit_identical": identical,
+    }
+    if BASELINE.exists():
+        base = json.loads(BASELINE.read_text())
+        out["baseline_mini_sweep_tiny_8runs_s"] = base.get(
+            "mini_sweep_tiny_8runs_s"
+        )
+
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(json.dumps(out, indent=2))
+    print(f"wrote {args.out}")
+    if not identical:
+        print("ERROR: parallel CSV differs from sequential", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

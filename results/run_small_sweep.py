@@ -4,8 +4,12 @@ Equivalent to:
     repro-harness run --scale small --figures all --out results/small_sweep.csv
 but with a progress heartbeat; kept as a script so the numbers in
 EXPERIMENTS.md are exactly reproducible.
+
+``--workers N`` fans the grid out over N processes; the output CSV is
+bit-identical to the sequential run (see repro.harness.runner.run_sweep).
 """
 
+import argparse
 import time
 
 from repro.harness import run_sweep
@@ -13,6 +17,13 @@ from repro.malleability import ALL_CONFIGS
 from repro.synthetic.presets import SCALES
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes (default: sequential)",
+    )
+    parser.add_argument("--out", default="results/small_sweep.csv")
+    args = parser.parse_args()
     t0 = time.time()
     preset = SCALES["small"]
     rs = run_sweep(
@@ -22,6 +33,7 @@ if __name__ == "__main__":
         scale="small",
         repetitions=3,
         progress=lambda m: print(m, flush=True),
+        workers=args.workers,
     )
-    rs.to_csv("results/small_sweep.csv")
+    rs.to_csv(args.out)
     print(f"DONE in {time.time() - t0:.0f}s, {len(rs)} results", flush=True)

@@ -33,6 +33,8 @@ _EPS_SECONDS = 1e-12
 class PollerToken:
     """Opaque handle identifying one poller registration on a node."""
 
+    __slots__ = ("id", "label")
+
     _ids = itertools.count()
 
     def __init__(self, label: str = ""):
@@ -94,32 +96,40 @@ class Node:
 
     # ------------------------------------------------------------ bookkeeping
     def _advance(self) -> None:
+        # Hot path (runs on every demand-set change): ``rate``/``demand``
+        # are inlined as locals to skip repeated property-descriptor calls.
         now = self.sim.now
         dt = now - self._last_update
         if dt > 0:
-            r = self.rate
-            if self._tasks:
-                for t in self._tasks:
-                    t.work_left -= dt * r
-            self.busy_coreseconds += dt * min(self.cores, self.demand)
+            tasks = self._tasks
+            n = len(tasks) + len(self._pollers)
+            if tasks:
+                r = 1.0 if n <= self.cores else self.cores / n
+                work = dt * r
+                for t in tasks:
+                    t.work_left -= work
+            self.busy_coreseconds += dt * (self.cores if n > self.cores else n)
         self._last_update = now
 
     def _reschedule(self) -> None:
         if self._completion_item is not None:
             self._completion_item.cancelled = True
             self._completion_item = None
-        if not self._tasks:
+        tasks = self._tasks
+        if not tasks:
             return
-        r = self.rate
-        soonest = min(t.work_left for t in self._tasks)
+        n = len(tasks) + len(self._pollers)
+        r = 1.0 if n <= self.cores else self.cores / n
+        soonest = min(t.work_left for t in tasks)
         # Guard against float drift leaving a microscopic negative remainder.
-        delay = max(0.0, soonest) / r
+        delay = soonest / r if soonest > 0.0 else 0.0
         self._completion_item = self.sim.schedule(delay, self._on_completion)
 
     def _on_completion(self) -> None:
         self._completion_item = None
         self._advance()
-        rate = self.rate
+        n = len(self._tasks) + len(self._pollers)
+        rate = 1.0 if n <= self.cores else self.cores / n
         done = {
             id(t)
             for t in self._tasks
@@ -171,6 +181,7 @@ class ComputeOn(Command):
     """Yieldable: run ``work`` seconds of single-core compute on ``node``."""
 
     blocking_reason = "compute"
+    __slots__ = ("node", "work", "value")
 
     def __init__(self, node: Node, work: float, value: Any = None):
         self.node = node
@@ -191,6 +202,7 @@ class Compute(Command):
     """
 
     blocking_reason = "compute"
+    __slots__ = ("work", "value")
 
     def __init__(self, work: float, value: Any = None):
         self.work = work

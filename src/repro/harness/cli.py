@@ -65,6 +65,7 @@ def cmd_run(args) -> int:
         scale=args.scale,
         repetitions=args.reps,
         progress=progress,
+        workers=args.workers,
     )
     out_path = Path(args.out)
     if args.append and out_path.exists():
@@ -153,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--reps", type=int, default=None,
                        help="override the scale's repetition count")
     p_run.add_argument("--out", default="results.csv")
+    p_run.add_argument(
+        "--workers", type=int, default=None,
+        help="fan the sweep out over N processes (results are bit-identical "
+        "to a sequential run; default: sequential)",
+    )
     p_run.add_argument("--verbose", action="store_true")
     p_run.add_argument("--append", action="store_true",
                        help="merge into an existing results CSV")

@@ -4,6 +4,14 @@ One :class:`RunResult` per simulated job; a :class:`ResultSet` aggregates
 the whole sweep and answers the queries the figures need (reconfiguration
 times, application times, grouped by configuration / pair / fabric).
 Results round-trip through CSV so expensive sweeps can be cached.
+
+``run_sweep(..., workers=N)`` fans the grid out over a process pool.  Each
+cell is an independent simulation with a deterministic CRC32 seed
+(:func:`_seed_of`) and — since PR 1 — a *history-independent* outcome (the
+network layer no longer lets object-address set ordering leak into event
+ordering), so the parallel sweep is **bit-identical** to the sequential one:
+results are merged back in canonical spec order and serialize to the same
+CSV bytes.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 import csv
 import io
 import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
@@ -26,7 +35,14 @@ from ..synthetic.application import launch_synthetic
 from ..synthetic.configfile import SyntheticConfig
 from ..synthetic.presets import SCALES, cg_emulation_config
 
-__all__ = ["RunSpec", "RunResult", "ResultSet", "run_one", "run_sweep"]
+__all__ = [
+    "RunSpec",
+    "RunResult",
+    "ResultSet",
+    "run_one",
+    "run_sweep",
+    "sweep_specs",
+]
 
 
 @dataclass(frozen=True)
@@ -246,6 +262,28 @@ class ResultSet:
         return cls(results)
 
 
+def sweep_specs(
+    pairs: Sequence[tuple[int, int]],
+    config_keys: Sequence[str],
+    fabrics: Sequence[str],
+    scale: str,
+    reps: int,
+) -> list[RunSpec]:
+    """The canonical (fabric, pair, config, rep) enumeration of a sweep.
+
+    This order defines the row order of the ResultSet/CSV; the parallel
+    executor gathers into it so its output matches the sequential one
+    byte for byte.
+    """
+    return [
+        RunSpec(ns, nt, key, fabric, scale, rep)
+        for fabric in fabrics
+        for ns, nt in pairs
+        for key in config_keys
+        for rep in range(reps)
+    ]
+
+
 def run_sweep(
     pairs: Sequence[tuple[int, int]],
     config_keys: Sequence[str],
@@ -254,26 +292,73 @@ def run_sweep(
     repetitions: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     synth_config: Optional[SyntheticConfig] = None,
+    workers: Optional[int] = None,
 ) -> ResultSet:
-    """Run the full cross product; the master data behind every figure."""
+    """Run the full cross product; the master data behind every figure.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` or ``1`` runs sequentially in-process.  ``N > 1`` fans the
+        grid out over a :class:`ProcessPoolExecutor`; results are gathered
+        back in canonical spec order, so the returned ResultSet (and its
+        CSV serialization) is bit-identical to a sequential run.
+    progress:
+        Called once per completed cell with ``[done/total]`` plus an
+        elapsed-seconds heartbeat.  Under parallel execution cells complete
+        out of order; ``done`` counts completions, not grid position.
+    """
     preset = SCALES[scale]
     reps = repetitions if repetitions is not None else preset.repetitions
-    out = ResultSet()
-    total = len(pairs) * len(config_keys) * len(fabrics) * reps
-    done = 0
-    started = time.time()
     base = synth_config or cg_emulation_config(scale)
-    for fabric in fabrics:
-        for ns, nt in pairs:
-            for key in config_keys:
-                for rep in range(reps):
-                    spec = RunSpec(ns, nt, key, fabric, scale, rep)
-                    out.add(run_one(spec, synth_config=base))
-                    done += 1
-                    if progress is not None:
-                        elapsed = time.time() - started
-                        progress(
-                            f"[{done}/{total}] {fabric} {ns}->{nt} {key} "
-                            f"rep{rep} ({elapsed:.0f}s)"
-                        )
+    specs = sweep_specs(pairs, config_keys, fabrics, scale, reps)
+    total = len(specs)
+    if workers is not None and workers > 1 and total > 1:
+        results = _run_parallel(specs, base, min(workers, total), progress, total)
+        return ResultSet(results)
+    out = ResultSet()
+    # Sequential path: only consult the wall clock when someone is watching
+    # (time.time() per tiny cell is measurable overhead at paper scale).
+    started = time.time() if progress is not None else 0.0
+    for done, spec in enumerate(specs, start=1):
+        out.add(run_one(spec, synth_config=base))
+        if progress is not None:
+            elapsed = time.time() - started
+            progress(
+                f"[{done}/{total}] {spec.fabric} {spec.ns}->{spec.nt} "
+                f"{spec.config_key} rep{spec.rep} ({elapsed:.0f}s)"
+            )
     return out
+
+
+def _run_parallel(
+    specs: Sequence[RunSpec],
+    base: SyntheticConfig,
+    workers: int,
+    progress: Optional[Callable[[str], None]],
+    total: int,
+) -> list[RunResult]:
+    """Fan ``specs`` out over a process pool; gather in canonical order."""
+    results: list[Optional[RunResult]] = [None] * total
+    started = time.time()
+    done = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        index_of = {
+            pool.submit(run_one, spec, base): i for i, spec in enumerate(specs)
+        }
+        pending = set(index_of)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                i = index_of[fut]
+                results[i] = fut.result()  # re-raises worker failures
+                done += 1
+                if progress is not None:
+                    spec = specs[i]
+                    elapsed = time.time() - started
+                    progress(
+                        f"[{done}/{total}] {spec.fabric} {spec.ns}->{spec.nt} "
+                        f"{spec.config_key} rep{spec.rep} ({elapsed:.0f}s)"
+                    )
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

@@ -11,6 +11,7 @@ communication between some sources and some targets can be empty", §3.1).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator
 
 import numpy as np
@@ -24,24 +25,48 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=4096)
+def _block_counts_cached(n: int, p: int) -> np.ndarray:
+    base, extra = divmod(n, p)
+    counts = np.full(p, base, dtype=np.int64)
+    counts[:extra] += 1
+    counts.setflags(write=False)
+    return counts
+
+
 def block_counts(n: int, p: int) -> np.ndarray:
     """Rows owned by each of ``p`` ranks under the standard block rule:
-    the first ``n % p`` ranks get one extra row."""
+    the first ``n % p`` ranks get one extra row.
+
+    Results are LRU-cached (every rank of every simulated job recomputes the
+    same handful of partitions) and returned as *read-only* arrays — copy
+    before mutating.
+    """
     if p < 1:
         raise ValueError(f"need at least one rank, got {p}")
     if n < 0:
         raise ValueError(f"row count must be >= 0, got {n}")
-    base, extra = divmod(n, p)
-    counts = np.full(p, base, dtype=np.int64)
-    counts[:extra] += 1
-    return counts
+    return _block_counts_cached(n, p)
+
+
+@lru_cache(maxsize=4096)
+def _block_offsets_cached(n: int, p: int) -> np.ndarray:
+    offsets = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(block_counts(n, p), out=offsets[1:])
+    offsets.setflags(write=False)
+    return offsets
 
 
 def block_offsets(n: int, p: int) -> np.ndarray:
-    """Starting row of each rank (length p+1; last entry is ``n``)."""
-    offsets = np.zeros(p + 1, dtype=np.int64)
-    np.cumsum(block_counts(n, p), out=offsets[1:])
-    return offsets
+    """Starting row of each rank (length p+1; last entry is ``n``).
+
+    LRU-cached and read-only, like :func:`block_counts`.
+    """
+    if p < 1:
+        raise ValueError(f"need at least one rank, got {p}")
+    if n < 0:
+        raise ValueError(f"row count must be >= 0, got {n}")
+    return _block_offsets_cached(n, p)
 
 
 def block_range(n: int, p: int, rank: int) -> tuple[int, int]:

@@ -15,6 +15,7 @@ much of their data as possible", §5) and is exercised by an ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 import numpy as np
@@ -70,7 +71,15 @@ class RedistributionPlan:
     # --------------------------------------------------------------- factory
     @classmethod
     def block(cls, n_rows: int, n_sources: int, n_targets: int) -> "RedistributionPlan":
-        """Standard balanced block distribution on both sides (the paper)."""
+        """Standard balanced block distribution on both sides (the paper).
+
+        LRU-cached: every rank of every run of a sweep derives the identical
+        plan from ``(n_rows, NS, NT)``, so construction (the overlap merge
+        plus per-rank chunk dicts) is shared.  Plans are immutable — queries
+        hand out copies.
+        """
+        if cls is RedistributionPlan:
+            return _block_plan_cached(int(n_rows), int(n_sources), int(n_targets))
         return cls(
             block_offsets(n_rows, n_sources), block_offsets(n_rows, n_targets)
         )
@@ -79,7 +88,14 @@ class RedistributionPlan:
     def movement_minimizing(
         cls, n_rows: int, n_sources: int, n_targets: int, slack: float = 0.5
     ) -> "RedistributionPlan":
-        """Future-work extension: targets that were sources keep their rows."""
+        """Future-work extension: targets that were sources keep their rows.
+
+        LRU-cached like :meth:`block`.
+        """
+        if cls is RedistributionPlan:
+            return _minmove_plan_cached(
+                int(n_rows), int(n_sources), int(n_targets), float(slack)
+            )
         return cls(
             block_offsets(n_rows, n_sources),
             movement_minimizing_offsets(n_rows, n_sources, n_targets, slack),
@@ -129,6 +145,23 @@ class RedistributionPlan:
             f"<RedistributionPlan {self.n_sources}->{self.n_targets} rows={self.n_rows} "
             f"chunks={sum(len(v) for v in self._by_src.values())}>"
         )
+
+
+@lru_cache(maxsize=512)
+def _block_plan_cached(n_rows: int, n_sources: int, n_targets: int) -> "RedistributionPlan":
+    return RedistributionPlan(
+        block_offsets(n_rows, n_sources), block_offsets(n_rows, n_targets)
+    )
+
+
+@lru_cache(maxsize=512)
+def _minmove_plan_cached(
+    n_rows: int, n_sources: int, n_targets: int, slack: float
+) -> "RedistributionPlan":
+    return RedistributionPlan(
+        block_offsets(n_rows, n_sources),
+        movement_minimizing_offsets(n_rows, n_sources, n_targets, slack),
+    )
 
 
 def movement_minimizing_offsets(

@@ -141,6 +141,11 @@ class CsrStore(BlockStore):
                 f"{spec.name}: matrix has {matrix.shape[0]} rows, block needs {hi - lo}"
             )
         self._pieces: list[tuple[int, int, sp.csr_matrix]] = []
+        #: cached ``(indptr, bytes-per-nonzero, bytes-per-rowptr)`` — the
+        #: only state :meth:`range_nbytes` needs.  ``indptr`` is the nnz
+        #: prefix sum, so wire sizes are O(1) lookups once cached;
+        #: invalidated whenever a piece is inserted.
+        self._wire_cache: Optional[tuple] = None
 
     @property
     def matrix(self) -> sp.csr_matrix:
@@ -169,13 +174,18 @@ class CsrStore(BlockStore):
 
     def range_nbytes(self, lo: int, hi: int) -> int:
         self._check_range(lo, hi)
-        m = self.matrix
+        cache = self._wire_cache
+        if cache is None:
+            m = self.matrix
+            cache = self._wire_cache = (
+                m.indptr,
+                m.data.dtype.itemsize + m.indices.dtype.itemsize,
+                m.indptr.dtype.itemsize,
+            )
+        indptr, per_nnz, per_ptr = cache
         a, b = lo - self.lo, hi - self.lo
-        nnz = int(m.indptr[b] - m.indptr[a])
-        itemsize = m.data.dtype.itemsize
-        idxsize = m.indices.dtype.itemsize
         # values + column indices + row pointer slice
-        return nnz * (itemsize + idxsize) + (b - a + 1) * m.indptr.dtype.itemsize
+        return int(indptr[b] - indptr[a]) * per_nnz + (b - a + 1) * per_ptr
 
     def extract(self, lo: int, hi: int) -> sp.csr_matrix:
         self._check_range(lo, hi)
@@ -190,6 +200,7 @@ class CsrStore(BlockStore):
                 f"{self.spec.name}: piece rows {piece.shape[0]} != range {hi - lo}"
             )
         self._pieces.append((lo, hi, piece))
+        self._wire_cache = None
 
 
 class VirtualStore(BlockStore):

@@ -22,6 +22,7 @@ class Timeout(Command):
     """
 
     blocking_reason = "timeout"
+    __slots__ = ("delay", "value")
 
     def __init__(self, delay: float, value: Any = None):
         if delay < 0:
@@ -44,6 +45,7 @@ class WaitEvent(Command):
     """
 
     blocking_reason = "event"
+    __slots__ = ("event",)
 
     def __init__(self, event: SimEvent):
         if not isinstance(event, SimEvent):
@@ -74,6 +76,7 @@ class AnyOf(Command):
     """
 
     blocking_reason = "any-of"
+    __slots__ = ("events",)
 
     def __init__(self, events: Iterable[SimEvent]):
         self.events = list(events)
@@ -119,6 +122,7 @@ class AllOf(Command):
     """Block until *all* events fire; yields the list of their values."""
 
     blocking_reason = "all-of"
+    __slots__ = ("events",)
 
     def __init__(self, events: Iterable[SimEvent]):
         self.events = list(events)
@@ -166,6 +170,7 @@ class Now(Command):
     """
 
     blocking_reason = "now"
+    __slots__ = ()
 
     def execute(self, sim: Simulator, proc: SimProcess) -> None:
         sim.resume(proc, sim.now)
@@ -179,6 +184,7 @@ class Passivate(Command):
     """
 
     blocking_reason = "passivate"
+    __slots__ = ("reason",)
 
     def __init__(self, reason: str = "passivate"):
         self.reason = reason

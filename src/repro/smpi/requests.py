@@ -12,6 +12,7 @@ from typing import Any, Iterable, Optional
 
 from ..simulate.core import Simulator
 from ..simulate.events import SimEvent
+from .datatypes import ANY_SOURCE, ANY_TAG
 from .status import Status
 
 __all__ = ["Request", "SendRequest", "RecvRequest", "MultiRequest"]
@@ -67,8 +68,6 @@ class RecvRequest(Request):
         self.tag = tag
 
     def matches(self, ctx_id: int, src_rank: int, tag: int) -> bool:
-        from .datatypes import ANY_SOURCE, ANY_TAG
-
         if self.comm.ctx_id != ctx_id:
             return False
         if self.source != ANY_SOURCE and self.source != src_rank:

@@ -1,0 +1,84 @@
+"""Determinism of the parallel sweep executor.
+
+The contract introduced in PR 1: ``run_sweep(..., workers=N)`` must be
+*bit-identical* to the sequential sweep — same ResultSet rows in the same
+canonical order, serializing to the same CSV bytes — because each cell's
+simulation is seeded deterministically (`_seed_of`) and its outcome is
+independent of process history.
+"""
+
+import zlib
+
+from repro.harness.runner import RunSpec, run_one, run_sweep, sweep_specs
+from repro.harness.runner import _seed_of
+
+PAIRS = [(2, 4), (4, 8)]
+KEYS = ["merge-p2p-t", "baseline-p2p-s"]
+FABRICS = ["ethernet"]
+
+
+def test_parallel_sweep_csv_bytes_identical_to_sequential():
+    seq = run_sweep(PAIRS, KEYS, FABRICS, scale="tiny", repetitions=1)
+    par = run_sweep(
+        PAIRS, KEYS, FABRICS, scale="tiny", repetitions=1, workers=2
+    )
+    assert seq.to_csv() == par.to_csv()
+
+
+def test_parallel_progress_counts_every_cell():
+    msgs = []
+    run_sweep(
+        PAIRS,
+        KEYS,
+        FABRICS,
+        scale="tiny",
+        repetitions=1,
+        workers=2,
+        progress=msgs.append,
+    )
+    total = len(PAIRS) * len(KEYS) * len(FABRICS)
+    assert len(msgs) == total
+    # done counters are 1..total (in completion order) and every message
+    # carries the total and the elapsed-seconds heartbeat.
+    counts = sorted(int(m.split("/")[0].lstrip("[")) for m in msgs)
+    assert counts == list(range(1, total + 1))
+    assert all(f"/{total}]" in m for m in msgs)
+    assert all(m.rstrip().endswith("s)") for m in msgs)
+
+
+def test_sequential_progress_is_in_canonical_order():
+    msgs = []
+    run_sweep(
+        PAIRS, KEYS, FABRICS, scale="tiny", repetitions=1, progress=msgs.append
+    )
+    counts = [int(m.split("/")[0].lstrip("[")) for m in msgs]
+    assert counts == list(range(1, len(msgs) + 1))
+
+
+def test_sweep_specs_order_matches_sequential_result_rows():
+    specs = sweep_specs(PAIRS, KEYS, FABRICS, "tiny", 1)
+    rs = run_sweep(PAIRS, KEYS, FABRICS, scale="tiny", repetitions=1)
+    got = [(r.fabric, r.ns, r.nt, r.config_key, r.rep) for r in rs.results]
+    want = [(s.fabric, s.ns, s.nt, s.config_key, s.rep) for s in specs]
+    assert got == want
+
+
+def test_seed_of_is_stable_across_processes_and_time():
+    """CRC32 of the spec token: no per-interpreter hash salt involved."""
+    spec = RunSpec(8, 16, "merge-p2p-t", "ethernet", "small", 2)
+    token = "8:16:merge-p2p-t:ethernet:2:block"
+    assert _seed_of(spec) == zlib.crc32(token.encode())
+    # Pinned value: changing the token format would silently re-seed every
+    # cached sweep, so treat it as a wire format.
+    assert _seed_of(spec) == 2015702806
+
+
+def test_run_one_is_history_independent():
+    """A run's result must not depend on what ran before it in the process
+    (prerequisite for parallel == sequential)."""
+    spec = RunSpec(4, 8, "merge-p2p-t", "ethernet", "tiny", 0)
+    first = run_one(spec)
+    # Pollute process history with a different cell, then repeat.
+    run_one(RunSpec(8, 2, "baseline-col-a", "infiniband", "tiny", 1))
+    again = run_one(spec)
+    assert first == again

@@ -1,20 +1,31 @@
 """Smoke-run every example script (the documented user journeys)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+SRC = REPO / "src"
 
 
 def run_example(name, *args, timeout=240):
+    # The examples import `repro` from the source tree; the subprocess does
+    # not inherit this test process's sys.path, so inject src/ explicitly.
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
     return proc.stdout
