@@ -1,0 +1,141 @@
+"""Observability overhead benchmark -> BENCH_obs.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_obs.py [--quick] [--out PATH]
+
+ISSUE 2's acceptance bar: the metrics layer must be *near-free when
+detached*.  Three timings of the same simulated job (merge-col-t on
+ethernet, the configuration with the busiest emission sites — async
+collective phases, oversubscribed nodes):
+
+* ``detached``  — no registry anywhere; the cooperative ``world.metrics``
+  guards are one pointer comparison each, hot paths unwrapped.
+* ``attached``  — a :class:`~repro.obs.MetricsProbe` wrapping the cluster
+  hot paths plus cooperative emission everywhere.
+* ``traced``    — probe *and* :class:`~repro.trace.Tracer` together (the
+  ``repro-harness observe`` configuration).
+
+The JSON records absolute best-of-N times plus the attached/detached and
+traced/detached ratios.  ``--assert-overhead PCT`` exits non-zero when the
+detached time regressed more than PCT percent against the pinned
+``detached_baseline_s`` (when present) — the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+if str(REPO / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.runner import RunSpec, run_one  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.trace import Tracer  # noqa: E402
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench(scale: str, repeats: int) -> dict:
+    spec = RunSpec(4, 8, "merge-col-t", "ethernet", scale, 0)
+
+    def detached():
+        run_one(spec)
+
+    def attached():
+        run_one(spec, metrics=MetricsRegistry())
+
+    def traced():
+        run_one(spec, metrics=MetricsRegistry(), tracer=Tracer())
+
+    # Warm once so imports/JIT-ish first-call costs don't skew the fastest
+    # variant benched first.
+    run_one(spec)
+    t_detached = _best_of(detached, repeats)
+    t_attached = _best_of(attached, repeats)
+    t_traced = _best_of(traced, repeats)
+    return {
+        "detached_s": round(t_detached, 5),
+        "attached_s": round(t_attached, 5),
+        "traced_s": round(t_traced, 5),
+        "attached_over_detached": round(t_attached / t_detached, 4),
+        "traced_over_detached": round(t_traced / t_detached, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny scale, fewer repeats (CI smoke)")
+    parser.add_argument("--out", default=str(HERE / "BENCH_obs.json"))
+    parser.add_argument(
+        "--assert-overhead", type=float, default=None, metavar="PCT",
+        help="exit 1 if detached_s exceeds the pinned detached_baseline_s "
+        "in the existing output JSON by more than PCT percent",
+    )
+    args = parser.parse_args(argv)
+
+    scale = "tiny" if args.quick else "small"
+    repeats = 3 if args.quick else 5
+
+    baseline = None
+    out_path = Path(args.out)
+    if out_path.exists():
+        try:
+            baseline = json.loads(out_path.read_text()).get(
+                "detached_baseline_s"
+            )
+        except (ValueError, OSError):
+            baseline = None
+
+    out = {
+        "recorded_at": time.strftime("%Y-%m-%d"),
+        "mode": "quick" if args.quick else "full",
+        "scale": scale,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+    out.update(bench(scale, repeats))
+    # the baseline carries forward so successive runs compare to the first
+    out["detached_baseline_s"] = (
+        baseline if baseline is not None else out["detached_s"]
+    )
+
+    out_path.write_text(json.dumps(out, indent=2) + "\n")
+    print(json.dumps(out, indent=2))
+    print(f"wrote {args.out}")
+
+    if args.assert_overhead is not None and baseline is not None:
+        limit = baseline * (1 + args.assert_overhead / 100.0)
+        if out["detached_s"] > limit:
+            print(
+                f"FAIL: detached run {out['detached_s']:.5f}s exceeds "
+                f"baseline {baseline:.5f}s by more than "
+                f"{args.assert_overhead:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: detached {out['detached_s']:.5f}s within "
+            f"{args.assert_overhead:.1f}% of baseline {baseline:.5f}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ terminal-plot emission.
 
 from .asciiplot import line_chart, method_grid
 from .metrics import alpha_ratio, alpha_table, median, speedup, speedup_table
+from .obs_summary import metrics_summary
 from .models import (
     Prediction,
     chunk_times,
@@ -51,4 +52,5 @@ __all__ = [
     "format_cell",
     "line_chart",
     "method_grid",
+    "metrics_summary",
 ]

@@ -1,0 +1,165 @@
+"""ASCII rendering of a ``metrics.json`` document.
+
+``metrics_summary`` turns the wire document written by
+:func:`repro.obs.export.write_metrics_json` into the terminal view behind
+``repro-harness report --metrics`` / ``repro-harness observe``: the
+per-stage reconfiguration breakdown (the paper's Figures 2-6 decomposition),
+per-layer traffic totals, and the node oversubscription peaks that explain
+the asynchronous strategies' iteration-cost blowups (Figures 7-8).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["metrics_summary"]
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{n:.0f}B"
+        n /= 1024.0
+    return f"{n:.1f}TiB"  # pragma: no cover - loop always returns
+
+
+def _fmt_s(t: float) -> str:
+    return f"{t * 1e3:.3f}ms" if t < 1.0 else f"{t:.3f}s"
+
+
+def _split_key(key: str) -> tuple[str, dict]:
+    """``name{k=v,...}`` -> (name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for part in rest.rstrip("}").split(","):
+        if "=" in part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+def _section(title: str) -> list[str]:
+    return [f"== {title} =="]
+
+
+def metrics_summary(doc: Mapping) -> str:
+    """Render one metrics.json document as an ASCII report."""
+    lines: list[str] = []
+    meta = doc.get("meta", {})
+    if meta:
+        parts = [f"{k}={meta[k]}" for k in sorted(meta)]
+        lines.append("meta: " + " ".join(parts))
+        lines.append("")
+
+    # ----------------------------------------------- reconfiguration stages
+    recs = doc.get("records", {}).get("reconfigurations", [])
+    if recs:
+        lines += _section("Reconfiguration breakdown (per stage, sim time)")
+        header = (
+            f"  {'#':>2} {'NSxNT':>7} {'rms':>10} {'plan':>10} "
+            f"{'spawn':>10} {'redist':>10} {'commit':>10} {'total':>10}"
+        )
+        lines.append(header)
+        for row in recs:
+            lines.append(
+                f"  {row.get('index', '?'):>2} "
+                f"{row['n_sources']:>3}x{row['n_targets']:<3} "
+                f"{_fmt_s(row['rms_decision_seconds']):>10} "
+                f"{_fmt_s(row['plan_build_seconds']):>10} "
+                f"{_fmt_s(row['spawn_seconds']):>10} "
+                f"{_fmt_s(row['redistribution_seconds']):>10} "
+                f"{_fmt_s(row['commit_seconds']):>10} "
+                f"{_fmt_s(row['total_seconds']):>10}"
+            )
+        lines.append("")
+
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    timers = doc.get("timers", {})
+
+    # ------------------------------------------------------------- traffic
+    smpi_bytes: dict[str, float] = {}
+    label_bytes: dict[str, float] = {}
+    redist_bytes: dict[str, float] = {}
+    for key, value in counters.items():
+        name, labels = _split_key(key)
+        if name == "smpi.bytes":
+            proto = labels.get("protocol", "?")
+            smpi_bytes[proto] = smpi_bytes.get(proto, 0) + value
+        elif name == "smpi.bytes_by_label":
+            label_bytes[labels.get("label", "?")] = value
+        elif name == "redist.transfer_bytes":
+            k = f"{labels.get('method', '?')}/{labels.get('phase', '?')}"
+            redist_bytes[k] = redist_bytes.get(k, 0) + value
+    if smpi_bytes or redist_bytes or label_bytes:
+        lines += _section("Traffic")
+        for proto in sorted(smpi_bytes):
+            lines.append(
+                f"  smpi {proto:>6}: {_fmt_bytes(smpi_bytes[proto]):>10}"
+            )
+        for k in sorted(redist_bytes):
+            lines.append(f"  redist {k:>10}: {_fmt_bytes(redist_bytes[k]):>10}")
+        for label in sorted(label_bytes):
+            lines.append(
+                f"  label {label:>16}: {_fmt_bytes(label_bytes[label]):>10}"
+            )
+        lines.append("")
+
+    # ------------------------------------------------------------- cluster
+    peaks: list[tuple[str, float]] = []
+    busy: list[tuple[str, float]] = []
+    for key, entry in gauges.items():
+        name, labels = _split_key(key)
+        if name == "cluster.node.peak_oversubscription":
+            peaks.append((labels.get("node", "?"), entry["last"]))
+        elif name == "cluster.node.busy_coreseconds":
+            busy.append((labels.get("node", "?"), entry["last"]))
+    if peaks:
+        lines += _section("Node oversubscription (peak demand / cores)")
+        busy_of = dict(busy)
+        for node, peak in sorted(peaks):
+            mark = "  <-- oversubscribed" if peak > 1.0 else ""
+            extra = (
+                f"  busy {busy_of[node]:.3f} core-s" if node in busy_of else ""
+            )
+            lines.append(f"  {node:>8}: {peak:5.2f}x{extra}{mark}")
+        lines.append("")
+    realloc = counters.get("cluster.allocator.reallocations")
+    fast = counters.get("cluster.allocator.fast_path_hits")
+    carried = counters.get("cluster.network.bytes_carried")
+    if realloc is not None or carried is not None:
+        lines += _section("Network/allocator")
+        if realloc is not None:
+            lines.append(f"  allocator recomputes : {realloc:.0f}")
+        if fast is not None:
+            lines.append(f"  fast-path hits       : {fast:.0f}")
+        if carried is not None:
+            lines.append(f"  bytes carried        : {_fmt_bytes(carried)}")
+        lines.append("")
+
+    # --------------------------------------------------------------- waits
+    blocked_total = 0.0
+    blocked_n = 0
+    for key, entry in timers.items():
+        name, _ = _split_key(key)
+        if name == "smpi.wait_blocked":
+            blocked_total += entry["total"]
+            blocked_n += entry["n"]
+    ticks = sum(
+        v for k, v in counters.items() if k.startswith("smpi.progress_ticks")
+    )
+    if blocked_n or ticks:
+        lines += _section("MPI waits")
+        lines.append(
+            f"  blocked in Wait*/Test*: {_fmt_s(blocked_total)} across "
+            f"{blocked_n} calls"
+        )
+        if ticks:
+            lines.append(f"  progress-engine ticks : {ticks:.0f}")
+        lines.append("")
+
+    if not lines:
+        return "(empty metrics document)"
+    return "\n".join(lines).rstrip() + "\n"

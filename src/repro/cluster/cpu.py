@@ -75,6 +75,9 @@ class Node:
         self._completion_item = None
         #: cumulative busy core-seconds, for utilisation accounting
         self.busy_coreseconds = 0.0
+        #: highest demand ever seen (always-on: one compare per change, so
+        #: oversubscription peaks survive to the end of a run for free)
+        self.peak_demand = 0
 
     # ---------------------------------------------------------------- load
     @property
@@ -156,6 +159,9 @@ class Node:
             return
         self._advance()
         self._tasks.append(_CpuTask(work, on_done, label))
+        d = len(self._tasks) + len(self._pollers)
+        if d > self.peak_demand:
+            self.peak_demand = d
         self._reschedule()
 
     def add_poller(self, token: PollerToken) -> None:
@@ -164,6 +170,9 @@ class Node:
             raise ValueError(f"poller {token!r} registered twice")
         self._advance()
         self._pollers.add(token.id)
+        d = len(self._tasks) + len(self._pollers)
+        if d > self.peak_demand:
+            self.peak_demand = d
         self._reschedule()
 
     def remove_poller(self, token: PollerToken) -> None:

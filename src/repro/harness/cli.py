@@ -58,6 +58,11 @@ def cmd_run(args) -> int:
     # alpha figures need the sync counterparts too — config_keys already
     # include everything (the registry lists _ALL for fig4/5).
     progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    registry = None
+    if getattr(args, "metrics_out", None):
+        from ..obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     rs = run_sweep(
         sorted(pairs),
         sorted(keys),
@@ -66,16 +71,62 @@ def cmd_run(args) -> int:
         repetitions=args.reps,
         progress=progress,
         workers=args.workers,
+        metrics=registry,
     )
     out_path = Path(args.out)
     if args.append and out_path.exists():
         rs = ResultSet.from_csv(out_path).merge(rs)
     rs.to_csv(out_path)
     print(f"wrote {len(rs)} results to {args.out}")
+    if registry is not None:
+        from ..obs import write_metrics_json
+
+        write_metrics_json(
+            registry, args.metrics_out, meta={"scale": args.scale}
+        )
+        print(f"wrote aggregated metrics to {args.metrics_out}")
+    return 0
+
+
+def cmd_observe(args) -> int:
+    """One instrumented run: metrics.json + Perfetto trace + ASCII summary."""
+    from ..analysis.obs_summary import metrics_summary
+    from ..obs import MetricsRegistry, build_metrics_doc, write_metrics_json
+    from ..trace.recorder import Tracer
+    from .runner import RunSpec, run_one
+
+    spec = RunSpec(
+        args.ns, args.nt, args.config, args.fabric, args.scale, args.rep
+    )
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    result = run_one(spec, metrics=registry, tracer=tracer)
+    # Replay the per-stage reconfiguration spans into Perfetto lanes.
+    registry.feed_tracer(tracer)
+    write_metrics_json(registry, args.metrics_out)
+    Path(args.trace_out).write_text(tracer.to_chrome_trace())
+    print(f"{spec.config.name}: {spec.ns} -> {spec.nt} on {args.fabric} "
+          f"({args.scale} scale)")
+    print(f"  reconfig {result.reconfig_time:.6f}s  app {result.app_time:.6f}s")
+    print(f"wrote {args.metrics_out} and {args.trace_out}\n")
+    print(metrics_summary(build_metrics_doc(registry)))
     return 0
 
 
 def cmd_report(args) -> int:
+    if args.metrics:
+        import json
+
+        from ..analysis.obs_summary import metrics_summary
+        from ..obs import validate_metrics
+
+        doc = json.loads(Path(args.metrics).read_text())
+        validate_metrics(doc)
+        print(metrics_summary(doc))
+        if not args.results:
+            return 0
+    if not args.results:
+        raise SystemExit("report needs --results and/or --metrics")
     rs = ResultSet.from_csv(Path(args.results))
     figures = _parse_figures(args.figures)
     for fig in figures:
@@ -162,14 +213,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--verbose", action="store_true")
     p_run.add_argument("--append", action="store_true",
                        help="merge into an existing results CSV")
+    p_run.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="also aggregate an obs metrics registry across the sweep and "
+        "write it as metrics.json (works with --workers; merge is "
+        "deterministic)",
+    )
     p_run.set_defaults(fn=cmd_run)
 
+    p_obs = sub.add_parser(
+        "observe",
+        help="one fully instrumented run: metrics.json + Perfetto trace "
+        "+ ASCII metrics summary",
+    )
+    p_obs.add_argument("--ns", type=int, default=2)
+    p_obs.add_argument("--nt", type=int, default=4)
+    p_obs.add_argument("--config", default="merge-col-t",
+                       help="configuration key or name (e.g. 'Merge COLT')")
+    p_obs.add_argument("--fabric", choices=["ethernet", "infiniband"],
+                       default="ethernet")
+    p_obs.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    p_obs.add_argument("--rep", type=int, default=0)
+    p_obs.add_argument("--metrics-out", default="metrics.json")
+    p_obs.add_argument("--trace-out", default="trace.json")
+    p_obs.set_defaults(fn=cmd_observe)
+
     p_rep = sub.add_parser("report", help="render figures from cached results")
-    p_rep.add_argument("--results", required=True)
+    p_rep.add_argument("--results", default=None)
     p_rep.add_argument("--scale", choices=sorted(SCALES), default="tiny")
     p_rep.add_argument("--figures", default="all")
     p_rep.add_argument("--headline", action="store_true",
                        help="print the abstract's speedup numbers")
+    p_rep.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="print the ASCII summary of a metrics.json document "
+        "(alone or alongside --results)",
+    )
     p_rep.set_defaults(fn=cmd_report)
 
     p_md = sub.add_parser(

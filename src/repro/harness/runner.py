@@ -19,8 +19,9 @@ from __future__ import annotations
 import csv
 import io
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, fields
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
@@ -44,14 +45,51 @@ __all__ = [
     "sweep_specs",
 ]
 
+ConfigLike = Union[ReconfigConfig, str]
 
-@dataclass(frozen=True)
+
+def _coerce_config(config, config_key, klass: str) -> ReconfigConfig:
+    """Accept a ReconfigConfig or any string its parser takes; reject both
+    (ambiguous) or neither.  ``config_key=`` is the deprecated spelling."""
+    if config_key is not None:
+        if config is not None:
+            raise TypeError(f"{klass}: pass config or config_key, not both")
+        warnings.warn(
+            f"{klass}(config_key=...) is deprecated; pass config= a "
+            "ReconfigConfig (or key string)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        config = config_key
+    if config is None:
+        raise TypeError(f"{klass} requires a reconfiguration config")
+    if isinstance(config, ReconfigConfig):
+        return config
+    return ReconfigConfig.parse(config)
+
+
+def _deprecated_key(klass: str) -> None:
+    warnings.warn(
+        f"{klass}.config_key is deprecated; use .config (a ReconfigConfig) "
+        "or .config.key",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True, init=False)
 class RunSpec:
-    """One simulated job: a (pair, configuration, fabric, repetition) cell."""
+    """One simulated job: a (pair, configuration, fabric, repetition) cell.
+
+    The configuration is carried as a first-class
+    :class:`~repro.malleability.ReconfigConfig`; strings (``"merge-col-s"``
+    or ``"Merge COLS"``) are parsed on construction.  ``config_key`` remains
+    as a deprecated read-only property / keyword for old callers.
+    """
 
     ns: int
     nt: int
-    config_key: str
+    config: ReconfigConfig
     fabric: str
     scale: str
     rep: int
@@ -59,14 +97,50 @@ class RunSpec:
     #: future-work movement-minimising extension, ablation benches).
     plan_mode: str = "block"
 
+    def __init__(
+        self,
+        ns: int,
+        nt: int,
+        config: Optional[ConfigLike] = None,
+        fabric: str = "",
+        scale: str = "",
+        rep: int = 0,
+        plan_mode: str = "block",
+        *,
+        config_key: Optional[str] = None,
+    ):
+        object.__setattr__(self, "ns", ns)
+        object.__setattr__(self, "nt", nt)
+        object.__setattr__(
+            self, "config", _coerce_config(config, config_key, "RunSpec")
+        )
+        object.__setattr__(self, "fabric", fabric)
+        object.__setattr__(self, "scale", scale)
+        object.__setattr__(self, "rep", rep)
+        object.__setattr__(self, "plan_mode", plan_mode)
 
-@dataclass(frozen=True)
+    @property
+    def config_key(self) -> str:
+        """Deprecated string spelling of :attr:`config`."""
+        _deprecated_key("RunSpec")
+        return self.config.key
+
+
+@dataclass(frozen=True, init=False)
 class RunResult:
-    """Telemetry of one completed job."""
+    """Telemetry of one completed job.
+
+    The four original scalars (``reconfig_time``, ``app_time``,
+    ``spawn_time``, ``overlapped_iterations``) are joined by the per-stage
+    breakdown columns the paper's figures decompose into, all computed from
+    always-on :class:`~repro.malleability.ReconfigRecord` stamps — the same
+    values whether or not a metrics probe was attached, so parallel sweep
+    CSVs stay byte-identical.
+    """
 
     ns: int
     nt: int
-    config_key: str
+    config: ReconfigConfig
     fabric: str
     scale: str
     rep: int
@@ -76,6 +150,68 @@ class RunResult:
     overlapped_iterations: int
     total_iterations: int
     plan_mode: str = "block"
+    #: Stage-1 decision -> plan built (sim seconds; ~0 in the emulation).
+    rms_decision_time: float = 0.0
+    #: plan built -> spawn start.
+    plan_build_time: float = 0.0
+    #: Stage-3: first redistribution send -> last byte landed.
+    redist_time: float = 0.0
+    #: Stage-4: data complete -> handoff finished.
+    commit_time: float = 0.0
+    #: total bytes moved by redistribution traffic (``reconf*`` labels).
+    redist_bytes: float = 0.0
+    #: max over nodes of peak demand / cores (>1 means oversubscribed).
+    peak_oversubscription: float = 0.0
+
+    def __init__(
+        self,
+        ns: int,
+        nt: int,
+        config: Optional[ConfigLike] = None,
+        fabric: str = "",
+        scale: str = "",
+        rep: int = 0,
+        reconfig_time: float = 0.0,
+        app_time: float = 0.0,
+        spawn_time: float = 0.0,
+        overlapped_iterations: int = 0,
+        total_iterations: int = 0,
+        plan_mode: str = "block",
+        rms_decision_time: float = 0.0,
+        plan_build_time: float = 0.0,
+        redist_time: float = 0.0,
+        commit_time: float = 0.0,
+        redist_bytes: float = 0.0,
+        peak_oversubscription: float = 0.0,
+        *,
+        config_key: Optional[str] = None,
+    ):
+        object.__setattr__(self, "ns", ns)
+        object.__setattr__(self, "nt", nt)
+        object.__setattr__(
+            self, "config", _coerce_config(config, config_key, "RunResult")
+        )
+        object.__setattr__(self, "fabric", fabric)
+        object.__setattr__(self, "scale", scale)
+        object.__setattr__(self, "rep", rep)
+        object.__setattr__(self, "reconfig_time", reconfig_time)
+        object.__setattr__(self, "app_time", app_time)
+        object.__setattr__(self, "spawn_time", spawn_time)
+        object.__setattr__(self, "overlapped_iterations", overlapped_iterations)
+        object.__setattr__(self, "total_iterations", total_iterations)
+        object.__setattr__(self, "plan_mode", plan_mode)
+        object.__setattr__(self, "rms_decision_time", rms_decision_time)
+        object.__setattr__(self, "plan_build_time", plan_build_time)
+        object.__setattr__(self, "redist_time", redist_time)
+        object.__setattr__(self, "commit_time", commit_time)
+        object.__setattr__(self, "redist_bytes", redist_bytes)
+        object.__setattr__(self, "peak_oversubscription", peak_oversubscription)
+
+    @property
+    def config_key(self) -> str:
+        """Deprecated string spelling of :attr:`config`."""
+        _deprecated_key("RunResult")
+        return self.config.key
 
     @property
     def pair(self) -> tuple[int, int]:
@@ -85,8 +221,19 @@ class RunResult:
 def run_one(
     spec: RunSpec,
     synth_config: Optional[SyntheticConfig] = None,
+    metrics=None,
+    tracer=None,
 ) -> RunResult:
-    """Execute one job and extract the figure metrics."""
+    """Execute one job and extract the figure metrics.
+
+    ``metrics`` — an optional :class:`repro.obs.MetricsRegistry`.  When
+    given, a :class:`repro.obs.MetricsProbe` is attached for the whole run
+    and finalized into it (including the per-stage reconfiguration
+    breakdown).  ``tracer`` — an optional :class:`repro.trace.Tracer`,
+    attached for the run and detached afterwards.  The returned
+    :class:`RunResult` is identical either way: its breakdown columns come
+    from always-on stamps, never from the probe.
+    """
     preset = SCALES[spec.scale]
     base = synth_config or cg_emulation_config(spec.scale)
     cfg = base.with_reconfigurations(
@@ -101,6 +248,13 @@ def run_one(
         seed=_seed_of(spec),
     )
     world = MpiWorld(machine, spawn_model=preset.spawn_model)
+    probe = None
+    if metrics is not None:
+        from ..obs import MetricsProbe
+
+        probe = MetricsProbe(metrics).attach(machine, world)
+    if tracer is not None:
+        tracer.attach(machine)
     if spec.plan_mode == "block":
         plan_factory = RedistributionPlan.block
     elif spec.plan_mode == "minmove":
@@ -108,29 +262,53 @@ def run_one(
     else:
         raise ValueError(f"unknown plan mode {spec.plan_mode!r}")
     stats = launch_synthetic(
-        world, cfg, ReconfigConfig.parse(spec.config_key), n_initial=spec.ns,
+        world, cfg, spec.config, n_initial=spec.ns,
         plan_factory=plan_factory,
     )
     sim.run()
+    if tracer is not None:
+        tracer.detach()
+    if probe is not None:
+        probe.detach()
+        metrics.meta.update(
+            {
+                "ns": spec.ns,
+                "nt": spec.nt,
+                "config": spec.config.key,
+                "fabric": spec.fabric,
+                "scale": spec.scale,
+                "rep": spec.rep,
+                "plan_mode": spec.plan_mode,
+            }
+        )
+        probe.finalize(stats)
     rec = stats.last_reconfig
-    spawn_time = (
-        (rec.spawn_finished_at - rec.spawn_started_at)
-        if rec.spawn_finished_at is not None and rec.spawn_started_at is not None
-        else 0.0
+    bd = rec.breakdown
+    redist_bytes = sum(
+        v for k, v in world.bytes_by_label.items() if k.startswith("reconf")
+    )
+    peak_over = max(
+        (n.peak_demand / n.cores for n in machine.nodes), default=0.0
     )
     return RunResult(
         ns=spec.ns,
         nt=spec.nt,
-        config_key=spec.config_key,
+        config=spec.config,
         fabric=spec.fabric,
         scale=spec.scale,
         rep=spec.rep,
         reconfig_time=rec.reconfiguration_time,
         app_time=stats.app_time,
-        spawn_time=spawn_time,
+        spawn_time=bd.spawn_seconds,
         overlapped_iterations=rec.overlapped_iterations,
         total_iterations=stats.total_iterations(),
         plan_mode=spec.plan_mode,
+        rms_decision_time=bd.rms_decision_seconds,
+        plan_build_time=bd.plan_build_seconds,
+        redist_time=bd.redistribution_seconds,
+        commit_time=bd.commit_seconds,
+        redist_bytes=redist_bytes,
+        peak_oversubscription=peak_over,
     )
 
 
@@ -140,7 +318,7 @@ def _seed_of(spec: RunSpec) -> int:
     import zlib
 
     token = (
-        f"{spec.ns}:{spec.nt}:{spec.config_key}:{spec.fabric}:{spec.rep}:{spec.plan_mode}"
+        f"{spec.ns}:{spec.nt}:{spec.config.key}:{spec.fabric}:{spec.rep}:{spec.plan_mode}"
     )
     return zlib.crc32(token.encode())
 
@@ -162,20 +340,27 @@ class ResultSet:
         return len(self.results)
 
     # ---------------------------------------------------------------- queries
+    @staticmethod
+    def _key_of(config: Optional[ConfigLike]) -> Optional[str]:
+        if config is None or isinstance(config, str):
+            return config
+        return config.key
+
     def select(
         self,
         ns: Optional[int] = None,
         nt: Optional[int] = None,
-        config_key: Optional[str] = None,
+        config_key: Optional[ConfigLike] = None,
         fabric: Optional[str] = None,
     ) -> list[RunResult]:
+        key = self._key_of(config_key)
         out = []
         for r in self.results:
             if ns is not None and r.ns != ns:
                 continue
             if nt is not None and r.nt != nt:
                 continue
-            if config_key is not None and r.config_key != config_key:
+            if key is not None and r.config.key != key:
                 continue
             if fabric is not None and r.fabric != fabric:
                 continue
@@ -183,13 +368,14 @@ class ResultSet:
         return out
 
     def times(
-        self, metric: str, ns: int, nt: int, config_key: str, fabric: str
+        self, metric: str, ns: int, nt: int, config_key: ConfigLike, fabric: str
     ) -> list[float]:
         """Samples of ``metric`` ('reconfig_time' | 'app_time') in one cell."""
         rows = self.select(ns=ns, nt=nt, config_key=config_key, fabric=fabric)
         if not rows:
             raise KeyError(
-                f"no results for ns={ns} nt={nt} {config_key} on {fabric}"
+                f"no results for ns={ns} nt={nt} "
+                f"{self._key_of(config_key)} on {fabric}"
             )
         return [getattr(r, metric) for r in rows]
 
@@ -197,13 +383,13 @@ class ResultSet:
         self,
         metric: str,
         pairs: Sequence[tuple[int, int]],
-        config_keys: Sequence[str],
+        config_keys: Sequence[ConfigLike],
         fabric: str,
     ) -> dict[tuple[int, int], dict[str, list[float]]]:
         """{pair: {config: samples}} — the shape the analysis layer eats."""
         return {
             (ns, nt): {
-                key: self.times(metric, ns, nt, key, fabric)
+                self._key_of(key): self.times(metric, ns, nt, key, fabric)
                 for key in config_keys
             }
             for ns, nt in pairs
@@ -216,18 +402,66 @@ class ResultSet:
         return sorted({r.fabric for r in self.results})
 
     def config_keys(self) -> list[str]:
-        return sorted({r.config_key for r in self.results})
+        return sorted({r.config.key for r in self.results})
+
+    def configs(self) -> list[ReconfigConfig]:
+        return sorted(
+            {r.config for r in self.results}, key=lambda c: c.key
+        )
 
     # ------------------------------------------------------------------- CSV
-    _FIELDS = [f.name for f in fields(RunResult)]
+    #: explicit column order: the original layout with the breakdown
+    #: columns appended, so old CSVs load and new CSVs stay diffable.
+    _FIELDS = [
+        "ns",
+        "nt",
+        "config_key",
+        "fabric",
+        "scale",
+        "rep",
+        "reconfig_time",
+        "app_time",
+        "spawn_time",
+        "overlapped_iterations",
+        "total_iterations",
+        "plan_mode",
+        "rms_decision_time",
+        "plan_build_time",
+        "redist_time",
+        "commit_time",
+        "redist_bytes",
+        "peak_oversubscription",
+    ]
+
+    @staticmethod
+    def _row_of(r: RunResult) -> list:
+        return [
+            r.ns,
+            r.nt,
+            r.config.key,  # serialized under the stable 'config_key' column
+            r.fabric,
+            r.scale,
+            r.rep,
+            r.reconfig_time,
+            r.app_time,
+            r.spawn_time,
+            r.overlapped_iterations,
+            r.total_iterations,
+            r.plan_mode,
+            r.rms_decision_time,
+            r.plan_build_time,
+            r.redist_time,
+            r.commit_time,
+            r.redist_bytes,
+            r.peak_oversubscription,
+        ]
 
     def to_csv(self, path: Union[str, Path, None] = None) -> str:
         out = io.StringIO()
         writer = csv.writer(out)
         writer.writerow(self._FIELDS)
         for r in self.results:
-            d = asdict(r)
-            writer.writerow([d[name] for name in self._FIELDS])
+            writer.writerow(self._row_of(r))
         text = out.getvalue()
         if path is not None:
             Path(path).write_text(text)
@@ -247,7 +481,7 @@ class ResultSet:
                 RunResult(
                     ns=int(row["ns"]),
                     nt=int(row["nt"]),
-                    config_key=row["config_key"],
+                    config=row["config_key"],
                     fabric=row["fabric"],
                     scale=row["scale"],
                     rep=int(row["rep"]),
@@ -257,6 +491,14 @@ class ResultSet:
                     overlapped_iterations=int(row["overlapped_iterations"]),
                     total_iterations=int(row["total_iterations"]),
                     plan_mode=row.get("plan_mode", "block"),
+                    rms_decision_time=float(row.get("rms_decision_time", 0.0)),
+                    plan_build_time=float(row.get("plan_build_time", 0.0)),
+                    redist_time=float(row.get("redist_time", 0.0)),
+                    commit_time=float(row.get("commit_time", 0.0)),
+                    redist_bytes=float(row.get("redist_bytes", 0.0)),
+                    peak_oversubscription=float(
+                        row.get("peak_oversubscription", 0.0)
+                    ),
                 )
             )
         return cls(results)
@@ -264,16 +506,17 @@ class ResultSet:
 
 def sweep_specs(
     pairs: Sequence[tuple[int, int]],
-    config_keys: Sequence[str],
+    config_keys: Sequence[ConfigLike],
     fabrics: Sequence[str],
     scale: str,
     reps: int,
 ) -> list[RunSpec]:
     """The canonical (fabric, pair, config, rep) enumeration of a sweep.
 
-    This order defines the row order of the ResultSet/CSV; the parallel
-    executor gathers into it so its output matches the sequential one
-    byte for byte.
+    ``config_keys`` entries may be :class:`ReconfigConfig` objects or key
+    strings — :class:`RunSpec` normalizes either.  This order defines the
+    row order of the ResultSet/CSV; the parallel executor gathers into it
+    so its output matches the sequential one byte for byte.
     """
     return [
         RunSpec(ns, nt, key, fabric, scale, rep)
@@ -286,13 +529,14 @@ def sweep_specs(
 
 def run_sweep(
     pairs: Sequence[tuple[int, int]],
-    config_keys: Sequence[str],
+    config_keys: Sequence[ConfigLike],
     fabrics: Sequence[str],
     scale: str = "tiny",
     repetitions: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     synth_config: Optional[SyntheticConfig] = None,
     workers: Optional[int] = None,
+    metrics=None,
 ) -> ResultSet:
     """Run the full cross product; the master data behind every figure.
 
@@ -303,6 +547,12 @@ def run_sweep(
         grid out over a :class:`ProcessPoolExecutor`; results are gathered
         back in canonical spec order, so the returned ResultSet (and its
         CSV serialization) is bit-identical to a sequential run.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` to aggregate the whole
+        sweep into.  Each cell records into its own fresh registry; cell
+        registries are merged into ``metrics`` in canonical spec order
+        (parallel workers ship their registry back as a document), so the
+        merged aggregate is identical for any worker count.
     progress:
         Called once per completed cell with ``[done/total]`` plus an
         elapsed-seconds heartbeat.  Under parallel execution cells complete
@@ -314,21 +564,39 @@ def run_sweep(
     specs = sweep_specs(pairs, config_keys, fabrics, scale, reps)
     total = len(specs)
     if workers is not None and workers > 1 and total > 1:
-        results = _run_parallel(specs, base, min(workers, total), progress, total)
+        results = _run_parallel(
+            specs, base, min(workers, total), progress, total, metrics
+        )
         return ResultSet(results)
     out = ResultSet()
     # Sequential path: only consult the wall clock when someone is watching
     # (time.time() per tiny cell is measurable overhead at paper scale).
     started = time.time() if progress is not None else 0.0
     for done, spec in enumerate(specs, start=1):
-        out.add(run_one(spec, synth_config=base))
+        cell_reg = None
+        if metrics is not None:
+            from ..obs import MetricsRegistry
+
+            cell_reg = MetricsRegistry()
+        out.add(run_one(spec, synth_config=base, metrics=cell_reg))
+        if cell_reg is not None:
+            metrics.merge(cell_reg)
         if progress is not None:
             elapsed = time.time() - started
             progress(
                 f"[{done}/{total}] {spec.fabric} {spec.ns}->{spec.nt} "
-                f"{spec.config_key} rep{spec.rep} ({elapsed:.0f}s)"
+                f"{spec.config.key} rep{spec.rep} ({elapsed:.0f}s)"
             )
     return out
+
+
+def _run_cell_with_metrics(spec: RunSpec, base: SyntheticConfig):
+    """Pool worker: one cell plus its metrics registry as a plain dict."""
+    from ..obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    result = run_one(spec, synth_config=base, metrics=reg)
+    return result, reg.to_dict()
 
 
 def _run_parallel(
@@ -337,28 +605,48 @@ def _run_parallel(
     workers: int,
     progress: Optional[Callable[[str], None]],
     total: int,
+    metrics=None,
 ) -> list[RunResult]:
     """Fan ``specs`` out over a process pool; gather in canonical order."""
     results: list[Optional[RunResult]] = [None] * total
+    docs: list[Optional[dict]] = [None] * total
     started = time.time()
     done = 0
+    with_metrics = metrics is not None
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        index_of = {
-            pool.submit(run_one, spec, base): i for i, spec in enumerate(specs)
-        }
+        if with_metrics:
+            index_of = {
+                pool.submit(_run_cell_with_metrics, spec, base): i
+                for i, spec in enumerate(specs)
+            }
+        else:
+            index_of = {
+                pool.submit(run_one, spec, base): i
+                for i, spec in enumerate(specs)
+            }
         pending = set(index_of)
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for fut in finished:
                 i = index_of[fut]
-                results[i] = fut.result()  # re-raises worker failures
+                payload = fut.result()  # re-raises worker failures
+                if with_metrics:
+                    results[i], docs[i] = payload
+                else:
+                    results[i] = payload
                 done += 1
                 if progress is not None:
                     spec = specs[i]
                     elapsed = time.time() - started
                     progress(
                         f"[{done}/{total}] {spec.fabric} {spec.ns}->{spec.nt} "
-                        f"{spec.config_key} rep{spec.rep} ({elapsed:.0f}s)"
+                        f"{spec.config.key} rep{spec.rep} ({elapsed:.0f}s)"
                     )
     assert all(r is not None for r in results)
+    if with_metrics:
+        from ..obs import MetricsRegistry
+
+        # Canonical-order merge: identical aggregate for any worker count.
+        for doc in docs:
+            metrics.merge(MetricsRegistry.from_dict(doc))
     return results  # type: ignore[return-value]

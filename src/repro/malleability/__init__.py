@@ -18,7 +18,7 @@ from .config import (
 from .checkpoint_restart import CheckpointRestartConfig, run_cr_malleable
 from .manager import GroupRunner, MalleableApp, RankOutcome, run_malleable
 from .rms import ReconfigRequest, ScriptedRMS
-from .stats import ReconfigRecord, RunStats
+from .stats import ReconfigBreakdown, ReconfigRecord, RunStats
 
 __all__ = [
     "SpawnMethod",
@@ -36,4 +36,5 @@ __all__ = [
     "CheckpointRestartConfig",
     "RunStats",
     "ReconfigRecord",
+    "ReconfigBreakdown",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from ..redistribution.api import RedistMethod, Strategy
+from ..redistribution.api import RedistMethod, Strategy, parse_choice
 
 __all__ = ["SpawnMethod", "ReconfigConfig", "ALL_CONFIGS", "SYNC_CONFIGS", "ASYNC_CONFIGS"]
 
@@ -30,12 +30,12 @@ class SpawnMethod(enum.Enum):
 
     @classmethod
     def parse(cls, text: str) -> "SpawnMethod":
-        try:
-            return cls[text.strip().upper()]
-        except KeyError:
-            raise ValueError(
-                f"unknown spawn method {text!r}; use Baseline or Merge"
-            ) from None
+        return parse_choice(
+            text,
+            {"baseline": cls.BASELINE, "merge": cls.MERGE},
+            "spawn method",
+            ("Baseline", "Merge"),
+        )
 
 
 @dataclass(frozen=True)

@@ -218,8 +218,12 @@ class GroupRunner:
         """Checkpoint hit: start Stages 2+3 according to the strategy."""
         self._req = req
         ns, nt = self.comm.size, req.n_targets
-        self._plan = self.plan_factory(self.app.n_rows, ns, nt)
         record = self._record = self._ensure_record()
+        if record.decision_at is None:
+            record.decision_at = self.mpi.now
+        self._plan = self.plan_factory(self.app.n_rows, ns, nt)
+        if record.plan_built_at is None:
+            record.plan_built_at = self.mpi.now
         if record.spawn_started_at is None:
             record.spawn_started_at = self.mpi.now
 
@@ -448,6 +452,7 @@ class GroupRunner:
                     stopped_at, dest=0, tag=1900, comm=self._inter
                 )
             yield from self.mpi.disconnect(self._inter)
+            record.mark_commit_finished(self.mpi.now)
             self.mpi.finalize()
             self._reset_reconfig_state()
             return RankOutcome.RETIRED
@@ -462,6 +467,7 @@ class GroupRunner:
             # Shrink: survivors get a right-sized communicator.
             new_comm = yield from self.mpi.comm_create(self.comm, range(nt))
             if new_comm is None:
+                record.mark_commit_finished(self.mpi.now)
                 self.mpi.finalize()
                 self._reset_reconfig_state()
                 return RankOutcome.RETIRED
@@ -475,6 +481,7 @@ class GroupRunner:
         self.app.on_handoff(self.mpi, dst_dataset)
         self.it = stopped_at
         self.group_index += 1
+        record.mark_commit_finished(self.mpi.now)
         self._reset_reconfig_state()
         return None
 
@@ -564,6 +571,7 @@ def _target_entry(mpi, app, config, rms_factory, group_index, stats, plan, slot_
         resume_at = yield from mpi.bcast(resume_at, root=0, comm=mpi.comm_world)
         new_comm = mpi.comm_world
     record.mark_data_complete(mpi.now)
+    record.mark_commit_finished(mpi.now)
     app.on_handoff(mpi, dataset)
 
     runner = GroupRunner(

@@ -9,14 +9,58 @@ the paper's Monitoring module records, and the harness reads them out:
   (§4.4) — :meth:`ReconfigRecord.reconfiguration_time`;
 * **application time** (Figures 7-9): start of the run to the completion of
   the last iteration by the final group.
+
+Beyond the two paper scalars, each record carries the full per-stage
+timeline (decision, plan build, spawn, redistribution, commit) so that
+:class:`ReconfigBreakdown` can decompose a reconfiguration the way
+Figures 2-6 do — without attaching any probe; the stamps are always on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
-__all__ = ["ReconfigRecord", "RunStats"]
+__all__ = ["ReconfigBreakdown", "ReconfigRecord", "RunStats"]
+
+
+@dataclass(frozen=True)
+class ReconfigBreakdown:
+    """Per-stage decomposition of one reconfiguration (sim seconds).
+
+    Stages map onto the manager's milestones:
+
+    * ``rms_decision`` — RMS decision checkpoint to plan-build start;
+    * ``plan_build``   — redistribution plan construction;
+    * ``spawn``        — Stage 2 (``MPI_Comm_spawn`` / merge);
+    * ``redistribution`` — Stage 3 first send to last byte landed;
+    * ``commit``       — Stage 4 handoff after the data is complete.
+
+    Missing milestones (e.g. a run that never reconfigured asynchronously
+    enough to separate commit from data completion) yield ``0.0`` —
+    the breakdown is always well-formed for a completed reconfiguration.
+    """
+
+    n_sources: int
+    n_targets: int
+    rms_decision_seconds: float
+    plan_build_seconds: float
+    spawn_seconds: float
+    redistribution_seconds: float
+    commit_seconds: float
+    total_seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "n_sources": self.n_sources,
+            "n_targets": self.n_targets,
+            "rms_decision_seconds": self.rms_decision_seconds,
+            "plan_build_seconds": self.plan_build_seconds,
+            "spawn_seconds": self.spawn_seconds,
+            "redistribution_seconds": self.redistribution_seconds,
+            "commit_seconds": self.commit_seconds,
+            "total_seconds": self.total_seconds,
+        }
 
 
 @dataclass
@@ -26,6 +70,10 @@ class ReconfigRecord:
     n_sources: int
     n_targets: int
     requested_iteration: int
+    #: RMS decision checkpoint (the manager noticed the pending request).
+    decision_at: Optional[float] = None
+    #: redistribution plan finished building (Stage 1 -> Stage 2 boundary).
+    plan_built_at: Optional[float] = None
     #: checkpoint where Stage 2 began (spawn start — the measurement origin).
     spawn_started_at: Optional[float] = None
     spawn_finished_at: Optional[float] = None
@@ -38,6 +86,13 @@ class ReconfigRecord:
     sources_stopped_iteration: Optional[int] = None
     #: iterations the sources overlapped with the reconfiguration (A/T).
     overlapped_iterations: int = 0
+    #: Stage 4 finished (handoff/commit; max over participating ranks).
+    commit_finished_at: Optional[float] = None
+
+    def mark_commit_finished(self, t: float) -> None:
+        """Ranks call this as they finish Stage 4; the max is kept."""
+        if self.commit_finished_at is None or t > self.commit_finished_at:
+            self.commit_finished_at = t
 
     def mark_data_complete(self, t: float) -> None:
         """Targets call this as their data lands; the max is kept."""
@@ -54,6 +109,68 @@ class ReconfigRecord:
         if self.spawn_started_at is None or self.data_complete_at is None:
             raise RuntimeError("reconfiguration did not complete")
         return self.data_complete_at - self.spawn_started_at
+
+    # --------------------------------------------------------- decomposition
+    @property
+    def breakdown(self) -> ReconfigBreakdown:
+        """Per-stage :class:`ReconfigBreakdown` for a completed record."""
+        if self.spawn_started_at is None or self.data_complete_at is None:
+            raise RuntimeError("reconfiguration did not complete")
+
+        def span(t0: Optional[float], t1: Optional[float]) -> float:
+            if t0 is None or t1 is None:
+                return 0.0
+            return max(0.0, t1 - t0)
+
+        decision = span(self.decision_at, self.plan_built_at)
+        plan = span(self.plan_built_at, self.spawn_started_at)
+        spawn = span(self.spawn_started_at, self.spawn_finished_at)
+        redist = span(
+            self.redist_started_at
+            if self.redist_started_at is not None
+            else self.spawn_finished_at,
+            self.data_complete_at,
+        )
+        commit = span(self.data_complete_at, self.commit_finished_at)
+        start = self.decision_at if self.decision_at is not None else self.spawn_started_at
+        end = (
+            self.commit_finished_at
+            if self.commit_finished_at is not None
+            else self.data_complete_at
+        )
+        return ReconfigBreakdown(
+            n_sources=self.n_sources,
+            n_targets=self.n_targets,
+            rms_decision_seconds=decision,
+            plan_build_seconds=plan,
+            spawn_seconds=spawn,
+            redistribution_seconds=redist,
+            commit_seconds=commit,
+            total_seconds=span(start, end),
+        )
+
+    def stage_spans(self) -> Iterator[tuple[str, float, float]]:
+        """Yield ``(stage, t0, t1)`` for every stage with both endpoints.
+
+        Spans feed :meth:`repro.obs.MetricsRegistry.feed_tracer` /
+        Perfetto lanes, so they use absolute simulation times.
+        """
+        pairs = (
+            ("rms_decision", self.decision_at, self.plan_built_at),
+            ("plan_build", self.plan_built_at, self.spawn_started_at),
+            ("spawn", self.spawn_started_at, self.spawn_finished_at),
+            (
+                "redistribution",
+                self.redist_started_at
+                if self.redist_started_at is not None
+                else self.spawn_finished_at,
+                self.data_complete_at,
+            ),
+            ("commit", self.data_complete_at, self.commit_finished_at),
+        )
+        for stage, t0, t1 in pairs:
+            if t0 is not None and t1 is not None:
+                yield (stage, t0, max(t0, t1))
 
 
 @dataclass

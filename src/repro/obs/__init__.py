@@ -1,0 +1,45 @@
+"""Run-wide observability: structured metrics across every layer.
+
+The package mirrors the :class:`repro.trace.Tracer` attach pattern: a
+:class:`MetricsProbe` wraps cluster hot paths and plants a cooperative
+``world.metrics`` hook while attached, and the stack pays (at most) one
+``is not None`` pointer check per event when it is not.
+
+Typical use::
+
+    from repro.obs import MetricsProbe, write_metrics_json
+
+    probe = MetricsProbe().attach(machine, world)
+    stats = launch_synthetic(...)
+    sim.run()
+    probe.detach()
+    write_metrics_json(probe.finalize(stats), "metrics.json")
+"""
+
+from .export import build_metrics_doc, read_metrics_json, write_metrics_json
+from .instrument import MetricsProbe
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    metric_key,
+)
+from .schema import METRICS_SCHEMA, schema_fingerprint, validate_metrics
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "MetricsProbe",
+    "metric_key",
+    "METRICS_SCHEMA",
+    "validate_metrics",
+    "schema_fingerprint",
+    "build_metrics_doc",
+    "write_metrics_json",
+    "read_metrics_json",
+]

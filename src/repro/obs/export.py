@@ -1,0 +1,49 @@
+"""Writers for the per-run ``metrics.json`` document.
+
+``build_metrics_doc`` assembles the registry snapshot into the wire shape
+pinned by :mod:`repro.obs.schema`; ``write_metrics_json`` validates the
+document before writing so a run can never leave a malformed artifact on
+disk (sweep caches and CI both parse it blind).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from .registry import MetricsRegistry
+from .schema import validate_metrics
+
+__all__ = ["build_metrics_doc", "write_metrics_json", "read_metrics_json"]
+
+
+def build_metrics_doc(
+    registry: MetricsRegistry, meta: Optional[Mapping] = None
+) -> dict:
+    """Return the registry as a schema-valid ``metrics.json`` document."""
+    if meta:
+        registry.meta.update(meta)
+    doc = registry.to_dict()
+    validate_metrics(doc)
+    return doc
+
+
+def write_metrics_json(
+    registry: MetricsRegistry,
+    path: Union[str, Path],
+    meta: Optional[Mapping] = None,
+) -> Path:
+    """Validate and write ``registry`` to ``path``; returns the path."""
+    doc = build_metrics_doc(registry, meta=meta)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_metrics_json(path: Union[str, Path]) -> dict:
+    """Load and validate a ``metrics.json`` document."""
+    doc = json.loads(Path(path).read_text())
+    validate_metrics(doc)
+    return doc

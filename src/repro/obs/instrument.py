@@ -1,0 +1,199 @@
+"""Attachable probe wiring a :class:`MetricsRegistry` into a running stack.
+
+Two complementary mechanisms, chosen per layer by what is cheapest:
+
+* **Wrapping (Tracer-style).**  Cluster-layer hot paths — flow activation,
+  CPU submission, poller registration — are patched on :meth:`attach` and
+  restored on :meth:`detach`, so a run without a probe pays *nothing*.
+* **Cooperative emission.**  Layers whose interesting events are not
+  observable from outside (eager/rendezvous choice inside
+  :meth:`MpiWorld.inject`, blocked time inside ``Wait*``, session phase
+  boundaries) check a single ``world.metrics`` attribute that the probe
+  sets; when it is ``None`` (the default) the guard is one pointer
+  comparison.
+
+``finalize()`` snapshots the counters that the layers already maintain
+always-on (allocator recompute counts, per-label traffic, per-node busy
+core-seconds) and — when handed the run's :class:`RunStats` — exports the
+per-stage :class:`~repro.malleability.stats.ReconfigBreakdown` rows plus
+stage spans that :meth:`MetricsRegistry.feed_tracer` can replay into the
+Perfetto tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .registry import MetricsRegistry
+
+__all__ = ["MetricsProbe"]
+
+
+class MetricsProbe:
+    """Records one machine/world's metrics into a registry while attached."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._machine = None
+        self._world = None
+        self._installed = False
+        self._saved: list[tuple[object, str, object]] = []
+        self._base: dict[str, float] = {}
+
+    # ----------------------------------------------------------------- attach
+    def attach(self, machine, world=None) -> "MetricsProbe":
+        """Start recording ``machine`` (and optionally ``world``) metrics."""
+        if self._installed:
+            raise RuntimeError("metrics probe already attached")
+        self._machine = machine
+        self._world = world
+        self._installed = True
+        net = machine.network
+        self._base = {
+            "reallocations": net.reallocations,
+            "fast_path_hits": net.fast_path_hits,
+            "bytes_carried": net.bytes_carried,
+        }
+        self._wrap_network(net)
+        for node in machine.nodes:
+            self._wrap_node(node)
+        if world is not None:
+            if getattr(world, "metrics", None) is not None:
+                raise RuntimeError("world already carries a metrics registry")
+            world.metrics = self.registry
+        return self
+
+    def detach(self) -> "MetricsProbe":
+        """Restore every wrapped hook; the registry keeps its contents."""
+        if not self._installed:
+            raise RuntimeError("metrics probe not attached")
+        for obj, attr, orig in reversed(self._saved):
+            setattr(obj, attr, orig)
+        self._saved.clear()
+        if self._world is not None:
+            self._world.metrics = None
+        self._installed = False
+        return self
+
+    def _save(self, obj, attr: str) -> None:
+        self._saved.append((obj, attr, getattr(obj, attr)))
+
+    # ---------------------------------------------------------------- network
+    def _wrap_network(self, net) -> None:
+        reg = self.registry
+        sim = net.sim
+        self._save(net, "start_flow")
+        orig_start = net.start_flow
+
+        def probed_start_flow(route, size, latency=0.0, label=""):
+            for link in route:
+                reg.counter("cluster.link.bytes", link=link.name).inc(size)
+                reg.counter("cluster.link.flows", link=link.name).inc()
+            reg.histogram("cluster.flow_nbytes").observe(size)
+            return orig_start(route, size, latency=latency, label=label)
+
+        net.start_flow = probed_start_flow
+
+        # Utilization is sampled right after each activation: rates have
+        # just been (re)allocated, and a link's utilization only ever
+        # *rises* at activations, so the per-link peak is exact.
+        self._save(net, "_activate")
+        orig_activate = net._activate
+
+        def probed_activate(flow):
+            orig_activate(flow)
+            now = sim.now
+            for link in flow.route:
+                util = sum(f.rate for f in link.flows) / link.capacity
+                reg.gauge("cluster.link.utilization", link=link.name).set(util, now)
+
+        net._activate = probed_activate
+
+    # ------------------------------------------------------------------ nodes
+    def _wrap_node(self, node) -> None:
+        reg = self.registry
+        sim = node.sim
+        cores = node.cores
+        gauge = reg.gauge("cluster.node.oversubscription", node=node.name)
+        tasks = reg.counter("cluster.node.tasks", node=node.name)
+
+        def sample():
+            gauge.set(node.demand / cores, sim.now)
+
+        self._save(node, "submit")
+        orig_submit = node.submit
+
+        def probed_submit(work, on_done, label=""):
+            tasks.inc()
+            orig_submit(work, on_done, label=label)
+            sample()
+
+        node.submit = probed_submit
+
+        self._save(node, "add_poller")
+        orig_add = node.add_poller
+
+        def probed_add(token):
+            orig_add(token)
+            sample()
+
+        node.add_poller = probed_add
+
+        self._save(node, "remove_poller")
+        orig_remove = node.remove_poller
+
+        def probed_remove(token):
+            orig_remove(token)
+            sample()
+
+        node.remove_poller = probed_remove
+
+    # --------------------------------------------------------------- finalize
+    def finalize(self, stats=None) -> MetricsRegistry:
+        """Snapshot always-on layer counters and (optionally) the run's
+        reconfiguration breakdown into the registry.
+
+        Callable attached or detached; typically invoked once after
+        ``sim.run()`` returns.
+        """
+        reg = self.registry
+        machine = self._machine
+        if machine is not None:
+            net = machine.network
+            sim = machine.sim
+            reg.counter("cluster.allocator.reallocations").inc(
+                net.reallocations - self._base.get("reallocations", 0)
+            )
+            reg.counter("cluster.allocator.fast_path_hits").inc(
+                net.fast_path_hits - self._base.get("fast_path_hits", 0)
+            )
+            reg.counter("cluster.network.bytes_carried").inc(
+                net.bytes_carried - self._base.get("bytes_carried", 0.0)
+            )
+            elapsed = sim.now
+            for node in machine.nodes:
+                reg.gauge("cluster.node.busy_coreseconds", node=node.name).set(
+                    node.busy_coreseconds, elapsed
+                )
+                reg.gauge(
+                    "cluster.node.peak_oversubscription", node=node.name
+                ).set(node.peak_demand / node.cores, elapsed)
+        world = self._world
+        if world is not None:
+            for label in sorted(world.bytes_by_label):
+                reg.counter("smpi.bytes_by_label", label=label).inc(
+                    world.bytes_by_label[label]
+                )
+        if stats is not None:
+            self._export_reconfig_breakdown(stats)
+        return reg
+
+    def _export_reconfig_breakdown(self, stats) -> None:
+        reg = self.registry
+        for i, rec in enumerate(stats.reconfigs):
+            bd = rec.breakdown
+            reg.record("reconfigurations", {"index": i, **bd.to_dict()})
+            for stage, t0, t1 in rec.stage_spans():
+                reg.timer(
+                    "malleability.stage_seconds", stage=stage, reconfig=i
+                ).record(t0, t1, label=f"reconf{i}:{stage}")

@@ -1,0 +1,148 @@
+"""The ``metrics.json`` wire format: descriptor, validator, stability check.
+
+The document written by :func:`repro.obs.export.write_metrics_json` is a
+**wire format**: sweep caches, CI artifacts and downstream dashboards all
+parse it, so its shape is pinned here and asserted stable in CI
+(``python -m repro.obs.schema --check docs/metrics.schema.json``).
+
+The descriptor is intentionally *not* full JSON-Schema (no external deps in
+the container): it lists required top-level keys, their types, and the
+required fields of each metric family entry.  :func:`validate_metrics`
+enforces exactly that — enough to catch accidental shape drift without
+freezing the open (metric-name) parts of the document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["METRICS_SCHEMA", "validate_metrics", "schema_fingerprint"]
+
+#: version stamped into every document; bump on any breaking shape change.
+SCHEMA_VERSION = 1
+
+#: the pinned shape of a metrics.json document.
+METRICS_SCHEMA: dict = {
+    "schema_version": SCHEMA_VERSION,
+    "required": [
+        "schema_version",
+        "meta",
+        "counters",
+        "gauges",
+        "histograms",
+        "timers",
+        "records",
+    ],
+    "types": {
+        "schema_version": "int",
+        "meta": "object",
+        "counters": "object",
+        "gauges": "object",
+        "histograms": "object",
+        "timers": "object",
+        "records": "object",
+    },
+    "entry_required": {
+        "counters": [],  # counters serialize to a bare number
+        "gauges": ["last", "min", "peak", "n", "samples", "dropped"],
+        "histograms": ["n", "sum", "min", "max", "mean", "buckets"],
+        "timers": ["n", "total", "min", "max", "mean", "spans", "dropped"],
+    },
+    #: fields of one records["reconfigurations"] row (the per-stage
+    #: ReconfigBreakdown export; ISSUE 2 acceptance).
+    "reconfiguration_record": [
+        "n_sources",
+        "n_targets",
+        "rms_decision_seconds",
+        "plan_build_seconds",
+        "spawn_seconds",
+        "redistribution_seconds",
+        "commit_seconds",
+        "total_seconds",
+    ],
+}
+
+_TYPES = {"int": int, "object": dict}
+
+
+def _fail(msg: str) -> None:
+    raise ValueError(f"metrics.json schema violation: {msg}")
+
+
+def validate_metrics(doc: Mapping) -> None:
+    """Raise ``ValueError`` unless ``doc`` matches :data:`METRICS_SCHEMA`."""
+    for key in METRICS_SCHEMA["required"]:
+        if key not in doc:
+            _fail(f"missing top-level key {key!r}")
+    for key, tname in METRICS_SCHEMA["types"].items():
+        if not isinstance(doc[key], _TYPES[tname]):
+            _fail(f"{key!r} must be {tname}, got {type(doc[key]).__name__}")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        _fail(
+            f"schema_version {doc['schema_version']!r} != supported {SCHEMA_VERSION}"
+        )
+    for family, fields in METRICS_SCHEMA["entry_required"].items():
+        for key, entry in doc[family].items():
+            if not fields:
+                if not isinstance(entry, (int, float)):
+                    _fail(f"{family}[{key!r}] must be a number")
+                continue
+            if not isinstance(entry, dict):
+                _fail(f"{family}[{key!r}] must be an object")
+            for f in fields:
+                if f not in entry:
+                    _fail(f"{family}[{key!r}] missing field {f!r}")
+    for row in doc["records"].get("reconfigurations", []):
+        for f in METRICS_SCHEMA["reconfiguration_record"]:
+            if f not in row:
+                _fail(f"reconfiguration record missing field {f!r}")
+
+
+def schema_fingerprint() -> str:
+    """SHA-256 of the canonical descriptor JSON — the CI stability anchor."""
+    blob = json.dumps(METRICS_SCHEMA, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Dump or check the pinned metrics.json schema descriptor."
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dump", metavar="PATH",
+                       help="write the current descriptor JSON to PATH")
+    group.add_argument("--check", metavar="PATH",
+                       help="fail unless PATH matches the current descriptor")
+    group.add_argument("--validate", metavar="PATH",
+                       help="validate a metrics.json document at PATH")
+    args = parser.parse_args(argv)
+    if args.dump:
+        Path(args.dump).write_text(
+            json.dumps(METRICS_SCHEMA, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.dump} (fingerprint {schema_fingerprint()[:12]})")
+        return 0
+    if args.check:
+        pinned = json.loads(Path(args.check).read_text())
+        if pinned != METRICS_SCHEMA:
+            print(
+                "metrics.json schema drifted from the checked-in descriptor "
+                f"({args.check}); if the change is intentional, bump "
+                "SCHEMA_VERSION and regenerate with --dump",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"schema stable (fingerprint {schema_fingerprint()[:12]})")
+        return 0
+    validate_metrics(json.loads(Path(args.validate).read_text()))
+    print(f"{args.validate}: valid")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

@@ -14,7 +14,7 @@ Stage-3 axes; the spawn method lives in :mod:`repro.malleability`.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Mapping, Optional, Sequence, TypeVar
 
 from .collective import ColRedistribution
 from .p2p import P2PRedistribution
@@ -22,7 +22,37 @@ from .plan import RedistributionPlan
 from .session import RedistributionSession
 from .stores import Dataset
 
-__all__ = ["RedistMethod", "Strategy", "make_session"]
+__all__ = ["RedistMethod", "Strategy", "make_session", "parse_choice"]
+
+_T = TypeVar("_T")
+
+
+def _norm(text: str) -> str:
+    """Canonical token: lowercase, separators (``-_ .``) stripped."""
+    norm = str(text).strip().lower()
+    for ch in "-_ .":
+        norm = norm.replace(ch, "")
+    return norm
+
+
+def parse_choice(
+    text: str, choices: Mapping[str, _T], kind: str, valid: Sequence[str]
+) -> _T:
+    """The one case/separator-tolerant parser behind every harness enum.
+
+    ``choices`` maps *normalized* tokens (see :func:`_norm`) to values;
+    ``valid`` is the human-facing spelling list used in the error message,
+    which is deliberately uniform across :class:`RedistMethod`,
+    :class:`Strategy` and :class:`~repro.malleability.SpawnMethod`::
+
+        unknown <kind> '<text>'; valid choices: A, B, C
+    """
+    try:
+        return choices[_norm(text)]
+    except KeyError:
+        raise ValueError(
+            f"unknown {kind} {text!r}; valid choices: {', '.join(valid)}"
+        ) from None
 
 
 class RedistMethod(enum.Enum):
@@ -35,12 +65,19 @@ class RedistMethod(enum.Enum):
 
     @classmethod
     def parse(cls, text: str) -> "RedistMethod":
-        try:
-            return cls[text.strip().upper()]
-        except KeyError:
-            raise ValueError(
-                f"unknown redistribution method {text!r}; use P2P, COL or RMA"
-            ) from None
+        return parse_choice(
+            text,
+            {
+                "p2p": cls.P2P,
+                "pointtopoint": cls.P2P,
+                "col": cls.COL,
+                "collective": cls.COL,
+                "rma": cls.RMA,
+                "onesided": cls.RMA,
+            },
+            "redistribution method",
+            ("P2P", "COL", "RMA"),
+        )
 
 
 class Strategy(enum.Enum):
@@ -56,11 +93,24 @@ class Strategy(enum.Enum):
 
     @classmethod
     def parse(cls, text: str) -> "Strategy":
-        text = text.strip().upper()
-        for member in cls:
-            if text in (member.name, member.value):
-                return member
-        raise ValueError(f"unknown strategy {text!r}; use S, A or T")
+        return parse_choice(
+            text,
+            {
+                "s": cls.SYNC,
+                "sync": cls.SYNC,
+                "synchronous": cls.SYNC,
+                "a": cls.ASYNC_NONBLOCKING,
+                "async": cls.ASYNC_NONBLOCKING,
+                "nonblocking": cls.ASYNC_NONBLOCKING,
+                "asyncnonblocking": cls.ASYNC_NONBLOCKING,
+                "t": cls.ASYNC_THREAD,
+                "thread": cls.ASYNC_THREAD,
+                "threads": cls.ASYNC_THREAD,
+                "asyncthread": cls.ASYNC_THREAD,
+            },
+            "strategy",
+            ("S", "A", "T"),
+        )
 
     @property
     def is_async(self) -> bool:
@@ -68,7 +118,7 @@ class Strategy(enum.Enum):
 
 
 def make_session(
-    method: RedistMethod,
+    method: "RedistMethod | str",
     ctx,
     comm,
     plan: RedistributionPlan,
@@ -79,7 +129,17 @@ def make_session(
     dst_dataset: Optional[Dataset] = None,
     label: str = "redist",
 ) -> RedistributionSession:
-    """Build this rank's Stage-3 session for the chosen method."""
+    """Build this rank's Stage-3 session for the chosen method.
+
+    ``method`` may be a :class:`RedistMethod` or any string its tolerant
+    parser accepts (``"RMA"``, ``"col"``, ``"point-to-point"``...).  Every
+    method — including the §5 RMA extension — resolves to a real session
+    class here; anything else fails *at the factory* with the choice list,
+    and role/dataset mismatches fail in the session constructor with a
+    named-argument message, instead of deep inside the manager.
+    """
+    if isinstance(method, str):
+        method = RedistMethod.parse(method)
     if method is RedistMethod.P2P:
         cls = P2PRedistribution
     elif method is RedistMethod.COL:
@@ -88,8 +148,11 @@ def make_session(
         from .rma import RmaRedistribution
 
         cls = RmaRedistribution
-    else:  # pragma: no cover - enum is closed
-        raise ValueError(f"unsupported method {method}")
+    else:
+        raise ValueError(
+            f"unknown redistribution method {method!r}; valid choices: "
+            + ", ".join(m.name for m in RedistMethod)
+        )
     return cls(
         ctx,
         comm,

@@ -26,6 +26,12 @@ __all__ = ["ColRedistribution"]
 class ColRedistribution(RedistributionSession):
     """One rank's Algorithm-2 participation."""
 
+    method_name = "col"
+
+    def _emit_send_bytes(self, nbytes_map: dict) -> None:
+        for nbytes in nbytes_map.values():
+            self._emit_transfer("values", nbytes)
+
     # ------------------------------------------------------------- build args
     def _sizes_sendlist(self) -> list[int]:
         """Per-peer byte counts for the size Alltoall (0 where no chunk)."""
@@ -70,12 +76,17 @@ class ColRedistribution(RedistributionSession):
         """Synchronous strategy (S): Alltoall sizes, then Alltoallv values,
         with MPICH's pairwise schedule for the blocking Alltoallv."""
         self._started = True
+        self._mark_started()
         yield from self._do_local_copy()
+        t0 = self.ctx.now
         self.sizes_received = yield from self.ctx.alltoall(
             self._sizes_sendlist(), comm=self.comm
         )
+        self._emit_phase_span("sizes", t0)
         # "Create internal structures" happens lazily inside the stores.
         send_map, nbytes_map, recv_from = self._values_args()
+        self._emit_send_bytes(nbytes_map)
+        t0 = self.ctx.now
         results = yield from self.ctx.alltoallv(
             send_map,
             recv_from=recv_from,
@@ -83,9 +94,11 @@ class ColRedistribution(RedistributionSession):
             nbytes_map=nbytes_map,
             label=f"{self.label}:values",
         )
+        self._emit_phase_span("values", t0)
         if self.is_target:
             self._insert_received(results)
         self._finished = True
+        self._mark_finished()
 
     # ----------------------------------------------------------------- async
     def start(self):
@@ -93,8 +106,10 @@ class ColRedistribution(RedistributionSession):
         if self._started:
             raise RuntimeError("session already started")
         self._started = True
+        self._mark_started()
         self._stage = "sizes"
         yield from self._do_local_copy()
+        self._t_stage = self.ctx.now
         self._sizes_req, self.sizes_received = yield from self.ctx.ialltoall(
             self._sizes_sendlist(), comm=self.comm
         )
@@ -104,7 +119,10 @@ class ColRedistribution(RedistributionSession):
     def _advance(self):
         """Move through the sizes -> values -> done pipeline, without blocking."""
         if self._stage == "sizes" and self._sizes_req.completed:
+            self._emit_phase_span("sizes", self._t_stage)
             send_map, nbytes_map, recv_from = self._values_args()
+            self._emit_send_bytes(nbytes_map)
+            self._t_stage = self.ctx.now
             self._values_req, self._values_results = yield from self.ctx.ialltoallv(
                 send_map,
                 recv_from=recv_from,
@@ -114,10 +132,12 @@ class ColRedistribution(RedistributionSession):
             )
             self._stage = "values"
         if self._stage == "values" and self._values_req.completed:
+            self._emit_phase_span("values", self._t_stage)
             if self.is_target:
                 self._insert_received(self._values_results)
             self._stage = "done"
             self._finished = True
+            self._mark_finished()
 
     def test(self):
         """``Test_Redistribution``: one progress window + pipeline advance."""
@@ -127,6 +147,7 @@ class ColRedistribution(RedistributionSession):
             return True
         yield from self.ctx.progress_tick()
         yield from self._advance()
+        self._emit_test(self._finished)
         return self._finished
 
     def finish(self):

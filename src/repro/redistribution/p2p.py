@@ -26,11 +26,14 @@ __all__ = ["P2PRedistribution"]
 class P2PRedistribution(RedistributionSession):
     """One rank's Algorithm-1 state machine."""
 
+    method_name = "p2p"
+
     def start(self):
         """Sources: fire all Isends.  Targets: post all tag-77 Irecvs."""
         if self._started:
             raise RuntimeError("session already started")
         self._started = True
+        self._mark_started()
         self._send_reqs = []
         self._size_reqs = {}   # src -> pending tag-77 request
         self._value_reqs = {}  # src -> pending tag-88 request
@@ -56,6 +59,7 @@ class P2PRedistribution(RedistributionSession):
                     continue
                 sizes = self._chunk_sizes(tr)
                 total = sum(sizes.values())
+                self._emit_transfer("values", total)
                 sreq = yield from self.ctx.isend(
                     sizes, tr.dst, tag=SIZES_TAG, comm=self.comm,
                     label=f"{self.label}:sizes",
@@ -107,6 +111,7 @@ class P2PRedistribution(RedistributionSession):
         if self._send_reqs:
             yield from self.ctx.waitall(self._send_reqs)
         self._finished = True
+        self._mark_finished()
 
     def test(self):
         """Algorithm 3's ``Test_Redistribution``: one progress window, then
@@ -128,4 +133,6 @@ class P2PRedistribution(RedistributionSession):
                 self._handle_completed_value(src, req)
         if self._num_rcv == 0 and all(r.completed for r in self._send_reqs):
             self._finished = True
+            self._mark_finished()
+        self._emit_test(self._finished)
         return self._finished

@@ -44,11 +44,14 @@ class _DatasetExposure:
 class RmaRedistribution(RedistributionSession):
     """One rank's one-sided redistribution."""
 
+    method_name = "rma"
+
     def start(self):
         """Create the window (collective) and issue all puts."""
         if self._started:
             raise RuntimeError("session already started")
         self._started = True
+        self._mark_started()
         exposure = (
             _DatasetExposure(self.dst_dataset, self.names)
             if self.is_target
@@ -75,6 +78,7 @@ class RmaRedistribution(RedistributionSession):
                     continue
                 payloads = self.src_dataset.extract(tr.lo, tr.hi, self.names)
                 nbytes = self.src_dataset.range_nbytes(tr.lo, tr.hi, self.names)
+                self._emit_transfer("put", nbytes)
                 ev = yield from self.ctx.win_put(
                     self._win, tr.dst, (tr.lo, tr.hi, payloads),
                     nbytes=nbytes, label=f"{self.label}:put",
@@ -96,6 +100,7 @@ class RmaRedistribution(RedistributionSession):
         if waits:
             yield from self.ctx._polling_block(AllOf(waits))
         self._finished = True
+        self._mark_finished()
 
     def test(self):
         """One progress window; RMA needs no handshake pumping, so this is
@@ -107,4 +112,6 @@ class RmaRedistribution(RedistributionSession):
         yield from self.ctx.progress_tick()
         if self._locally_done():
             self._finished = True
+            self._mark_finished()
+        self._emit_test(self._finished)
         return self._finished

@@ -36,6 +36,9 @@ VALUES_TAG = 88
 class RedistributionSession:
     """Base class; see module docstring for the driving protocol."""
 
+    #: short method tag used in metric labels ("p2p" | "col" | "rma").
+    method_name = "base"
+
     def __init__(
         self,
         ctx,
@@ -67,6 +70,49 @@ class RedistributionSession:
         self.label = label
         self._started = False
         self._finished = False
+        self._t_started: Optional[float] = None
+
+    # ------------------------------------------------------- observability
+    # Cooperative emission (see repro.obs): when no MetricsProbe is
+    # attached, ``world.metrics`` is None and each helper is one pointer
+    # comparison; sessions never require a registry to run.
+    def _metrics(self):
+        return getattr(self.ctx.world, "metrics", None)
+
+    def _emit_transfer(self, phase: str, nbytes: float) -> None:
+        m = self._metrics()
+        if m is not None:
+            m.counter(
+                "redist.transfer_bytes", method=self.method_name, phase=phase
+            ).inc(nbytes)
+            m.counter(
+                "redist.transfers", method=self.method_name, phase=phase
+            ).inc()
+
+    def _emit_phase_span(self, phase: str, t0: float) -> None:
+        m = self._metrics()
+        if m is not None:
+            m.timer(
+                "redist.phase_seconds", method=self.method_name, phase=phase
+            ).record(t0, self.ctx.now, label=f"{self.label}:{phase}")
+
+    def _emit_test(self, done: bool) -> None:
+        """Async progress timeline: one gauge sample per ``test()`` call."""
+        m = self._metrics()
+        if m is not None:
+            m.counter("redist.test_calls", method=self.method_name).inc()
+            m.gauge("redist.session_done", label=self.label).set(
+                1.0 if done else 0.0, self.ctx.now
+            )
+
+    def _mark_started(self) -> None:
+        if self._t_started is None:
+            self._t_started = self.ctx.now
+
+    def _mark_finished(self) -> None:
+        if self._t_started is not None:
+            self._emit_phase_span("session", self._t_started)
+            self._t_started = None
 
     # ------------------------------------------------------------- helpers
     @property
@@ -94,6 +140,7 @@ class RedistributionSession:
             return
         payloads = self.src_dataset.extract(tr.lo, tr.hi, self.names)
         nbytes = self.src_dataset.range_nbytes(tr.lo, tr.hi, self.names)
+        self._emit_transfer("memcpy", nbytes)
         cost = nbytes / self.ctx.machine.memory_channel.bandwidth
         if cost > 0:
             yield from self.ctx.compute(cost)

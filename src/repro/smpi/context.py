@@ -227,11 +227,17 @@ class RankCtx:
         self._ep.enter_progress()
         tok = PollerToken(label=f"gid{self.gid}")
         self.node.add_poller(tok)
+        t0 = self.sim.now
         try:
             result = yield command
         finally:
             self.node.remove_poller(tok)
             self._ep.exit_progress()
+            m = self.world.metrics
+            if m is not None:
+                m.timer("smpi.wait_blocked", rank=self.gid).record(
+                    t0, self.sim.now, label=type(command).__name__
+                )
         return result
 
     def wait(self, req: Request):
@@ -267,6 +273,9 @@ class RankCtx:
         """
         if cost is None:
             cost = self.machine.fabric.cpu_overhead
+        m = self.world.metrics
+        if m is not None:
+            m.counter("smpi.progress_ticks", rank=self.gid).inc()
         self._ep.enter_progress()
         try:
             if cost > 0:

@@ -74,6 +74,10 @@ class MpiWorld:
         self.slot_of: dict[int, int] = {}
         #: traffic accounting by label prefix, for experiment reports.
         self.bytes_by_label: dict[str, float] = {}
+        #: cooperative observability hook: a MetricsRegistry set by
+        #: :class:`repro.obs.MetricsProbe` while attached; ``None`` means
+        #: every instrumented layer pays one pointer comparison and no more.
+        self.metrics = None
 
     # ------------------------------------------------------------------ launch
     def launch(
@@ -146,6 +150,12 @@ class MpiWorld:
         spec = self.channel_spec(msg.src_gid, msg.dst_gid)
         if label:
             self.bytes_by_label[label] = self.bytes_by_label.get(label, 0.0) + msg.nbytes
+        m = self.metrics
+        if m is not None:
+            proto = "eager" if msg.nbytes <= spec.eager_threshold else "rndv"
+            m.counter("smpi.messages", comm=msg.ctx_id, protocol=proto).inc()
+            m.counter("smpi.bytes", comm=msg.ctx_id, protocol=proto).inc(msg.nbytes)
+            m.histogram("smpi.message_nbytes").observe(msg.nbytes)
         if msg.nbytes <= spec.eager_threshold:
             msg.protocol = "eager"
             # Buffered semantics: local completion at injection.

@@ -18,15 +18,18 @@ __all__ = ["stats_to_dict", "write_stats_json", "read_stats_json"]
 
 
 def _reconfig_to_dict(rec: ReconfigRecord) -> dict:
-    return {
+    out = {
         "n_sources": rec.n_sources,
         "n_targets": rec.n_targets,
         "requested_iteration": rec.requested_iteration,
+        "decision_at": rec.decision_at,
+        "plan_built_at": rec.plan_built_at,
         "spawn_started_at": rec.spawn_started_at,
         "spawn_finished_at": rec.spawn_finished_at,
         "redist_started_at": rec.redist_started_at,
         "const_data_complete_at": rec.const_data_complete_at,
         "data_complete_at": rec.data_complete_at,
+        "commit_finished_at": rec.commit_finished_at,
         "sources_stopped_iteration": rec.sources_stopped_iteration,
         "overlapped_iterations": rec.overlapped_iterations,
         "reconfiguration_time": (
@@ -35,6 +38,13 @@ def _reconfig_to_dict(rec: ReconfigRecord) -> dict:
             else None
         ),
     }
+    # Per-stage breakdown (the obs layer's ReconfigBreakdown) when the
+    # record is complete enough to compute one.
+    try:
+        out["breakdown"] = rec.breakdown.to_dict()
+    except RuntimeError:
+        out["breakdown"] = None
+    return out
 
 
 def stats_to_dict(stats: RunStats) -> dict:

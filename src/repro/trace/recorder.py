@@ -44,6 +44,7 @@ class Tracer:
         self.label_filter = label_filter
         self._machine: Optional[Machine] = None
         self._installed = False
+        self._saved: list[tuple[object, str, object]] = []
 
     # ----------------------------------------------------------------- attach
     def attach(self, machine: Machine) -> "Tracer":
@@ -57,6 +58,17 @@ class Tracer:
             self._wrap_node(node)
         return self
 
+    def detach(self) -> "Tracer":
+        """Restore every wrapped hook; recorded events are kept."""
+        if not self._installed:
+            raise RuntimeError("tracer not attached")
+        for obj, attr, orig in reversed(self._saved):
+            setattr(obj, attr, orig)
+        self._saved.clear()
+        self._machine = None
+        self._installed = False
+        return self
+
     def _keep(self, label: str) -> bool:
         return self.label_filter is None or self.label_filter in label
 
@@ -64,6 +76,7 @@ class Tracer:
         net = machine.network
         sim = machine.sim
         orig = net.start_flow
+        self._saved.append((net, "start_flow", orig))
         tracer = self
 
         def traced_start_flow(route, size, latency=0.0, label=""):
@@ -86,6 +99,7 @@ class Tracer:
     def _wrap_node(self, node) -> None:
         sim = node.sim
         orig = node.submit
+        self._saved.append((node, "submit", orig))
         tracer = self
 
         def traced_submit(work, on_done, label=""):

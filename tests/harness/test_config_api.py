@@ -1,0 +1,110 @@
+"""Config-object API: RunSpec/RunResult carry ReconfigConfig, the string
+``config_key`` survives only as a deprecated compatibility spelling, and
+sweeps aggregate metrics deterministically."""
+
+import json
+import pickle
+import warnings
+
+import pytest
+
+from repro.harness import ResultSet, RunResult, RunSpec, run_one, run_sweep
+from repro.malleability import ReconfigConfig
+from repro.obs import MetricsRegistry, validate_metrics
+
+
+CFG = ReconfigConfig.parse("merge-col-s")
+
+
+def test_runspec_accepts_config_object():
+    spec = RunSpec(2, 4, CFG, "ethernet", "tiny", rep=0)
+    assert spec.config is CFG
+
+
+@pytest.mark.parametrize("text", ["merge-col-s", "Merge COLS", "MERGE_COL_S"])
+def test_runspec_parses_config_strings(text):
+    spec = RunSpec(2, 4, text, "ethernet", "tiny", rep=0)
+    assert spec.config == CFG
+
+
+def test_config_key_property_is_deprecated():
+    spec = RunSpec(2, 4, CFG, "ethernet", "tiny", rep=0)
+    with pytest.warns(DeprecationWarning, match="config_key"):
+        assert spec.config_key == "merge-col-s"
+
+
+def test_config_key_kwarg_is_deprecated():
+    with pytest.warns(DeprecationWarning, match="config_key"):
+        spec = RunSpec(2, 4, fabric="ethernet", scale="tiny",
+                       config_key="merge-col-s")
+    assert spec.config == CFG
+
+
+def test_config_rejects_both_and_neither():
+    with pytest.raises(TypeError):
+        RunSpec(2, 4, CFG, "ethernet", "tiny", config_key="merge-col-s")
+    with pytest.raises(TypeError):
+        RunSpec(2, 4, fabric="ethernet", scale="tiny")
+
+
+def test_runresult_roundtrips_without_warnings(recwarn):
+    warnings.simplefilter("error", DeprecationWarning)
+    r = RunResult(2, 4, CFG, "ethernet", "tiny", 0,
+                  reconfig_time=1.0, app_time=2.0)
+    assert r.config.key == "merge-col-s"
+    rs = ResultSet([r])
+    assert rs.configs() == [CFG]
+    assert rs.config_keys() == ["merge-col-s"]  # no warning: internal access
+
+
+def test_specs_and_results_pickle():
+    spec = RunSpec(2, 4, CFG, "ethernet", "tiny", rep=1)
+    assert pickle.loads(pickle.dumps(spec)) == spec
+    r = RunResult(2, 4, CFG, "ethernet", "tiny", 0, app_time=1.5)
+    assert pickle.loads(pickle.dumps(r)) == r
+
+
+def test_resultset_select_accepts_config_objects(tmp_path):
+    r = RunResult(2, 4, CFG, "ethernet", "tiny", 0, reconfig_time=0.5)
+    rs = ResultSet([r])
+    assert rs.select(config_key=CFG) == rs.select(config_key="merge-col-s")
+    assert len(rs.select(config_key=CFG)) == 1
+    # CSV roundtrip keeps the breakdown columns and the config object
+    path = tmp_path / "r.csv"
+    rs.to_csv(path)
+    back = ResultSet.from_csv(path)
+    assert back.results[0].config == CFG
+    assert back.results[0].redist_time == r.redist_time
+
+
+def test_run_one_populates_breakdown_columns():
+    spec = RunSpec(2, 4, "merge-col-t", "ethernet", "tiny", rep=0)
+    r = run_one(spec)
+    assert r.redist_time > 0
+    assert r.redist_bytes > 0
+    assert r.peak_oversubscription > 0
+    assert r.spawn_time > 0
+    # stages never exceed the whole reconfiguration
+    assert r.redist_time <= r.reconfig_time + 1e-9
+    assert r.commit_time >= 0
+
+
+def test_sweep_metrics_sequential_parallel_identical():
+    kwargs = dict(
+        pairs=[(2, 4)],
+        config_keys=["merge-col-s", CFG],  # strings and objects both accepted
+        fabrics=["ethernet"],
+        scale="tiny",
+        repetitions=1,
+    )
+    seq_reg = MetricsRegistry()
+    seq = run_sweep(metrics=seq_reg, **kwargs)
+    par_reg = MetricsRegistry()
+    par = run_sweep(metrics=par_reg, workers=2, **kwargs)
+    assert seq.results == par.results
+    a = json.dumps(seq_reg.to_dict(), sort_keys=True)
+    b = json.dumps(par_reg.to_dict(), sort_keys=True)
+    assert a == b
+    validate_metrics(seq_reg.to_dict())
+    # the sweep recorded one breakdown row per cell
+    assert len(seq_reg.records["reconfigurations"]) == len(seq.results)

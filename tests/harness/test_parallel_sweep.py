@@ -58,8 +58,8 @@ def test_sequential_progress_is_in_canonical_order():
 def test_sweep_specs_order_matches_sequential_result_rows():
     specs = sweep_specs(PAIRS, KEYS, FABRICS, "tiny", 1)
     rs = run_sweep(PAIRS, KEYS, FABRICS, scale="tiny", repetitions=1)
-    got = [(r.fabric, r.ns, r.nt, r.config_key, r.rep) for r in rs.results]
-    want = [(s.fabric, s.ns, s.nt, s.config_key, s.rep) for s in specs]
+    got = [(r.fabric, r.ns, r.nt, r.config.key, r.rep) for r in rs.results]
+    want = [(s.fabric, s.ns, s.nt, s.config.key, s.rep) for s in specs]
     assert got == want
 
 

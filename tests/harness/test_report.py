@@ -32,7 +32,7 @@ def synthetic_results():
                         app = 1.6
                     for rep in range(2):
                         rows.append(RunResult(
-                            ns=ns, nt=nt, config_key=cfg.key, fabric=fabric,
+                            ns=ns, nt=nt, config=cfg, fabric=fabric,
                             scale="tiny", rep=rep,
                             reconfig_time=rt + 0.001 * rep,
                             app_time=app + 0.001 * rep,

@@ -1,0 +1,140 @@
+"""MetricsProbe: attach/detach hygiene and recorded layer metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ETHERNET_10G, Machine
+from repro.obs import MetricsProbe, MetricsRegistry
+from repro.simulate import Simulator
+from repro.smpi import MpiWorld
+
+
+def build_stack():
+    sim = Simulator()
+    machine = Machine(sim, 2, 1, ETHERNET_10G)
+    world = MpiWorld(machine)
+    return sim, machine, world
+
+
+def run_pingpong(sim, world, nbytes=50_000):
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.compute(0.01)
+            yield from mpi.send(np.zeros(nbytes // 8), dest=1, label="payload")
+            return None
+        yield from mpi.recv(source=0)
+        return None
+
+    world.launch(main, slots=[0, 1])
+    sim.run()
+
+
+def test_probe_records_cluster_and_smpi_metrics():
+    sim, machine, world = build_stack()
+    probe = MetricsProbe().attach(machine, world)
+    run_pingpong(sim, world)
+    reg = probe.detach().finalize()
+    doc = reg.to_dict()
+    # per-link traffic and flow-size histogram
+    assert any(k.startswith("cluster.link.bytes{") for k in doc["counters"])
+    assert doc["histograms"]["cluster.flow_nbytes"]["n"] > 0
+    # per-node oversubscription gauge exists for every node
+    over = [
+        k for k in doc["gauges"]
+        if k.startswith("cluster.node.oversubscription{")
+    ]
+    assert len(over) == len(machine.nodes)
+    # cooperative smpi emission: per-communicator, per-protocol bytes
+    smpi = [k for k in doc["counters"] if k.startswith("smpi.bytes{")]
+    assert smpi and all("comm=" in k and "protocol=" in k for k in smpi)
+
+
+def test_attach_sets_and_detach_clears_world_metrics():
+    _, machine, world = build_stack()
+    assert world.metrics is None
+    probe = MetricsProbe().attach(machine, world)
+    assert world.metrics is probe.registry
+    probe.detach()
+    assert world.metrics is None
+
+
+def test_detach_restores_wrapped_hooks():
+    _, machine, world = build_stack()
+    net_start = machine.network.start_flow
+    net_activate = machine.network._activate
+    node_hooks = [
+        (n.submit, n.add_poller, n.remove_poller) for n in machine.nodes
+    ]
+    probe = MetricsProbe().attach(machine, world)
+    assert machine.network.start_flow is not net_start
+    probe.detach()
+    # bound methods compare equal when __self__/__func__ match the originals
+    assert machine.network.start_flow == net_start
+    assert machine.network._activate == net_activate
+    for node, (sub, add, rem) in zip(machine.nodes, node_hooks):
+        assert node.submit == sub
+        assert node.add_poller == add
+        assert node.remove_poller == rem
+
+
+def test_double_attach_rejected():
+    _, machine, world = build_stack()
+    probe = MetricsProbe().attach(machine, world)
+    with pytest.raises(RuntimeError):
+        probe.attach(machine, world)
+    probe.detach()
+    with pytest.raises(RuntimeError):
+        probe.detach()
+
+
+def test_second_probe_on_same_world_rejected():
+    _, machine, world = build_stack()
+    MetricsProbe().attach(machine, world)
+    with pytest.raises(RuntimeError):
+        MetricsProbe().attach(machine, world)
+
+
+def test_finalize_snapshots_always_on_counters():
+    sim, machine, world = build_stack()
+    probe = MetricsProbe().attach(machine, world)
+    run_pingpong(sim, world)
+    probe.detach()
+    reg = probe.finalize()
+    doc = reg.to_dict()
+    assert doc["counters"]["cluster.network.bytes_carried"] > 0
+    allocations = (
+        doc["counters"]["cluster.allocator.reallocations"]
+        + doc["counters"]["cluster.allocator.fast_path_hits"]
+    )
+    assert allocations >= 1  # at least one flow was rate-allocated
+    busy = [
+        k for k in doc["gauges"]
+        if k.startswith("cluster.node.busy_coreseconds{")
+    ]
+    peaks = [
+        k for k in doc["gauges"]
+        if k.startswith("cluster.node.peak_oversubscription{")
+    ]
+    assert len(busy) == len(machine.nodes)
+    assert len(peaks) == len(machine.nodes)
+    assert any(doc["gauges"][k]["last"] > 0 for k in peaks)
+    # per-label traffic mirrored from the world's always-on accounting
+    labels = [k for k in doc["counters"] if k.startswith("smpi.bytes_by_label")]
+    assert labels
+
+
+def test_wait_blocked_timer_recorded():
+    sim, machine, world = build_stack()
+    probe = MetricsProbe().attach(machine, world)
+    run_pingpong(sim, world)
+    reg = probe.detach().registry
+    waits = [
+        k for k in reg.to_dict()["timers"] if k.startswith("smpi.wait_blocked")
+    ]
+    assert waits  # the receiver blocked waiting for rank 0's payload
+
+
+def test_detached_run_emits_nothing():
+    sim, machine, world = build_stack()
+    run_pingpong(sim, world)
+    assert world.metrics is None  # cooperative guard stayed cold

@@ -1,0 +1,142 @@
+"""MetricsRegistry: primitives, canonical keys, merge/serialize determinism."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, metric_key
+from repro.obs.registry import Counter, Gauge, Histogram, Timer
+
+
+def test_metric_key_sorts_labels():
+    assert metric_key("smpi.bytes", {}) == "smpi.bytes"
+    a = metric_key("smpi.bytes", {"protocol": "eager", "comm": 1})
+    b = metric_key("smpi.bytes", {"comm": 1, "protocol": "eager"})
+    assert a == b == "smpi.bytes{comm=1,protocol=eager}"
+
+
+def test_counter_inc_and_merge():
+    c = Counter()
+    c.inc()
+    c.inc(41.0)
+    assert c.value == 42.0
+    d = Counter()
+    d.inc(8.0)
+    c.merge(d)
+    assert c.value == 50.0
+
+
+def test_gauge_aggregates_and_timeline():
+    g = Gauge()
+    for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 0.5)]:
+        g.set(v, t)
+    assert g.last == 0.5 and g.min == 0.5 and g.peak == 3.0 and g.n == 3
+    assert g.samples == [(0.0, 1.0), (1.0, 3.0), (2.0, 0.5)]
+    d = g.to_dict()
+    assert d["last"] == 0.5 and d["peak"] == 3.0 and d["dropped"] == 0
+
+
+def test_gauge_sample_cap_records_drops():
+    g = Gauge(sample_limit=2)
+    for i in range(5):
+        g.set(float(i), float(i))
+    assert len(g.samples) == 2 and g.dropped == 3 and g.n == 5
+
+
+def test_histogram_buckets_power_of_two():
+    h = Histogram()
+    for v in [0, 1, 3, 1000, 1024]:
+        h.observe(v)
+    assert h.n == 5 and h.min == 0 and h.max == 1024
+    assert h.bucket_of(0) == 0 and h.bucket_of(1) == 1
+    assert h.bucket_of(3) == 4 and h.bucket_of(1000) == 1024
+    assert h.buckets[1024] == 2  # 1000 and 1024 share a bucket
+    assert h.mean == pytest.approx(2028 / 5)
+
+
+def test_timer_spans_and_mean():
+    t = Timer()
+    t.record(0.0, 1.0, label="a")
+    t.record(2.0, 2.5, label="b")
+    assert t.n == 2 and t.total == pytest.approx(1.5)
+    assert t.mean == pytest.approx(0.75)
+    assert t.min == pytest.approx(0.5) and t.max == pytest.approx(1.0)
+    assert t.spans == [(0.0, 1.0, "a"), (2.0, 2.5, "b")]
+
+
+def _sample_registry(offset=0.0):
+    reg = MetricsRegistry()
+    reg.counter("smpi.bytes", comm=1, protocol="eager").inc(100 + offset)
+    reg.gauge("node.load", node="n0").set(2.0 + offset, t=1.0)
+    reg.histogram("sizes").observe(64)
+    reg.timer("phase", stage="values").record(0.0, 0.25 + offset, "x")
+    reg.record("reconfigurations", {"index": 0, "total_seconds": 1.0})
+    reg.meta["scale"] = "tiny"
+    return reg
+
+
+def test_to_dict_is_deterministic_json():
+    a = json.dumps(_sample_registry().to_dict(), sort_keys=True)
+    b = json.dumps(_sample_registry().to_dict(), sort_keys=True)
+    assert a == b
+
+
+def test_from_dict_roundtrip():
+    reg = _sample_registry()
+    clone = MetricsRegistry.from_dict(reg.to_dict())
+    assert clone.to_dict() == reg.to_dict()
+
+
+def test_merge_accumulates_each_family():
+    a = _sample_registry()
+    b = _sample_registry(offset=1.0)
+    a.merge(b)
+    assert a.counter("smpi.bytes", comm=1, protocol="eager").value == 201.0
+    g = a.gauge("node.load", node="n0")
+    assert g.n == 2 and g.last == 3.0 and g.peak == 3.0
+    assert a.histogram("sizes").n == 2
+    t = a.timer("phase", stage="values")
+    assert t.n == 2 and t.total == pytest.approx(1.5)
+    assert len(a.records["reconfigurations"]) == 2
+
+
+def test_merge_order_is_canonical():
+    """Merging cells in the same order always yields identical documents —
+    the property the parallel sweep executor relies on."""
+    cells = [_sample_registry(offset=float(i)) for i in range(4)]
+    master1 = MetricsRegistry()
+    for c in cells:
+        master1.merge(MetricsRegistry.from_dict(c.to_dict()))
+    master2 = MetricsRegistry()
+    for c in cells:
+        master2.merge(c)
+    assert json.dumps(master1.to_dict(), sort_keys=True) == json.dumps(
+        master2.to_dict(), sort_keys=True
+    )
+
+
+def test_feed_tracer_replays_timer_spans():
+    class FakeTracer:
+        def __init__(self):
+            self.marks = []
+
+        def mark(self, lane, label, t0, t1=None):
+            self.marks.append((lane, label, t0, t1))
+
+    reg = _sample_registry()
+    tracer = FakeTracer()
+    n = reg.feed_tracer(tracer)
+    assert n == 1
+    lane, label, t0, t1 = tracer.marks[0]
+    assert lane.startswith("obs:phase") and (t0, t1) == (0.0, 0.25)
+
+
+def test_empty_aggregates_export_none():
+    reg = MetricsRegistry()
+    reg.gauge("g")
+    reg.timer("t")
+    reg.histogram("h")
+    doc = reg.to_dict()
+    assert doc["gauges"]["g"]["min"] is None
+    assert doc["timers"]["t"]["max"] is None
+    assert doc["histograms"]["h"]["min"] is None

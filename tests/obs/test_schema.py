@@ -1,0 +1,111 @@
+"""metrics.json schema: validation, fingerprint stability, CLI checker."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    build_metrics_doc,
+    read_metrics_json,
+    schema_fingerprint,
+    validate_metrics,
+    write_metrics_json,
+)
+from repro.obs.schema import METRICS_SCHEMA, SCHEMA_VERSION, _main
+
+
+def full_doc():
+    reg = MetricsRegistry()
+    reg.counter("smpi.bytes", comm=1, protocol="eager").inc(10)
+    reg.gauge("cluster.node.oversubscription", node="n0").set(1.5, t=0.5)
+    reg.histogram("smpi.message_nbytes").observe(4096)
+    reg.timer("redist.phase_seconds", method="col", phase="values").record(
+        0.0, 0.1, "lbl"
+    )
+    reg.record(
+        "reconfigurations",
+        {
+            "index": 0,
+            "n_sources": 2,
+            "n_targets": 4,
+            "rms_decision_seconds": 0.0,
+            "plan_build_seconds": 0.0,
+            "spawn_seconds": 0.01,
+            "redistribution_seconds": 0.02,
+            "commit_seconds": 0.0,
+            "total_seconds": 0.03,
+        },
+    )
+    return build_metrics_doc(reg, meta={"scale": "tiny"})
+
+
+def test_valid_document_passes():
+    validate_metrics(full_doc())  # must not raise
+
+
+def test_missing_top_level_key_fails():
+    doc = full_doc()
+    del doc["gauges"]
+    with pytest.raises(ValueError, match="missing top-level key 'gauges'"):
+        validate_metrics(doc)
+
+
+def test_wrong_schema_version_fails():
+    doc = full_doc()
+    doc["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_metrics(doc)
+
+
+def test_malformed_entry_fails():
+    doc = full_doc()
+    key = next(iter(doc["timers"]))
+    del doc["timers"][key]["spans"]
+    with pytest.raises(ValueError, match="missing field 'spans'"):
+        validate_metrics(doc)
+    doc = full_doc()
+    key = next(iter(doc["counters"]))
+    doc["counters"][key] = "not-a-number"
+    with pytest.raises(ValueError, match="must be a number"):
+        validate_metrics(doc)
+
+
+def test_breakdown_record_fields_enforced():
+    doc = full_doc()
+    del doc["records"]["reconfigurations"][0]["spawn_seconds"]
+    with pytest.raises(ValueError, match="spawn_seconds"):
+        validate_metrics(doc)
+
+
+def test_fingerprint_is_stable_within_process():
+    assert schema_fingerprint() == schema_fingerprint()
+    assert len(schema_fingerprint()) == 64
+
+
+def test_write_read_roundtrip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("x").inc(3)
+    path = tmp_path / "out" / "metrics.json"
+    write_metrics_json(reg, path, meta={"scale": "tiny"})
+    doc = read_metrics_json(path)
+    assert doc["counters"]["x"] == 3
+    assert doc["meta"]["scale"] == "tiny"
+    validate_metrics(doc)
+
+
+def test_schema_cli_dump_check_validate(tmp_path, capsys):
+    pinned = tmp_path / "schema.json"
+    assert _main(["--dump", str(pinned)]) == 0
+    assert json.loads(pinned.read_text()) == METRICS_SCHEMA
+    assert _main(["--check", str(pinned)]) == 0
+    # drift detection
+    drifted = json.loads(pinned.read_text())
+    drifted["required"].append("bogus")
+    pinned.write_text(json.dumps(drifted))
+    assert _main(["--check", str(pinned)]) == 1
+    # document validation
+    doc_path = tmp_path / "metrics.json"
+    doc_path.write_text(json.dumps(full_doc()))
+    assert _main(["--validate", str(doc_path)]) == 0
+    capsys.readouterr()

@@ -1,0 +1,133 @@
+"""The ``make_session`` factory and the unified tolerant parsers."""
+
+import pytest
+
+from repro.redistribution import (
+    RedistMethod,
+    RedistributionPlan,
+    Strategy,
+    make_session,
+)
+from repro.redistribution.api import parse_choice
+from repro.redistribution.collective import ColRedistribution
+from repro.redistribution.p2p import P2PRedistribution
+from repro.redistribution.rma import RmaRedistribution
+from repro.malleability import SpawnMethod
+
+
+PLAN = RedistributionPlan.block(64, 2, 4)
+DATA = object()  # the factory validates presence, not type
+
+
+def build(method, **kw):
+    kw.setdefault("src_rank", 0)
+    kw.setdefault("src_dataset", DATA)
+    return make_session(
+        method, ctx=None, comm=None, plan=PLAN, names=["x"], **kw
+    )
+
+
+# ------------------------------------------------------------------ factory
+@pytest.mark.parametrize(
+    "text,cls",
+    [
+        ("p2p", P2PRedistribution),
+        ("P2P", P2PRedistribution),
+        ("point-to-point", P2PRedistribution),
+        ("col", ColRedistribution),
+        ("Collective", ColRedistribution),
+        (RedistMethod.COL, ColRedistribution),
+        ("RMA", RmaRedistribution),
+        ("one_sided", RmaRedistribution),
+    ],
+)
+def test_factory_resolves_every_method(text, cls):
+    session = build(text)
+    assert type(session) is cls
+    assert session.method_name in ("p2p", "col", "rma")
+
+
+def test_factory_unknown_method_lists_choices():
+    with pytest.raises(ValueError, match=r"valid choices: P2P, COL, RMA"):
+        build("carrier-pigeon")
+
+
+def test_factory_role_validation():
+    with pytest.raises(ValueError, match="at least one role"):
+        make_session("p2p", None, None, PLAN, ["x"])
+    with pytest.raises(ValueError, match="source role needs"):
+        make_session("p2p", None, None, PLAN, ["x"], src_rank=0)
+    with pytest.raises(ValueError, match="target role needs"):
+        make_session("p2p", None, None, PLAN, ["x"], dst_rank=1)
+    with pytest.raises(ValueError, match="empty field list"):
+        make_session(
+            "p2p", None, None, PLAN, [], src_rank=0, src_dataset=DATA
+        )
+
+
+# ------------------------------------------------------------------ parsers
+@pytest.mark.parametrize(
+    "text,want",
+    [
+        ("p2p", RedistMethod.P2P),
+        ("P-2-P", RedistMethod.P2P),
+        ("COL", RedistMethod.COL),
+        (" collective ", RedistMethod.COL),
+        ("rma", RedistMethod.RMA),
+        ("One Sided", RedistMethod.RMA),
+    ],
+)
+def test_redist_method_parse(text, want):
+    assert RedistMethod.parse(text) is want
+
+
+@pytest.mark.parametrize(
+    "text,want",
+    [
+        ("s", Strategy.SYNC),
+        ("Sync", Strategy.SYNC),
+        ("A", Strategy.ASYNC_NONBLOCKING),
+        ("non-blocking", Strategy.ASYNC_NONBLOCKING),
+        ("T", Strategy.ASYNC_THREAD),
+        ("async_thread", Strategy.ASYNC_THREAD),
+    ],
+)
+def test_strategy_parse(text, want):
+    assert Strategy.parse(text) is want
+
+
+@pytest.mark.parametrize(
+    "text,want",
+    [
+        ("baseline", SpawnMethod.BASELINE),
+        ("Baseline", SpawnMethod.BASELINE),
+        ("MERGE", SpawnMethod.MERGE),
+        ("merge ", SpawnMethod.MERGE),
+    ],
+)
+def test_spawn_method_parse(text, want):
+    assert SpawnMethod.parse(text) is want
+
+
+@pytest.mark.parametrize(
+    "parse,match",
+    [
+        (RedistMethod.parse,
+         r"unknown redistribution method 'bogus'; valid choices: P2P, COL, RMA"),
+        (Strategy.parse,
+         r"unknown strategy 'bogus'; valid choices: S, A, T"),
+        (SpawnMethod.parse,
+         r"unknown spawn method 'bogus'; valid choices: Baseline, Merge"),
+    ],
+)
+def test_parse_errors_are_uniform(parse, match):
+    with pytest.raises(ValueError, match=match):
+        parse("bogus")
+
+
+def test_parse_choice_is_the_shared_helper():
+    table = {"x": 1, "yz": 2}
+    assert parse_choice("X-", table, "thing", ("x", "yz")) == 1
+    assert parse_choice("Y_Z", table, "thing", ("x", "yz")) == 2
+    with pytest.raises(ValueError, match="unknown thing 'q'"):
+        parse_choice("q", table, "thing", ("x", "yz"))
