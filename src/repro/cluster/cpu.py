@@ -78,6 +78,12 @@ class Node:
         #: highest demand ever seen (always-on: one compare per change, so
         #: oversubscription peaks survive to the end of a run for free)
         self.peak_demand = 0
+        #: clock-speed factor (1.0 = nominal); the fault layer's *straggler*
+        #: events lower it, slowing every demand on the node proportionally.
+        self.speed = 1.0
+        #: set by :meth:`fail` — a crashed node computes nothing and silently
+        #: swallows new work (its processes are killed by the fault injector).
+        self.failed = False
 
     # ---------------------------------------------------------------- load
     @property
@@ -108,7 +114,7 @@ class Node:
             n = len(tasks) + len(self._pollers)
             if tasks:
                 r = 1.0 if n <= self.cores else self.cores / n
-                work = dt * r
+                work = dt * r * self.speed
                 for t in tasks:
                     t.work_left -= work
             self.busy_coreseconds += dt * (self.cores if n > self.cores else n)
@@ -122,7 +128,7 @@ class Node:
         if not tasks:
             return
         n = len(tasks) + len(self._pollers)
-        r = 1.0 if n <= self.cores else self.cores / n
+        r = (1.0 if n <= self.cores else self.cores / n) * self.speed
         soonest = min(t.work_left for t in tasks)
         # Guard against float drift leaving a microscopic negative remainder.
         delay = soonest / r if soonest > 0.0 else 0.0
@@ -132,7 +138,7 @@ class Node:
         self._completion_item = None
         self._advance()
         n = len(self._tasks) + len(self._pollers)
-        rate = 1.0 if n <= self.cores else self.cores / n
+        rate = (1.0 if n <= self.cores else self.cores / n) * self.speed
         done = {
             id(t)
             for t in self._tasks
@@ -154,6 +160,8 @@ class Node:
         it finishes (taking current and future load into account)."""
         if work < 0 or not math.isfinite(work):
             raise ValueError(f"work must be finite and >= 0, got {work}")
+        if self.failed:
+            return  # crashed node: the work (and its completion) evaporates
         if work == 0:
             self.sim.schedule(0.0, on_done)
             return
@@ -180,6 +188,36 @@ class Node:
             raise ValueError(f"poller {token!r} not registered")
         self._advance()
         self._pollers.discard(token.id)
+        self._reschedule()
+
+    # ---------------------------------------------------------------- faults
+    def fail(self) -> None:
+        """Crash the node: all running compute evaporates and future
+        :meth:`submit` calls are silently swallowed.
+
+        Pollers are deliberately *kept* — they belong to processes the fault
+        injector kills right after, and their teardown (``remove_poller`` in
+        ``finally`` blocks) must still balance.  Idempotent.
+        """
+        if self.failed:
+            return
+        self._advance()
+        self.failed = True
+        self._tasks.clear()
+        if self._completion_item is not None:
+            self._completion_item.cancelled = True
+            self._completion_item = None
+
+    def set_speed(self, factor: float) -> None:
+        """Scale the node's clock (straggler injection: ``factor < 1``).
+
+        Accounting for in-progress work is settled at the old speed first, so
+        the change is exact mid-task.
+        """
+        if factor <= 0 or not math.isfinite(factor):
+            raise ValueError(f"speed factor must be finite and > 0, got {factor}")
+        self._advance()
+        self.speed = factor
         self._reschedule()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -125,6 +125,25 @@ class Machine:
         """⌈N/cores⌉ nodes, clamped to the machine size (paper §4.3)."""
         return min(self.n_nodes, math.ceil(n_slots / self.cores_per_node))
 
+    def links_of_node(self, node_id: int) -> dict:
+        """The NIC/memory links of one node, keyed ``up``/``down``/``mem``
+        (fault layer: link degradation targets these by name)."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node_id {node_id} out of range 0..{self.n_nodes - 1}")
+        return {
+            "up": self._up[node_id],
+            "down": self._down[node_id],
+            "mem": self._mem[node_id],
+        }
+
+    def degrade_node_links(self, node_id: int, factor: float) -> None:
+        """Scale a node's up/down NIC capacity by ``factor`` of the fabric's
+        nominal bandwidth (link degradation / flap-recovery injection)."""
+        links = self.links_of_node(node_id)
+        nominal = self.fabric.bandwidth
+        for key in ("up", "down"):
+            self.network.set_link_capacity(links[key], nominal * factor)
+
     # --------------------------------------------------------------- transfer
     def transfer(
         self,

@@ -186,6 +186,23 @@ class Network:
         self._links[link.link_id] = link
         return link
 
+    def set_link_capacity(self, link: Link, capacity: float) -> None:
+        """Change a link's capacity mid-run (fault layer: degradation/flap).
+
+        Byte accounting of every active flow is settled at the old rates
+        first, then the whole allocation is recomputed — capacity changes
+        invalidate the incremental fast paths, so this always runs the full
+        progressive filling (it is a rare, fault-driven event).
+        """
+        if link.link_id not in self._links:
+            raise ValueError(f"{link!r} does not belong to this network")
+        if capacity <= 0 or not math.isfinite(capacity):
+            raise ValueError(f"link capacity must be finite and > 0, got {capacity}")
+        self._advance()
+        link.capacity = capacity
+        if self._active:
+            self._reallocate_and_reschedule()
+
     @property
     def links(self) -> list[Link]:
         return list(self._links.values())

@@ -1,0 +1,23 @@
+"""Deterministic fault injection and recovery for the malleability stack.
+
+The paper's premise is that malleability lets jobs ride out resource
+changes without touching disk; its companion work motivates shrink-on-demand
+as the reaction to *cluster events* — node failures, degraded links,
+straggling hosts.  This package makes those events first-class:
+
+* :class:`FaultSchedule` — a parsed, seeded, fully deterministic list of
+  fault events (``crash@12.5:node=1;straggler@3:node=0,factor=0.5``);
+* :class:`FaultInjector` — replays a schedule against one simulation
+  (``Node.fail``/``Link`` degradation/``kill_now`` + dead-rank marking);
+* :class:`RecoveryPolicy` — knobs of the malleability manager's reaction
+  (bounded spawn retries with backoff, shrink fallback, checkpoint/restart
+  degradation).
+
+See ``docs/faults.md`` for the spec grammar and recovery semantics.
+"""
+
+from .injector import FaultInjector
+from .policy import RecoveryPolicy
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = ["FaultEvent", "FaultSchedule", "FaultInjector", "RecoveryPolicy"]

@@ -1,0 +1,36 @@
+"""Recovery-policy knobs consumed by the malleability manager.
+
+The manager reacts to a :class:`~repro.smpi.errors.CommFailedError` during a
+reconfiguration with an escalation ladder (see ``docs/faults.md``):
+
+1. **retry** — terminate the half-built target group, back off, and spawn a
+   fresh one on surviving nodes (bounded attempts);
+2. **shrink** — give up on the reconfiguration and keep running on the
+   surviving source group (data is intact — shrink-on-demand);
+3. **checkpoint_restart** — when source ranks died and in-memory state was
+   lost, relaunch the job from its in-run checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a :class:`~repro.malleability.GroupRunner` reacts to failures."""
+
+    #: spawn/redistribution attempts after the first failure (0 disables
+    #: retries — failures escalate straight to shrink/C/R).
+    max_retries: int = 2
+    #: simulated seconds waited before each retry attempt (models RMS
+    #: requeue latency; multiplied by the attempt number).
+    retry_backoff: float = 0.25
+    #: allow abandoning the reconfiguration and continuing on the surviving
+    #: source group when retries are exhausted.
+    allow_shrink: bool = True
+    #: allow degrading to the checkpoint/restart path when source ranks
+    #: died (in-memory state lost).
+    allow_checkpoint_restart: bool = True

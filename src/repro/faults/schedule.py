@@ -1,0 +1,204 @@
+"""Parsing and validation of deterministic fault schedules.
+
+Grammar (one spec string, events joined by ``;``)::
+
+    event     := kind '@' when [':' params]
+    when      := float | 'redist' ['+' float]
+    params    := key '=' value (',' key '=' value)*
+
+Kinds and their parameters:
+
+``crash``
+    ``node=<i>`` — at ``when``, node *i* fails: its compute evaporates,
+    every simulated process placed on it is killed synchronously, and the
+    dead ranks are propagated through the MPI failure layer.
+
+``degrade``
+    ``node=<i>,factor=<f>`` — scale node *i*'s up/down NIC capacity to
+    ``f`` × nominal fabric bandwidth (``0 < f``; ``f=1`` restores, so a
+    pair of degrade events models a link flap).
+
+``straggler``
+    ``node=<i>,factor=<f>`` — scale node *i*'s clock speed by ``f``
+    (``0 < f <= 1`` slows, every rank on the node inherits the slowdown).
+
+``spawnfail``
+    ``attempt=<k>`` — the *k*-th ``comm_spawn`` launch attempt of the run
+    (0-based, issue order) fails with ``SpawnFailedError``.  ``when`` is
+    ignored (the trigger is the attempt index, which is deterministic).
+
+The ``redist`` anchor makes an event relative to the moment the first
+redistribution session starts moving data (e.g. ``crash@redist+0.05:node=1``
+kills node 1 fifty milliseconds into the transfer) — the scenario the
+acceptance criteria exercise, independent of how long the pre-phase took.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FaultEvent", "FaultSchedule"]
+
+_KINDS = ("crash", "degrade", "straggler", "spawnfail")
+
+_REQUIRED = {
+    "crash": {"node"},
+    "degrade": {"node", "factor"},
+    "straggler": {"node", "factor"},
+    "spawnfail": {"attempt"},
+}
+
+_OPTIONAL: dict[str, set] = {kind: set() for kind in _KINDS}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One parsed fault event."""
+
+    kind: str
+    #: absolute trigger time; ``None`` when anchored (see :attr:`anchor`).
+    time: Optional[float]
+    #: ``"redist"`` for redistribution-relative events, else ``None``.
+    anchor: Optional[str]
+    #: offset after the anchor fires (0.0 for absolute events).
+    delay: float
+    params: dict = field(default_factory=dict)
+
+    def canonical(self) -> str:
+        if self.anchor is not None:
+            when = self.anchor if self.delay == 0 else f"{self.anchor}+{self.delay:g}"
+        else:
+            when = f"{self.time:g}"
+        parts = ",".join(f"{k}={self.params[k]:g}" for k in sorted(self.params))
+        return f"{self.kind}@{when}" + (f":{parts}" if parts else "")
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.canonical()
+
+
+def _parse_when(text: str, where: str) -> tuple[Optional[float], Optional[str], float]:
+    text = text.strip()
+    if text.startswith("redist"):
+        rest = text[len("redist"):]
+        if not rest:
+            return None, "redist", 0.0
+        if not rest.startswith("+"):
+            raise ValueError(
+                f"bad fault time {text!r} in {where!r}: anchored times are "
+                "'redist' or 'redist+<delay>'"
+            )
+        try:
+            delay = float(rest[1:])
+        except ValueError:
+            raise ValueError(
+                f"bad fault delay {rest[1:]!r} in {where!r}: expected a number"
+            ) from None
+        if delay < 0:
+            raise ValueError(f"fault delay must be >= 0 in {where!r}")
+        return None, "redist", delay
+    try:
+        t = float(text)
+    except ValueError:
+        raise ValueError(
+            f"bad fault time {text!r} in {where!r}: expected a number or "
+            "'redist[+delay]'"
+        ) from None
+    if t < 0:
+        raise ValueError(f"fault time must be >= 0 in {where!r}")
+    return t, None, 0.0
+
+
+def _parse_event(text: str) -> FaultEvent:
+    head, _, tail = text.partition(":")
+    kind, at, when = head.partition("@")
+    kind = kind.strip()
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r} in {text!r}; valid kinds: "
+            + ", ".join(_KINDS)
+        )
+    if not at:
+        if kind == "spawnfail":
+            time, anchor, delay = 0.0, None, 0.0
+        else:
+            raise ValueError(f"fault {text!r} needs '@<time>'")
+    else:
+        time, anchor, delay = _parse_when(when, text)
+    params: dict[str, float] = {}
+    if tail.strip():
+        for pair in tail.split(","):
+            key, eq, value = pair.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(f"bad fault parameter {pair!r} in {text!r}")
+            try:
+                params[key] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad value {value.strip()!r} for {key!r} in {text!r}"
+                ) from None
+    required = _REQUIRED[kind]
+    missing = required - params.keys()
+    if missing:
+        raise ValueError(
+            f"fault {text!r} missing parameter(s): {', '.join(sorted(missing))}"
+        )
+    extra = params.keys() - required - _OPTIONAL[kind]
+    if extra:
+        raise ValueError(
+            f"fault {text!r} has unknown parameter(s): {', '.join(sorted(extra))}"
+        )
+    if kind in ("degrade", "straggler") and params["factor"] <= 0:
+        raise ValueError(f"fault {text!r}: factor must be > 0")
+    if kind == "straggler" and params["factor"] > 1:
+        raise ValueError(f"fault {text!r}: straggler factor must be <= 1")
+    for int_key in ("node", "attempt"):
+        if int_key in params:
+            if params[int_key] != int(params[int_key]) or params[int_key] < 0:
+                raise ValueError(
+                    f"fault {text!r}: {int_key} must be a non-negative integer"
+                )
+    return FaultEvent(kind=kind, time=time, anchor=anchor, delay=delay, params=params)
+
+
+class FaultSchedule:
+    """An ordered, validated collection of :class:`FaultEvent`.
+
+    The canonical string form (:meth:`canonical`) is stable under
+    re-parsing, which makes it safe to join into harness seeds and CSV
+    cells: two runs with the same spec string are bit-identical.
+    """
+
+    def __init__(self, events: list[FaultEvent]):
+        self.events = list(events)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSchedule":
+        spec = (spec or "").strip()
+        if not spec:
+            return cls([])
+        events = [
+            _parse_event(chunk.strip())
+            for chunk in spec.split(";")
+            if chunk.strip()
+        ]
+        return cls(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def canonical(self) -> str:
+        return ";".join(ev.canonical() for ev in self.events)
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultSchedule {self.canonical()!r}>"

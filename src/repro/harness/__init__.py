@@ -8,7 +8,14 @@ Every table and figure of the paper's evaluation maps to an entry in
 from .experiments import EXPERIMENTS, ExperimentSpec, async_sync_pairs, pairs_for
 from .expmd import Claim, evaluate_claims, experiments_markdown
 from .report import FigureData, build_figure, figure_report, headline_speedups
-from .runner import ResultSet, RunResult, RunSpec, run_one, run_sweep
+from .runner import (
+    ResultSet,
+    RunResult,
+    RunSpec,
+    run_one,
+    run_sweep,
+    sweep_specs,
+)
 
 __all__ = [
     "EXPERIMENTS",
@@ -20,6 +27,7 @@ __all__ = [
     "RunSpec",
     "run_one",
     "run_sweep",
+    "sweep_specs",
     "FigureData",
     "build_figure",
     "figure_report",

@@ -72,6 +72,7 @@ def cmd_run(args) -> int:
         progress=progress,
         workers=args.workers,
         metrics=registry,
+        faults=args.faults or "",
     )
     out_path = Path(args.out)
     if args.append and out_path.exists():
@@ -96,7 +97,8 @@ def cmd_observe(args) -> int:
     from .runner import RunSpec, run_one
 
     spec = RunSpec(
-        args.ns, args.nt, args.config, args.fabric, args.scale, args.rep
+        args.ns, args.nt, args.config, args.fabric, args.scale, args.rep,
+        faults=getattr(args, "faults", None) or "",
     )
     registry = MetricsRegistry()
     tracer = Tracer()
@@ -219,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
         "write it as metrics.json (works with --workers; merge is "
         "deterministic)",
     )
+    p_run.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="seeded fault schedule applied to every cell, e.g. "
+        "'crash@redist+0.002:node=1' or "
+        "'spawnfail:attempt=0;degrade@1:node=0,factor=0.5' "
+        "(see docs/faults.md); adds faults/retries/recovery_time columns",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_obs = sub.add_parser(
@@ -236,6 +245,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--rep", type=int, default=0)
     p_obs.add_argument("--metrics-out", default="metrics.json")
     p_obs.add_argument("--trace-out", default="trace.json")
+    p_obs.add_argument("--faults", default=None, metavar="SPEC",
+                       help="seeded fault schedule for the run")
     p_obs.set_defaults(fn=cmd_observe)
 
     p_rep = sub.add_parser("report", help="render figures from cached results")

@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..cluster.fabrics import fabric_by_name
 from ..cluster.machine import Machine
+from ..faults import FaultInjector, FaultSchedule
 from ..malleability.config import ReconfigConfig
 from ..malleability.rms import ReconfigRequest
 from ..redistribution.plan import RedistributionPlan
@@ -96,6 +97,8 @@ class RunSpec:
     #: redistribution plan flavour: 'block' (paper) or 'minmove' (the §5
     #: future-work movement-minimising extension, ablation benches).
     plan_mode: str = "block"
+    #: canonical fault schedule spec (``repro.faults``); "" = fault-free.
+    faults: str = ""
 
     def __init__(
         self,
@@ -106,6 +109,7 @@ class RunSpec:
         scale: str = "",
         rep: int = 0,
         plan_mode: str = "block",
+        faults: str = "",
         *,
         config_key: Optional[str] = None,
     ):
@@ -118,6 +122,12 @@ class RunSpec:
         object.__setattr__(self, "scale", scale)
         object.__setattr__(self, "rep", rep)
         object.__setattr__(self, "plan_mode", plan_mode)
+        # Validate + canonicalize eagerly: bad specs fail before any cell
+        # runs, and equal schedules serialize identically in the CSV.
+        object.__setattr__(
+            self, "faults",
+            FaultSchedule.parse(faults).canonical() if faults.strip() else "",
+        )
 
     @property
     def config_key(self) -> str:
@@ -162,6 +172,12 @@ class RunResult:
     redist_bytes: float = 0.0
     #: max over nodes of peak demand / cores (>1 means oversubscribed).
     peak_oversubscription: float = 0.0
+    #: canonical fault schedule the cell ran under ("" = fault-free).
+    faults: str = ""
+    #: reconfiguration attempts re-issued by the recovery ladder.
+    retries: int = 0
+    #: first failure -> recovery committed (sim seconds; 0.0 when clean).
+    recovery_time: float = 0.0
 
     def __init__(
         self,
@@ -183,6 +199,9 @@ class RunResult:
         commit_time: float = 0.0,
         redist_bytes: float = 0.0,
         peak_oversubscription: float = 0.0,
+        faults: str = "",
+        retries: int = 0,
+        recovery_time: float = 0.0,
         *,
         config_key: Optional[str] = None,
     ):
@@ -206,6 +225,9 @@ class RunResult:
         object.__setattr__(self, "commit_time", commit_time)
         object.__setattr__(self, "redist_bytes", redist_bytes)
         object.__setattr__(self, "peak_oversubscription", peak_oversubscription)
+        object.__setattr__(self, "faults", faults)
+        object.__setattr__(self, "retries", retries)
+        object.__setattr__(self, "recovery_time", recovery_time)
 
     @property
     def config_key(self) -> str:
@@ -265,6 +287,10 @@ def run_one(
         world, cfg, spec.config, n_initial=spec.ns,
         plan_factory=plan_factory,
     )
+    if spec.faults:
+        FaultInjector(
+            FaultSchedule.parse(spec.faults), machine, world
+        ).attach()
     sim.run()
     if tracer is not None:
         tracer.detach()
@@ -279,6 +305,7 @@ def run_one(
                 "scale": spec.scale,
                 "rep": spec.rep,
                 "plan_mode": spec.plan_mode,
+                "faults": spec.faults,
             }
         )
         probe.finalize(stats)
@@ -309,6 +336,9 @@ def run_one(
         commit_time=bd.commit_seconds,
         redist_bytes=redist_bytes,
         peak_oversubscription=peak_over,
+        faults=spec.faults,
+        retries=rec.retries,
+        recovery_time=rec.recovery_time,
     )
 
 
@@ -320,6 +350,10 @@ def _seed_of(spec: RunSpec) -> int:
     token = (
         f"{spec.ns}:{spec.nt}:{spec.config.key}:{spec.fabric}:{spec.rep}:{spec.plan_mode}"
     )
+    if spec.faults:
+        # Appended only when set so fault-free seeds (and every cached
+        # fault-free CSV) are unchanged.
+        token += f":{spec.faults}"
     return zlib.crc32(token.encode())
 
 
@@ -431,6 +465,9 @@ class ResultSet:
         "commit_time",
         "redist_bytes",
         "peak_oversubscription",
+        "faults",
+        "retries",
+        "recovery_time",
     ]
 
     @staticmethod
@@ -454,6 +491,9 @@ class ResultSet:
             r.commit_time,
             r.redist_bytes,
             r.peak_oversubscription,
+            r.faults,
+            r.retries,
+            r.recovery_time,
         ]
 
     def to_csv(self, path: Union[str, Path, None] = None) -> str:
@@ -499,6 +539,9 @@ class ResultSet:
                     peak_oversubscription=float(
                         row.get("peak_oversubscription", 0.0)
                     ),
+                    faults=row.get("faults", ""),
+                    retries=int(row.get("retries", 0)),
+                    recovery_time=float(row.get("recovery_time", 0.0)),
                 )
             )
         return cls(results)
@@ -510,16 +553,18 @@ def sweep_specs(
     fabrics: Sequence[str],
     scale: str,
     reps: int,
+    faults: str = "",
 ) -> list[RunSpec]:
     """The canonical (fabric, pair, config, rep) enumeration of a sweep.
 
     ``config_keys`` entries may be :class:`ReconfigConfig` objects or key
     strings — :class:`RunSpec` normalizes either.  This order defines the
     row order of the ResultSet/CSV; the parallel executor gathers into it
-    so its output matches the sequential one byte for byte.
+    so its output matches the sequential one byte for byte.  A ``faults``
+    schedule applies uniformly to every cell of the sweep.
     """
     return [
-        RunSpec(ns, nt, key, fabric, scale, rep)
+        RunSpec(ns, nt, key, fabric, scale, rep, faults=faults)
         for fabric in fabrics
         for ns, nt in pairs
         for key in config_keys
@@ -537,6 +582,7 @@ def run_sweep(
     synth_config: Optional[SyntheticConfig] = None,
     workers: Optional[int] = None,
     metrics=None,
+    faults: str = "",
 ) -> ResultSet:
     """Run the full cross product; the master data behind every figure.
 
@@ -557,11 +603,15 @@ def run_sweep(
         Called once per completed cell with ``[done/total]`` plus an
         elapsed-seconds heartbeat.  Under parallel execution cells complete
         out of order; ``done`` counts completions, not grid position.
+    faults:
+        Optional :mod:`repro.faults` schedule spec applied to every cell.
+        Injection is seeded and event-driven, so a faulted sweep remains
+        bit-identical between sequential and parallel executions.
     """
     preset = SCALES[scale]
     reps = repetitions if repetitions is not None else preset.repetitions
     base = synth_config or cg_emulation_config(scale)
-    specs = sweep_specs(pairs, config_keys, fabrics, scale, reps)
+    specs = sweep_specs(pairs, config_keys, fabrics, scale, reps, faults=faults)
     total = len(specs)
     if workers is not None and workers > 1 and total > 1:
         results = _run_parallel(

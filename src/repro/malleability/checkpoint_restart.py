@@ -54,7 +54,11 @@ def _serialize(dataset: Dataset) -> list[FileSegment]:
     """One segment per field covering this rank's whole block."""
     segments = []
     for name, store in dataset.stores.items():
-        nbytes = store.range_nbytes(store.lo, store.hi)
+        # Empty ranks (``n_rows < size`` after a shrink/grow) still write a
+        # zero-byte marker segment so the restarted job sees every writer,
+        # but must not touch the store: a zero-row ``CsrStore`` has no
+        # matrix to size or extract.
+        nbytes = store.range_nbytes(store.lo, store.hi) if store.n_rows else 0
         payload = store.extract(store.lo, store.hi) if store.n_rows else None
         segments.append(
             FileSegment(field_name=name, lo=store.lo, hi=store.hi,

@@ -88,6 +88,28 @@ class ReconfigRecord:
     overlapped_iterations: int = 0
     #: Stage 4 finished (handoff/commit; max over participating ranks).
     commit_finished_at: Optional[float] = None
+    #: --- fault tolerance (repro.faults) -------------------------------
+    #: spawn/redistribution attempts re-issued after a failure.
+    retries: int = 0
+    #: first time a failure interrupted this reconfiguration.
+    first_failure_at: Optional[float] = None
+    #: time the reconfiguration (or its fallback) finally went through.
+    recovered_at: Optional[float] = None
+    #: which rung of the escalation ladder succeeded
+    #: ("retry" | "shrink" | "checkpoint_restart"), None when no failure.
+    recovery_policy: Optional[str] = None
+
+    def mark_first_failure(self, t: float) -> None:
+        """Ranks call this as failures surface; the min is kept."""
+        if self.first_failure_at is None or t < self.first_failure_at:
+            self.first_failure_at = t
+
+    @property
+    def recovery_time(self) -> float:
+        """First failure -> recovery committed; 0.0 for clean records."""
+        if self.first_failure_at is None or self.recovered_at is None:
+            return 0.0
+        return max(0.0, self.recovered_at - self.first_failure_at)
 
     def mark_commit_finished(self, t: float) -> None:
         """Ranks call this as they finish Stage 4; the max is kept."""

@@ -25,6 +25,22 @@ from .blockdist import block_offsets, range_overlaps
 __all__ = ["Transfer", "RedistributionPlan", "movement_minimizing_offsets"]
 
 
+def _frozen_offsets(offsets: np.ndarray) -> np.ndarray:
+    """Int64 *read-only* view of a partition, copied iff still writable.
+
+    Plans are LRU-cached and shared by every rank of every simulated run, so
+    their offset arrays must be immutable *and* detached from caller-owned
+    buffers: aliasing a writable input would let a later in-place edit poison
+    the shared cache.  Cached :func:`block_offsets` results are already
+    frozen and are aliased as-is (no copy on the hot path).
+    """
+    arr = np.asarray(offsets, dtype=np.int64)
+    if arr.flags.writeable:
+        arr = arr.copy()
+        arr.setflags(write=False)
+    return arr
+
+
 @dataclass(frozen=True)
 class Transfer:
     """One chunk: rows ``[lo, hi)`` moving from source ``src`` to target ``dst``."""
@@ -47,8 +63,8 @@ class RedistributionPlan:
     """
 
     def __init__(self, src_offsets: np.ndarray, dst_offsets: np.ndarray):
-        src_offsets = np.asarray(src_offsets, dtype=np.int64)
-        dst_offsets = np.asarray(dst_offsets, dtype=np.int64)
+        src_offsets = _frozen_offsets(src_offsets)
+        dst_offsets = _frozen_offsets(dst_offsets)
         for name, off in (("source", src_offsets), ("target", dst_offsets)):
             if off[0] != 0:
                 raise ValueError(f"{name} offsets must start at 0")

@@ -108,6 +108,11 @@ class RedistributionSession:
     def _mark_started(self) -> None:
         if self._t_started is None:
             self._t_started = self.ctx.now
+            # Cooperative fault hook: 'redist'-anchored fault events fire
+            # relative to the first session that starts moving data.
+            fi = getattr(self.ctx.world, "fault_injector", None)
+            if fi is not None:
+                fi.notify_redist_started(self.ctx.now)
 
     def _mark_finished(self) -> None:
         if self._t_started is not None:

@@ -174,6 +174,11 @@ class CsrStore(BlockStore):
 
     def range_nbytes(self, lo: int, hi: int) -> int:
         self._check_range(lo, hi)
+        if self.n_rows == 0:
+            # A zero-row block (e.g. after an extreme shrink/grow where
+            # ``n_rows < size``) never assembles a matrix — there is
+            # nothing to send, not even a row-pointer slice.
+            return 0
         cache = self._wire_cache
         if cache is None:
             m = self.matrix

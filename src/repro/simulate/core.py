@@ -20,7 +20,13 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from .errors import DeadlockError, InvalidYield, ProcessKilled, SimulationError
+from .errors import (
+    DeadlockError,
+    InvalidYield,
+    ProcessKilled,
+    SimTimeLimitExceeded,
+    SimulationError,
+)
 from .events import SimEvent
 
 __all__ = ["Command", "Simulator", "SimProcess"]
@@ -97,7 +103,13 @@ class SimProcess:
         return self.state == self._ALIVE
 
     def kill(self, reason: str = "killed") -> None:
-        """Throw :class:`ProcessKilled` into the process at the current time."""
+        """Throw :class:`ProcessKilled` into the process at the current time.
+
+        The kill is *scheduled*: it takes effect when the event loop next
+        runs, like a signal.  Use :meth:`Simulator.kill_now` when the caller
+        needs the process torn down synchronously (e.g. a fault injector that
+        must observe the death before notifying survivors).
+        """
         if self.state != self._ALIVE:
             return
         self.sim.throw_in(self, ProcessKilled(reason))
@@ -201,6 +213,21 @@ class Simulator:
         self._cancel_pending(proc)
         self.schedule(0.0, lambda: self._step(proc, None, exc))
 
+    def kill_now(self, proc: SimProcess, reason: str = "killed") -> None:
+        """Kill ``proc`` *synchronously* (its ``finally`` cleanup runs before
+        this call returns).
+
+        Unlike :meth:`SimProcess.kill` — which schedules the
+        :class:`ProcessKilled` throw like a signal — this is for callers that
+        must observe the death immediately, e.g. a fault injector crashing a
+        node: the processes on it must be gone *before* survivors are told,
+        so the failure notification never races a half-dead generator.
+        """
+        if not proc.alive:
+            return
+        self._cancel_pending(proc)
+        self._step(proc, None, ProcessKilled(reason))
+
     @staticmethod
     def _cancel_pending(proc: SimProcess) -> None:
         if proc._pending_item is not None:
@@ -243,14 +270,28 @@ class Simulator:
             self.throw_in(proc, err)
 
     # -------------------------------------------------------------------- run
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: Optional[float] = None, strict_until: bool = False) -> float:
         """Drain the event heap.
 
         Returns the final simulation time.  Raises :class:`DeadlockError`
         when processes remain blocked with nothing scheduled, and re-raises
         the first process failure (with the others noted) to fail loudly
         rather than silently producing partial results.
+
+        With ``until`` set, the run stops once the next live event lies past
+        the limit.  By default that stop is *lenient* — the clock is clamped
+        to ``until`` and the remaining work stays queued for a later
+        ``run()`` call.  With ``strict_until=True`` the documented
+        :class:`SimTimeLimitExceeded` contract applies instead: hitting the
+        limit with events still queued or processes still blocked raises,
+        so a hung scenario cannot masquerade as a bounded run.
+
+        Cancelled heap entries (stale wakeups) never count as pending work:
+        a heap holding only cancelled items past ``until`` drains through to
+        the normal end-of-run deadlock check rather than silently returning.
         """
+        if strict_until and until is None:
+            raise ValueError("strict_until=True requires an explicit until")
         # The drain loop runs hundreds of thousands of iterations per
         # simulated job; bind the hot lookups to locals (heap list, heappop,
         # failures list — both lists are only ever mutated in place).
@@ -263,7 +304,20 @@ class Simulator:
                     self._raise_failures()
                 t = heap[0][0]
                 if until is not None and t > until:
+                    # Stale (cancelled) wakeups are not pending work: drop
+                    # them so a heap holding nothing else falls through to
+                    # the deadlock check below instead of returning early.
+                    if heap[0][2].cancelled:
+                        heappop(heap)
+                        continue
                     self.now = until
+                    if strict_until:
+                        pending = sum(
+                            1 for _, _, it in heap if not it.cancelled
+                        )
+                        raise SimTimeLimitExceeded(
+                            until, pending, self._blocked_report()
+                        )
                     return self.now
                 item = heappop(heap)[2]
                 if item.cancelled:
@@ -282,14 +336,17 @@ class Simulator:
             if any(hook() for hook in list(self.idle_hooks)):
                 continue
             break
-        blocked = [
+        blocked = self._blocked_report()
+        if blocked:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def _blocked_report(self) -> list[str]:
+        return [
             f"{p.name} (waiting on {p.blocked_on})"
             for p in self._processes
             if p.alive and p.blocked_on is not None
         ]
-        if blocked:
-            raise DeadlockError(blocked)
-        return self.now
 
     def _raise_failures(self) -> None:
         proc, err = self._failures[0]

@@ -27,7 +27,31 @@ class ProcessKilled(SimulationError):
 
 class SimTimeLimitExceeded(SimulationError):
     """Raised by :meth:`Simulator.run` when ``until`` elapses with work left
-    and ``strict_until=True`` was requested."""
+    and ``strict_until=True`` was requested.
+
+    ``pending_events`` counts the live (non-cancelled) heap entries beyond
+    ``until``; ``blocked`` lists processes still waiting, in the same format
+    as :class:`DeadlockError`.
+    """
+
+    def __init__(
+        self,
+        until: float,
+        pending_events: int = 0,
+        blocked: list[str] | None = None,
+    ):
+        self.until = until
+        self.pending_events = pending_events
+        self.blocked = list(blocked or [])
+        parts = [f"simulation hit the time limit until={until!r}"]
+        if pending_events:
+            parts.append(f"{pending_events} event(s) still queued")
+        if self.blocked:
+            parts.append(
+                f"{len(self.blocked)} blocked process(es): "
+                + ", ".join(self.blocked)
+            )
+        super().__init__("; ".join(parts))
 
 
 class InvalidYield(SimulationError):

@@ -132,6 +132,18 @@ class AllOf(Command):
         remaining = sum(1 for ev in self.events if ev.pending)
         failed = False
 
+        # Deterministic: an event that already failed surfaces its stored
+        # exception immediately (first by list order), even when nothing is
+        # pending anymore — otherwise an all-settled wait would silently
+        # yield the failed events' ``None`` values.
+        for ev in self.events:
+            if not ev.pending and ev.failed:
+                try:
+                    ev.value
+                except BaseException as exc:  # noqa: BLE001
+                    sim.throw_in(proc, exc)
+                return
+
         if remaining == 0:
             self._finish(sim, proc)
             return

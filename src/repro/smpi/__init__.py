@@ -22,6 +22,7 @@ from .communicator import Communicator
 from .context import AsyncOpHandle, RankCtx, ThreadHandle
 from .datatypes import ANY_SOURCE, ANY_TAG, Blob, copy_payload, payload_nbytes
 from .endpoint import Endpoint, Message
+from .errors import CommFailedError, SpawnFailedError
 from .requests import MultiRequest, RecvRequest, Request, SendRequest
 from .rma import ArrayExposure, Window
 from .spawn import SpawnModel
@@ -46,6 +47,8 @@ __all__ = [
     "SpawnModel",
     "Endpoint",
     "Message",
+    "CommFailedError",
+    "SpawnFailedError",
     "ANY_SOURCE",
     "ANY_TAG",
     "Blob",

@@ -26,6 +26,7 @@ from . import collectives as _coll
 from .communicator import Communicator
 from .datatypes import ANY_SOURCE, ANY_TAG, copy_payload, payload_nbytes
 from .endpoint import Endpoint, Message
+from .errors import CommFailedError
 from .requests import RecvRequest, Request, SendRequest
 
 __all__ = ["RankCtx", "ThreadHandle"]
@@ -46,6 +47,10 @@ class AsyncOpHandle:
     @property
     def completed(self) -> bool:
         return self.event.triggered
+
+    @property
+    def failed(self) -> bool:
+        return self.event.failed
 
     @property
     def result(self) -> Any:
@@ -188,6 +193,22 @@ class RankCtx:
             self._ep.post_recv(req)
         finally:
             self._ep.exit_progress()
+        # A receive naming a dead source that found nothing already arrived
+        # can never match: complete it in error now (after post_recv, so a
+        # buffered eager payload from the late peer still wins the race).
+        if (
+            req.done.pending
+            and source != ANY_SOURCE
+            and comm.peer_gid(source) in self.world.dead_gids
+        ):
+            if req in self._ep.posted:
+                self._ep.posted.remove(req)
+            req._fail(
+                CommFailedError(
+                    f"receive from dead rank {source} of {comm.name}",
+                    dead_gids=[comm.peer_gid(source)],
+                )
+            )
         return req
         yield  # pragma: no cover - keeps this a generator for API symmetry
 
@@ -284,13 +305,22 @@ class RankCtx:
             self._ep.exit_progress()
 
     def test(self, req: Request):
-        """Non-blocking completion check of one request."""
+        """Non-blocking completion check of one request.
+
+        A request that completed *in error* (peer died) raises
+        :class:`~repro.smpi.errors.CommFailedError` — the non-blocking
+        strategies (A/T checkpoints) learn about failures here."""
         yield from self.progress_tick()
+        if req.failed:
+            raise req.error
         return req.completed
 
     def testall(self, reqs: Sequence[Request]):
         """Non-blocking completion check of all requests (``MPI_Testall``)."""
         yield from self.progress_tick()
+        for r in reqs:
+            if r.failed:
+                raise r.error
         return all(r.completed for r in reqs)
 
     # ------------------------------------------------------------ collectives
@@ -390,7 +420,7 @@ class RankCtx:
         returned event fires with the parent-side inter-communicator."""
         slots = list(slots)
         key = self._op_key("spawn", comm)
-        op = self.world.pending_op(key, expected=comm.size)
+        op = self.world.pending_op(key, expected=comm.size, participants=comm.group)
         if op.arrive():
             cost = self.world.spawn_model.cost(
                 len(slots), self.world.nodes_of_slots(slots)
@@ -398,6 +428,13 @@ class RankCtx:
             world = self.world
 
             def fire() -> None:
+                if not op.event.pending:
+                    return  # op aborted (a participant died) while launching
+                err = world.spawn_failure(slots)
+                if err is not None:
+                    world.finish_op(key)
+                    op.event.fail(err)
+                    return
                 inter_ctx_id = next(world._ctx_ids)
                 res = world.launch(
                     func,
@@ -464,7 +501,11 @@ class RankCtx:
         self._op_seq[("merge", inter.ctx_id)] = seq + 1
         key = f"merge:{inter.ctx_id}:{seq}"
         expected = inter.size + inter.remote_size
-        op = self.world.pending_op(key, expected=expected)
+        op = self.world.pending_op(
+            key,
+            expected=expected,
+            participants=tuple(inter.group) + tuple(inter.remote_group),
+        )
         meta = op.result if op.result is not None else {
             "groups": (tuple(inter.group), tuple(inter.remote_group)),
             "high": {},
@@ -487,6 +528,8 @@ class RankCtx:
             world = self.world
 
             def fire() -> None:
+                if not op.event.pending:
+                    return  # op aborted (a participant died) while merging
                 ctx_id = next(world._ctx_ids)
                 merged = Communicator(
                     ctx_id,
@@ -537,12 +580,14 @@ class RankCtx:
         if not ranks:
             raise ValueError("comm_create needs a non-empty rank list")
         key = self._op_key("create", comm)
-        op = self.world.pending_op(key, expected=comm.size)
+        op = self.world.pending_op(key, expected=comm.size, participants=comm.group)
         if op.arrive():
             gids = tuple(comm.group[r] for r in ranks)
             world = self.world
 
             def fire() -> None:
+                if not op.event.pending:
+                    return  # op aborted (a participant died)
                 ctx_id = next(world._ctx_ids)
                 sub = Communicator(ctx_id, gids, name=f"sub{ctx_id}")
                 world.finish_op(key)
@@ -569,7 +614,11 @@ class RankCtx:
         comm = self._comm(comm)
         key = self._op_key("win", comm)
         expected = comm.size + (comm.remote_size if comm.is_inter else 0)
-        op = self.world.pending_op(key, expected=expected)
+        op = self.world.pending_op(
+            key,
+            expected=expected,
+            participants=tuple(comm.group) + tuple(comm.remote_group or ()),
+        )
         meta = op.result if op.result is not None else {"exposures": {}}
         op.result = meta
         meta["exposures"][self.gid] = exposure
@@ -578,6 +627,8 @@ class RankCtx:
             exposures = meta["exposures"]
 
             def fire() -> None:
+                if not op.event.pending:
+                    return  # op aborted (a participant died)
                 win = Window(world, comm, exposures)
                 world.finish_op(key)
                 op.event.trigger(win)
@@ -592,6 +643,18 @@ class RankCtx:
         target-side MPI call.  Returns the completion event (tracked by the
         window for fences)."""
         dst_gid = win.comm.peer_gid(target_rank)
+        world = self.world
+        done = self.sim.event(name=f"put@{win.win_id}->{target_rank}")
+        if dst_gid in world.dead_gids:
+            # One-sided op against a dead target: complete in error without
+            # touching the wire (the origin discovers it at its next wait).
+            done.fail(
+                CommFailedError(
+                    f"win_put to dead rank {target_rank}", dead_gids=[dst_gid]
+                )
+            )
+            win._track(done)
+            return done
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         spec = self.world.channel_spec(self.gid, dst_gid)
         if spec.cpu_overhead > 0:
@@ -605,12 +668,21 @@ class RankCtx:
         flow_done = self.machine.transfer(
             src_node, dst_node, size, label=f"rma-put:{label or size}"
         )
-        done = self.sim.event(name=f"put@{win.win_id}->{target_rank}")
         snapshot = copy_payload(payload)
         exposure = win.exposures.get(dst_gid)
 
         def land(_ev) -> None:
             def apply() -> None:
+                if not done.pending:
+                    return
+                if dst_gid in world.dead_gids:
+                    done.fail(
+                        CommFailedError(
+                            f"win_put target rank {target_rank} died in flight",
+                            dead_gids=[dst_gid],
+                        )
+                    )
+                    return
                 if exposure is not None:
                     exposure.apply_put(snapshot)
                 win._notify_put(dst_gid)
@@ -659,13 +731,19 @@ class RankCtx:
         comm = win.comm
         key = self._op_key("fence", comm)
         expected = comm.size + (comm.remote_size if comm.is_inter else 0)
-        op = self.world.pending_op(key, expected=expected)
+        op = self.world.pending_op(
+            key,
+            expected=expected,
+            participants=tuple(comm.group) + tuple(comm.remote_group or ()),
+        )
         if op.arrive():
             world = self.world
             pending = win.pending_ops()
             ev = op.event
 
             def finish() -> None:
+                if not ev.pending:
+                    return  # fence aborted (a participant died)
                 win.drain_completed()
                 world.finish_op(key)
                 ev.trigger(None)
@@ -713,6 +791,7 @@ class RankCtx:
             name=name or f"thread.g{self.gid}",
         )
         proc.context["node"] = self.node
+        proc.context["rank_gid"] = self.gid
         tctx.proc = proc
         return ThreadHandle(proc)
 

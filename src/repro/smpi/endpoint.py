@@ -25,6 +25,7 @@ import itertools
 from typing import TYPE_CHECKING, Any, Optional
 
 from .datatypes import ANY_SOURCE
+from .errors import CommFailedError
 from .requests import RecvRequest, SendRequest
 from .status import Status
 
@@ -187,12 +188,18 @@ class Endpoint:
     def deliver_eager(self, msg: Message) -> None:
         """Full payload of an eager message arrived (physically)."""
         if self.closed:
+            if msg.src_gid in self.world.dead_gids or msg.ctx_id in self.world.aborted_ctxs:
+                self.world.retire_msg(msg)
+                return  # straggler from an aborted session / dead sender
             raise RuntimeError(f"gid {self.gid}: eager message after finalize: {msg!r}")
         self._arrive("eager", msg)
 
     def rts_arrived(self, msg: Message) -> None:
         """A rendezvous announcement arrived (physically)."""
         if self.closed:
+            if msg.src_gid in self.world.dead_gids or msg.ctx_id in self.world.aborted_ctxs:
+                self.world.retire_msg(msg)
+                return  # straggler from an aborted session / dead sender
             raise RuntimeError(f"gid {self.gid}: RTS after finalize: {msg!r}")
         self._arrive("rts", msg)
 
@@ -212,6 +219,13 @@ class Endpoint:
         self._next_seq[msg.src_gid] = nxt
 
     def _dispatch(self, kind: str, msg: Message) -> None:
+        if msg.ctx_id in self.world.aborted_ctxs:
+            # Straggler from an abandoned session: drop it *here*, after
+            # the FIFO gate accounted its sequence number — removing it any
+            # earlier would wedge the shared (src, dst) channel for every
+            # other communicator.
+            self.world.retire_msg(msg)
+            return
         if kind == "eager":
             req = self._find_posted(msg)
             if req is not None:
@@ -240,23 +254,143 @@ class Endpoint:
         self._complete_recv(msg, msg.recv_req)
 
     def _complete_recv(self, msg: Message, req: RecvRequest) -> None:
+        self.world.retire_msg(msg)
         req._complete(
             data=msg.payload,
             status=Status(source=msg.src_rank, tag=msg.tag, nbytes=msg.nbytes),
         )
 
+    # -------------------------------------------------------------- failures
+    def on_peer_dead(self, dead: set, reason: str) -> None:
+        """React to peer rank deaths (called by the world, survivors only).
+
+        Receives that can provably never match complete in error; handshakes
+        and announcements involving a dead rank are dropped.  Eager payloads
+        that already physically arrived (``unexpected``) are kept — their
+        data was committed before the sender died and a later matching
+        receive may still consume it.
+        """
+        if self.closed:
+            return
+        world = self.world
+        # Unclaimed rendezvous announcements from dead senders vanish.
+        for msg in [m for m in self.pending_rts if m.src_gid in dead]:
+            self.pending_rts.remove(msg)
+            world.retire_msg(msg)
+        # Payloads we were about to stream to dead receivers fail the send.
+        for msg in [m for m in self.pending_cts if m.dst_gid in dead]:
+            self.pending_cts.remove(msg)
+            world.retire_msg(msg)
+            msg.send_req._fail(
+                CommFailedError(
+                    f"{reason}: receiver rank gid={msg.dst_gid} died",
+                    dead_gids=[msg.dst_gid],
+                )
+            )
+        # Held out-of-order arrivals from dead senders are dropped (their
+        # channel can never fill the gap).
+        for src in [s for s in self._reorder if s in dead]:
+            for _kind, msg in self._reorder.pop(src).values():
+                world.retire_msg(msg)
+        # Posted receives that can never match fail.  A receive naming a dead
+        # source survives only if a matching eager message already landed in
+        # the unexpected queue (checked by the caller's next post, not here —
+        # posted means it did NOT match anything yet, so a dead source is
+        # conclusive for already-arrived traffic; traffic still in flight
+        # from the dead sender races the abort and is dropped at dispatch).
+        keep: list[RecvRequest] = []
+        for req in self.posted:
+            if req.source == ANY_SOURCE:
+                peers = (
+                    req.comm.remote_group if req.comm.is_inter else req.comm.group
+                )
+                dead_peers = sorted(g for g in peers if g in dead)
+                if dead_peers and len(dead_peers) == len(peers):
+                    req._fail(
+                        CommFailedError(
+                            f"{reason}: every possible sender died",
+                            dead_gids=dead_peers,
+                        )
+                    )
+                    continue
+            else:
+                gid = req.comm.peer_gid(req.source)
+                if gid in dead and self._find_arrived(req, self.unexpected) is None:
+                    req._fail(
+                        CommFailedError(
+                            f"{reason}: sender rank gid={gid} died",
+                            dead_gids=[gid],
+                        )
+                    )
+                    continue
+            keep.append(req)
+        self.posted = keep
+
+    def on_comm_aborted(self, ctx_id: int, reason: str) -> None:
+        """React to a communicator being abandoned mid-session.
+
+        Every operation pinned to the aborted context completes *in error*
+        so a member blocked inside one of its collectives falls out into
+        the caller's recovery path instead of waiting forever for a peer
+        that already left the session."""
+        if self.closed:
+            return
+        world = self.world
+        err_of = lambda: CommFailedError(reason)  # noqa: E731 - fresh per req
+        for msg in [m for m in self.pending_rts if m.ctx_id == ctx_id]:
+            self.pending_rts.remove(msg)
+            world.retire_msg(msg)
+            msg.send_req._fail(err_of())
+        for msg in [m for m in self.pending_cts if m.ctx_id == ctx_id]:
+            self.pending_cts.remove(msg)
+            world.retire_msg(msg)
+            msg.send_req._fail(err_of())
+        # Held out-of-order arrivals stay: their sequence numbers must still
+        # flow through the FIFO gate (``_dispatch`` drops them afterwards).
+        keep: list[RecvRequest] = []
+        for req in self.posted:
+            if req.comm.ctx_id == ctx_id:
+                req._fail(err_of())
+            else:
+                keep.append(req)
+        self.posted = keep
+
     # ---------------------------------------------------------------- close
     def close(self) -> None:
-        """Finalize: no further traffic may target this endpoint."""
+        """Finalize: no further traffic may target this endpoint.
+
+        Leftover traffic is an error — **unless** the world saw rank deaths
+        and the leftovers are attributable to the failure: messages from dead
+        senders, failed receives, or traffic on a communicator a recovery
+        policy explicitly abandoned (:meth:`MpiWorld.abort_comm`)."""
         self.closed = True
-        held = any(self._reorder.values())
-        leftovers = self.posted or self.unexpected or self.pending_rts or held
-        if leftovers:
+        dead = self.world.dead_gids
+        aborted = self.world.aborted_ctxs
+
+        def excusable_msg(m: Message) -> bool:
+            return m.src_gid in dead or m.ctx_id in aborted
+
+        def excusable_req(r: RecvRequest) -> bool:
+            if r.failed or r.comm.ctx_id in aborted:
+                return True
+            groups = set(r.comm.group) | set(r.comm.remote_group or ())
+            return bool(groups & dead)
+
+        posted = [r for r in self.posted if not excusable_req(r)]
+        unexpected = [m for m in self.unexpected if not excusable_msg(m)]
+        rts = [m for m in self.pending_rts if not excusable_msg(m)]
+        held = [
+            m
+            for chan in self._reorder.values()
+            for (_k, m) in chan.values()
+            if not excusable_msg(m)
+        ]
+        if posted or unexpected or rts or held:
             raise RuntimeError(
                 f"gid {self.gid} finalized with pending traffic: "
-                f"{len(self.posted)} posted recvs, "
-                f"{len(self.unexpected)} unexpected msgs, "
-                f"{len(self.pending_rts)} unclaimed RTS"
+                f"{len(posted)} posted recvs, "
+                f"{len(unexpected)} unexpected msgs, "
+                f"{len(rts)} unclaimed RTS"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,37 @@
+"""Failure-propagation exceptions for the simulated MPI layer.
+
+These mirror the user-visible behaviour of ULFM-style fault-tolerant MPI:
+when a peer dies, outstanding communication with it completes *in error*
+instead of hanging.  The kernel surfaces the error from ``wait``/``waitall``/
+``waitany``/``test`` so higher layers (redistribution sessions, the
+malleability manager) can abort cleanly and run a recovery policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..simulate.errors import SimulationError
+
+
+class CommFailedError(SimulationError):
+    """An MPI operation could not complete because a peer rank died.
+
+    ``dead_gids`` lists the global ids of the dead ranks implicated in this
+    particular failure (not necessarily every dead rank in the world).
+    """
+
+    def __init__(self, message: str, dead_gids: Optional[Iterable[int]] = None):
+        self.dead_gids = sorted(set(dead_gids or ()))
+        if self.dead_gids:
+            message = f"{message} (dead ranks: {self.dead_gids})"
+        super().__init__(message)
+
+
+class SpawnFailedError(CommFailedError):
+    """``comm_spawn`` could not launch the requested ranks.
+
+    Raised through the spawn op's event when the RMS-selected slots land on a
+    failed node, or when the fault schedule injects an explicit spawn failure
+    for this attempt.
+    """

@@ -31,18 +31,34 @@ class Request:
         self.data: Any = None
         #: envelope of a completed receive.
         self.status: Optional[Status] = None
+        #: the exception that failed this request, if any.
+        self.error: Optional[BaseException] = None
 
     @property
     def completed(self) -> bool:
         return self.done.triggered
 
+    @property
+    def failed(self) -> bool:
+        return self.done.failed
+
     def _complete(self, data: Any = None, status: Optional[Status] = None) -> None:
+        if not self.done.pending:  # already failed (peer death raced us)
+            return
         self.data = data
         self.status = status
         self.done.trigger(self)
 
+    def _fail(self, exc: BaseException) -> None:
+        """Complete this request *in error* (peer died).  Idempotent: a
+        request that already completed or failed is left untouched."""
+        if not self.done.pending:
+            return
+        self.error = exc
+        self.done.fail(exc)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "done" if self.completed else "pending"
+        state = "failed" if self.failed else ("done" if self.completed else "pending")
         return f"<{type(self).__name__} #{self.req_id} {state}>"
 
 
@@ -87,13 +103,28 @@ class MultiRequest(Request):
     def __init__(self, sim: Simulator, children: Iterable[Request]):
         super().__init__(sim, "multi")
         self.children = list(children)
+        failed = next((c for c in self.children if c.failed), None)
+        if failed is not None:
+            self._fail(failed.error or RuntimeError("child request failed"))
+            return
         remaining = sum(1 for c in self.children if not c.completed)
         if remaining == 0:
             self._complete(None)
             return
         state = {"n": remaining}
 
-        def on_child(_ev):
+        def on_child(ev):
+            if ev.failed:
+                # Propagate the first child failure; later completions are
+                # absorbed by the pending-guards in _complete/_fail.
+                exc: BaseException
+                try:
+                    ev.value
+                    exc = RuntimeError("child request failed")
+                except BaseException as child_exc:  # noqa: BLE001 - re-raised via fail
+                    exc = child_exc
+                self._fail(exc)
+                return
             state["n"] -= 1
             if state["n"] == 0:
                 self._complete(None)

@@ -21,6 +21,7 @@ from ..simulate.core import SimProcess, Simulator
 from ..simulate.events import SimEvent
 from .communicator import Communicator
 from .endpoint import Endpoint, Message
+from .errors import CommFailedError, SpawnFailedError
 from .spawn import SpawnModel
 
 __all__ = ["MpiWorld", "LaunchResult", "run_spmd"]
@@ -44,6 +45,9 @@ class _PendingOp:
         self.arrived = 0
         self.event: SimEvent = sim.event(name=name)
         self.result: Any = None
+        #: gids expected to arrive — lets :meth:`MpiWorld.mark_ranks_dead`
+        #: fail the op when a participant dies before reaching it.
+        self.participants: set[int] = set()
 
     def arrive(self) -> bool:
         """Returns True for the last arrival (who performs the op)."""
@@ -78,6 +82,24 @@ class MpiWorld:
         #: :class:`repro.obs.MetricsProbe` while attached; ``None`` means
         #: every instrumented layer pays one pointer comparison and no more.
         self.metrics = None
+        #: gids of ranks known dead (node crash, kill, terminate_ranks).
+        self.dead_gids: set[int] = set()
+        #: every message injected and not yet delivered/retired, keyed by
+        #: msg_id; scanned by :meth:`mark_ranks_dead` to fail in-flight
+        #: traffic touching a dead rank.
+        self._inflight: dict[int, Message] = {}
+        #: attempt indices (0-based, in ``comm_spawn`` issue order) whose
+        #: launch the fault schedule forces to fail.
+        self.fail_spawns: set[int] = set()
+        self._spawn_attempts: int = 0
+        #: cooperative fault-injection hook: a
+        #: :class:`repro.faults.FaultInjector` while attached, else ``None``.
+        #: Layers with fault-relevant milestones (e.g. the redistribution
+        #: session start) notify through it at pointer-comparison cost.
+        self.fault_injector = None
+        #: ctx_ids of communicators abandoned by a recovery policy; their
+        #: leftover traffic is excused at endpoint close.
+        self.aborted_ctxs: set[int] = set()
 
     # ------------------------------------------------------------------ launch
     def launch(
@@ -124,9 +146,24 @@ class MpiWorld:
             gen = func(ctx, *args)
             proc = self.sim.spawn(gen, name=f"{name_prefix}{rank}.g{gids[rank]}")
             proc.context["node"] = ctx.node
+            proc.context["rank_gid"] = gids[rank]
             ctx.proc = proc
             procs.append(proc)
+            self._watch_rank(proc, gids[rank])
         return LaunchResult(comm=comm, procs=procs, contexts=contexts)
+
+    def _watch_rank(self, proc: SimProcess, gid: int) -> None:
+        """Propagate an external kill of a rank's main process into the
+        failure layer: peers see :class:`CommFailedError` instead of
+        deadlocking on traffic that can never complete.  Normal completion
+        (``done``/``failed``) is *not* a communication failure — finalize
+        semantics already cover it."""
+
+        def on_done(_ev):
+            if proc.state == SimProcess._KILLED:
+                self.mark_ranks_dead([gid], reason=f"rank gid={gid} was killed")
+
+        proc.done_event.add_callback(on_done)
 
     # --------------------------------------------------------------- transport
     def next_chan_seq(self, src_gid: int, dst_gid: int) -> int:
@@ -145,6 +182,13 @@ class MpiWorld:
 
     def inject(self, msg: Message, label: str = "") -> None:
         """Start a message: choose eager vs rendezvous and kick it off."""
+        if msg.dst_gid in self.dead_gids:
+            msg.send_req._fail(
+                CommFailedError(
+                    f"send to dead rank gid={msg.dst_gid}", dead_gids=[msg.dst_gid]
+                )
+            )
+            return
         src_ep = self.endpoints[msg.src_gid]
         dst_ep = self.endpoints[msg.dst_gid]
         spec = self.channel_spec(msg.src_gid, msg.dst_gid)
@@ -156,6 +200,7 @@ class MpiWorld:
             m.counter("smpi.messages", comm=msg.ctx_id, protocol=proto).inc()
             m.counter("smpi.bytes", comm=msg.ctx_id, protocol=proto).inc(msg.nbytes)
             m.histogram("smpi.message_nbytes").observe(msg.nbytes)
+        self._inflight[msg.msg_id] = msg
         if msg.nbytes <= spec.eager_threshold:
             msg.protocol = "eager"
             # Buffered semantics: local completion at injection.
@@ -163,15 +208,36 @@ class MpiWorld:
             ev = self.machine.transfer(
                 src_ep.node, dst_ep.node, msg.nbytes, label=f"eager:{msg.msg_id}"
             )
-            ev.add_callback(
-                lambda _ev: self._after_copy(msg, spec, lambda: dst_ep.deliver_eager(msg))
-            )
+            ev.add_callback(lambda _ev: self._eager_arrived(msg, spec))
         else:
             msg.protocol = "rndv"
             ev = self.machine.transfer(
                 src_ep.node, dst_ep.node, 0, label=f"rts:{msg.msg_id}"
             )
-            ev.add_callback(lambda _ev: dst_ep.rts_arrived(msg))
+            ev.add_callback(lambda _ev: self._rts_arrived(msg))
+
+    def _eager_arrived(self, msg: Message, spec: FabricSpec) -> None:
+        if msg.msg_id not in self._inflight:
+            return  # retired while in flight (peer died)
+        if msg.dst_gid in self.dead_gids:
+            self._inflight.pop(msg.msg_id, None)
+            return  # receiver died; buffered data evaporates with it
+        dst_ep = self.endpoints[msg.dst_gid]
+        self._after_copy(msg, spec, lambda: dst_ep.deliver_eager(msg))
+
+    def _rts_arrived(self, msg: Message) -> None:
+        if msg.msg_id not in self._inflight:
+            return  # retired while in flight (peer died)
+        if msg.dst_gid in self.dead_gids:
+            self._inflight.pop(msg.msg_id, None)
+            msg.send_req._fail(
+                CommFailedError(
+                    f"receiver rank gid={msg.dst_gid} died before rendezvous",
+                    dead_gids=[msg.dst_gid],
+                )
+            )
+            return
+        self.endpoints[msg.dst_gid].rts_arrived(msg)
 
     def _after_copy(self, msg: Message, spec: FabricSpec, deliver) -> None:
         """Charge the receiver's CPU for the payload touch-copy, then
@@ -191,7 +257,24 @@ class MpiWorld:
         ev = self.machine.transfer(
             dst_ep.node, src_ep.node, 0, label=f"cts:{msg.msg_id}"
         )
-        ev.add_callback(lambda _ev: src_ep.cts_arrived(msg))
+        ev.add_callback(lambda _ev: self._cts_arrived(msg))
+
+    def _cts_arrived(self, msg: Message) -> None:
+        if msg.msg_id not in self._inflight:
+            return  # retired while in flight (peer died)
+        if msg.src_gid in self.dead_gids:
+            # The sender died before it could stream; the claimed receive can
+            # never complete.
+            self._inflight.pop(msg.msg_id, None)
+            if msg.recv_req is not None:
+                msg.recv_req._fail(
+                    CommFailedError(
+                        f"sender rank gid={msg.src_gid} died before payload",
+                        dead_gids=[msg.src_gid],
+                    )
+                )
+            return
+        self.endpoints[msg.src_gid].cts_arrived(msg)
 
     def _start_payload(self, msg: Message) -> None:
         src_ep = self.endpoints[msg.src_gid]
@@ -200,13 +283,35 @@ class MpiWorld:
         ev = self.machine.transfer(
             src_ep.node, dst_ep.node, msg.nbytes, label=f"data:{msg.msg_id}"
         )
-        ev.add_callback(
-            lambda _ev: self._after_copy(msg, spec, lambda: dst_ep.payload_arrived(msg))
-        )
+        ev.add_callback(lambda _ev: self._payload_arrived(msg, spec))
+
+    def _payload_arrived(self, msg: Message, spec: FabricSpec) -> None:
+        if msg.msg_id not in self._inflight:
+            return  # retired while in flight (peer died)
+        if msg.dst_gid in self.dead_gids:
+            self._inflight.pop(msg.msg_id, None)
+            msg.send_req._fail(
+                CommFailedError(
+                    f"receiver rank gid={msg.dst_gid} died mid-payload",
+                    dead_gids=[msg.dst_gid],
+                )
+            )
+            return
+        # A sender dying *after* the payload fully streamed still counts as a
+        # committed delivery — the bytes are on the wire and in the buffer.
+        dst_ep = self.endpoints[msg.dst_gid]
+        self._after_copy(msg, spec, lambda: dst_ep.payload_arrived(msg))
 
     # ------------------------------------------------------------- world ops
-    def pending_op(self, key: str, expected: int) -> _PendingOp:
-        """Fetch-or-create the rendezvous record of a world-level collective."""
+    def pending_op(
+        self, key: str, expected: int, participants: Optional[Iterable[int]] = None
+    ) -> _PendingOp:
+        """Fetch-or-create the rendezvous record of a world-level collective.
+
+        ``participants`` (gids) lets the failure layer abort the op when a
+        participant dies before arriving, instead of the survivors waiting
+        forever at the rendezvous.
+        """
         op = self._ops.get(key)
         if op is None:
             op = _PendingOp(self.sim, expected, name=key)
@@ -215,6 +320,8 @@ class MpiWorld:
             raise RuntimeError(
                 f"collective mismatch on {key}: {op.expected} vs {expected} participants"
             )
+        if participants is not None:
+            op.participants.update(participants)
         return op
 
     def finish_op(self, key: str) -> None:
@@ -245,6 +352,151 @@ class MpiWorld:
         else:
             gids = list(inter.remote_group) + list(inter.group)
         return Communicator(ctx_id, gids, name=f"merge{ctx_id}")
+
+    # ---------------------------------------------------------- failure layer
+    def mark_rank_dead(self, gid: int, reason: str = "rank died") -> None:
+        self.mark_ranks_dead([gid], reason=reason)
+
+    def mark_ranks_dead(self, gids: Iterable[int], reason: str = "rank died") -> None:
+        """Record rank deaths and propagate them to every survivor.
+
+        Outstanding traffic and rendezvous touching a dead rank completes *in
+        error* (``CommFailedError``) so blocked peers are woken rather than
+        deadlocked:
+
+        * in-flight messages **to** a dead rank fail their send request;
+        * claimed rendezvous **from** a dead rank fail the matched receive;
+        * eager payloads already committed at injection still deliver
+          (buffered semantics — the data left the sender before it died);
+        * survivor endpoints fail posted receives that can never match and
+          drop announcements/handshakes involving the dead rank;
+        * pending world-level collectives (spawn/merge) with a dead
+          participant fail for everyone still waiting at the rendezvous.
+        """
+        new = sorted(g for g in set(gids) if g not in self.dead_gids)
+        if not new:
+            return
+        self.dead_gids.update(new)
+        dead = self.dead_gids
+        # 1. in-flight point-to-point traffic
+        for msg_id, msg in list(self._inflight.items()):
+            src_dead = msg.src_gid in dead
+            dst_dead = msg.dst_gid in dead
+            if not (src_dead or dst_dead):
+                continue
+            if dst_dead:
+                del self._inflight[msg_id]
+                msg.send_req._fail(
+                    CommFailedError(
+                        f"{reason}: message to dead rank gid={msg.dst_gid}",
+                        dead_gids=[msg.dst_gid],
+                    )
+                )
+            elif msg.protocol != "eager":
+                # Rendezvous from a dead sender can never stream.
+                del self._inflight[msg_id]
+                if msg.recv_req is not None:
+                    msg.recv_req._fail(
+                        CommFailedError(
+                            f"{reason}: sender rank gid={msg.src_gid} died",
+                            dead_gids=[msg.src_gid],
+                        )
+                    )
+            # eager from a dead sender: keep — the payload was committed
+            # (buffered) at injection and still delivers.
+        # 2. survivor endpoints
+        for gid, ep in self.endpoints.items():
+            if gid not in dead:
+                ep.on_peer_dead(dead, reason)
+        # 3. pending world-level collectives
+        for key, op in list(self._ops.items()):
+            implicated = sorted(op.participants & dead)
+            if implicated and op.event.pending:
+                del self._ops[key]
+                op.event.fail(
+                    CommFailedError(
+                        f"{reason}: collective {key} aborted — participant died",
+                        dead_gids=implicated,
+                    )
+                )
+
+    def terminate_ranks(self, gids: Iterable[int], reason: str = "terminated") -> None:
+        """Kill the main processes of ``gids`` *synchronously* and mark them
+        dead.  Used by recovery policies to revoke a half-spawned or
+        abandoned group (the simulation analogue of ``MPIX_Comm_revoke`` plus
+        ``MPI_Abort`` on the doomed side)."""
+        gids = list(gids)
+        for gid in gids:
+            ep = self.endpoints.get(gid)
+            if ep is None:
+                continue
+            for proc in list(self.sim._processes):
+                if proc.alive and proc.context.get("rank_gid") == gid:
+                    self.sim.kill_now(proc, reason=reason)
+        self.mark_ranks_dead(gids, reason=reason)
+
+    def abort_comm(self, comm: Communicator) -> None:
+        """Abandon ``comm`` mid-session (a recovery policy gave up on it).
+
+        Leftover traffic on the context is excused at endpoint close, and —
+        crucially — every *outstanding* operation pinned to it completes in
+        error right now: a member still blocked inside one of the aborted
+        communicator's collectives would otherwise wait forever for a peer
+        that already fell out of the session.  Idempotent; every rank of a
+        recovering group may call this."""
+        ctx = comm.ctx_id
+        if ctx in self.aborted_ctxs:
+            return
+        self.aborted_ctxs.add(ctx)
+        reason = f"communicator {comm.name} aborted by recovery"
+        # In-flight messages keep flowing — their sequence numbers must pass
+        # the receivers' FIFO gates (the dispatch layer drops them) — but
+        # their requests complete in error immediately.
+        for msg_id in sorted(
+            m_id for m_id, m in self._inflight.items() if m.ctx_id == ctx
+        ):
+            msg = self._inflight[msg_id]
+            msg.send_req._fail(CommFailedError(reason))
+            if msg.recv_req is not None:
+                msg.recv_req._fail(CommFailedError(reason))
+        members = set(comm.group) | set(comm.remote_group or ())
+        for gid in sorted(members):
+            if gid in self.dead_gids:
+                continue
+            ep = self.endpoints.get(gid)
+            if ep is not None:
+                ep.on_comm_aborted(ctx, reason)
+
+    def retire_msg(self, msg: Message) -> None:
+        """A message reached its final receive; drop it from the in-flight
+        table (called by the endpoint on delivery)."""
+        self._inflight.pop(msg.msg_id, None)
+
+    def spawn_failure(self, slots: Sequence[int]) -> Optional[SpawnFailedError]:
+        """Decide whether this ``comm_spawn`` launch attempt fails.
+
+        Consumes one attempt index (issue order — deterministic) against the
+        fault schedule's ``fail_spawns`` set, and rejects placements landing
+        on failed nodes regardless of the schedule.
+        """
+        attempt = self._spawn_attempts
+        self._spawn_attempts += 1
+        if attempt in self.fail_spawns:
+            return SpawnFailedError(
+                f"spawn attempt #{attempt} failed (injected spawn fault)"
+            )
+        bad = sorted(
+            {
+                self.machine.node_for_slot(s).node_id
+                for s in slots
+                if getattr(self.machine.node_for_slot(s), "failed", False)
+            }
+        )
+        if bad:
+            return SpawnFailedError(
+                f"spawn attempt #{attempt} targets failed node(s) {bad}"
+            )
+        return None
 
     # ---------------------------------------------------------------- helpers
     def nodes_of_slots(self, slots: Iterable[int]) -> int:

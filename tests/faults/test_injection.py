@@ -1,0 +1,134 @@
+"""FaultInjector semantics against live simulations.
+
+Covers the four event kinds plus the ordering contract of a node crash
+(processes die synchronously and survivors observe ``CommFailedError``
+rather than a deadlock).
+"""
+
+import pytest
+
+from repro.cluster import ETHERNET_10G, Machine
+from repro.faults import FaultInjector, FaultSchedule
+from repro.simulate import SimulationError, Simulator
+from repro.smpi import CommFailedError, MpiWorld
+
+
+def _world(n_nodes=2, cores=2):
+    sim = Simulator()
+    machine = Machine(sim, n_nodes, cores, ETHERNET_10G)
+    world = MpiWorld(machine)
+    return sim, machine, world
+
+
+# ------------------------------------------------------------------- crash
+def test_crash_kills_ranks_and_fails_peers():
+    sim, machine, world = _world()
+
+    def main(mpi):
+        if mpi.rank == 0:
+            try:
+                yield from mpi.recv(source=1, tag=5)
+            except CommFailedError as e:
+                return ("failed", tuple(e.dead_gids))
+            return "ok"
+        yield from mpi.compute(10.0)
+        yield from mpi.send("x", dest=0, tag=5)
+        return "sent"
+
+    # slots 0..1 on node 0, slots 2..3 on node 1
+    res = world.launch(main, slots=[0, 2])
+    inj = FaultInjector(FaultSchedule.parse("crash@1.0:node=1"), machine, world).attach()
+    sim.run()
+    assert machine.nodes[1].failed
+    assert not res.procs[1].alive and res.procs[1].state == "killed"
+    assert res.procs[0].result == ("failed", (1,))
+    assert 1 in world.dead_gids
+    assert inj.faults_fired == 1
+    assert inj.injected[0][0] == 1.0
+
+
+def test_crash_uncaught_surfaces_as_failure_not_deadlock():
+    sim, machine, world = _world()
+
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.recv(source=1, tag=5)
+            return "ok"
+        yield from mpi.compute(10.0)
+        return "computed"
+
+    world.launch(main, slots=[0, 2])
+    FaultInjector("crash@1.0:node=1", machine, world).attach()
+    with pytest.raises(SimulationError) as err:
+        sim.run()
+    assert isinstance(err.value.__cause__, CommFailedError)
+
+
+# --------------------------------------------------------------- straggler
+def test_straggler_slows_compute():
+    sim, machine, world = _world()
+
+    def main(mpi):
+        yield from mpi.compute(2.0)
+        return mpi.now
+
+    res = world.launch(main, slots=[0])
+    FaultInjector("straggler@1.0:node=0,factor=0.5", machine, world).attach()
+    sim.run()
+    # 1s at full speed + remaining 1s of work at half speed = 3s total.
+    assert res.procs[0].result == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------- degrade
+def test_degrade_halves_transfer_bandwidth():
+    def elapsed_with(spec):
+        sim, machine, world = _world()
+
+        def main(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(b"x" * (200 * 1024 * 1024), dest=1, tag=1)
+            else:
+                yield from mpi.recv(source=0, tag=1)
+            return mpi.now
+
+        res = world.launch(main, slots=[0, 2])
+        if spec:
+            FaultInjector(spec, machine, world).attach()
+        sim.run()
+        return res.procs[1].result
+
+    base = elapsed_with("")
+    degraded = elapsed_with("degrade@0:node=0,factor=0.5")
+    assert degraded > base * 1.5  # the 200 MiB flow runs at ~half rate
+
+
+# --------------------------------------------------------------- spawnfail
+def test_spawnfail_registers_attempts():
+    sim, machine, world = _world()
+    FaultInjector("spawnfail:attempt=0;spawnfail:attempt=2", machine, world).attach()
+    assert world.fail_spawns == {0, 2}
+    assert world.spawn_failure([0]) is not None   # attempt 0 fails
+    assert world.spawn_failure([0]) is None       # attempt 1 passes
+    assert world.spawn_failure([0]) is not None   # attempt 2 fails
+
+
+def test_spawn_on_failed_node_fails_regardless_of_schedule():
+    sim, machine, world = _world()
+    machine.nodes[1].fail()
+    err = world.spawn_failure([2])  # slot 2 lives on node 1
+    assert err is not None
+    assert world.spawn_failure([0]) is None
+
+
+# ---------------------------------------------------------------- plumbing
+def test_attach_is_idempotent_and_registers_hook():
+    sim, machine, world = _world()
+    inj = FaultInjector("crash@redist+0.5:node=1", machine, world)
+    assert inj.attach() is inj.attach()
+    assert world.fault_injector is inj
+    # relative events pend until the anchor fires
+    assert inj.faults_fired == 0
+    inj.notify_redist_started(sim.now)
+    inj.notify_redist_started(sim.now)  # one-shot
+    sim.run()
+    assert inj.faults_fired == 1

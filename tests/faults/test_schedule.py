@@ -1,0 +1,75 @@
+"""FaultSchedule parsing: grammar, validation, canonical stability."""
+
+import pytest
+
+from repro.faults import FaultSchedule
+
+
+def test_parse_empty_and_none_like():
+    assert len(FaultSchedule.parse("")) == 0
+    assert len(FaultSchedule.parse("   ")) == 0
+    assert not FaultSchedule.parse("")
+
+
+def test_parse_single_crash():
+    sched = FaultSchedule.parse("crash@12.5:node=1")
+    (ev,) = sched.events
+    assert ev.kind == "crash"
+    assert ev.time == 12.5
+    assert ev.anchor is None
+    assert ev.params == {"node": 1}
+
+
+def test_parse_multi_event_spec():
+    sched = FaultSchedule.parse(
+        "crash@5:node=1;degrade@3:node=0,factor=0.25;straggler@2:node=2,factor=0.5"
+    )
+    assert [ev.kind for ev in sched] == ["crash", "degrade", "straggler"]
+
+
+def test_parse_redist_anchor():
+    sched = FaultSchedule.parse("crash@redist+0.05:node=1")
+    (ev,) = sched.events
+    assert ev.time is None
+    assert ev.anchor == "redist"
+    assert ev.delay == 0.05
+    ev2 = FaultSchedule.parse("crash@redist:node=0").events[0]
+    assert ev2.anchor == "redist" and ev2.delay == 0.0
+
+
+def test_parse_spawnfail_is_attempt_indexed():
+    (ev,) = FaultSchedule.parse("spawnfail:attempt=1").events
+    assert ev.kind == "spawnfail"
+    assert ev.params == {"attempt": 1}
+    # '@time' tolerated for grammar uniformity
+    (ev2,) = FaultSchedule.parse("spawnfail@0:attempt=2").events
+    assert ev2.params == {"attempt": 2}
+
+
+def test_canonical_round_trips():
+    spec = "crash@redist+0.05:node=1;degrade@3:factor=0.25,node=0;spawnfail:attempt=1"
+    sched = FaultSchedule.parse(spec)
+    canon = sched.canonical()
+    assert FaultSchedule.parse(canon).canonical() == canon
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "boom@1:node=0",             # unknown kind
+        "crash@1",                   # missing node
+        "crash:node=0",              # missing @time for timed kinds
+        "crash@-1:node=0",           # negative time
+        "crash@redist-1:node=0",     # bad anchor syntax
+        "crash@1:node=0.5",          # non-integer node
+        "degrade@1:node=0",          # missing factor
+        "degrade@1:node=0,factor=0", # factor must be > 0
+        "straggler@1:node=0,factor=2",  # straggler can only slow down
+        "crash@1:node=0,bogus=3",    # unknown parameter
+        "crash@x:node=0",            # unparsable time
+        "crash@1:node",              # malformed params
+    ],
+)
+def test_rejects_bad_specs(bad):
+    with pytest.raises(ValueError):
+        FaultSchedule.parse(bad)

@@ -1,0 +1,113 @@
+"""Faulted sweeps through the harness: CSV columns and determinism.
+
+The acceptance bar of the fault-injection tentpole at the harness layer: a
+seeded crash sweep completes via the recovery ladder, stamps ``faults`` /
+``retries`` / ``recovery_time`` into the CSV, and serializes byte-identically
+whether executed sequentially or across the process pool.
+"""
+
+import pytest
+
+from repro.harness import ResultSet, RunSpec, run_one, run_sweep, sweep_specs
+from repro.harness.cli import main as cli_main
+
+CRASH = "crash@redist+0.002:node=1"
+
+
+@pytest.fixture(scope="module")
+def faulty_sweep():
+    """2->4 crash sweep over both spawn methods (module-cached)."""
+    return run_sweep(
+        pairs=[(2, 4)],
+        config_keys=["baseline-p2p-s", "merge-p2p-s"],
+        fabrics=["ethernet"],
+        scale="tiny",
+        repetitions=2,
+        faults=CRASH,
+    )
+
+
+def test_spec_canonicalizes_and_validates_faults():
+    spec = RunSpec(2, 4, "merge-p2p-s", "ethernet", "tiny", faults=CRASH)
+    assert spec.faults == CRASH
+    assert RunSpec(2, 4, "merge-p2p-s", "ethernet", "tiny").faults == ""
+    with pytest.raises(ValueError):
+        RunSpec(2, 4, "merge-p2p-s", "ethernet", "tiny", faults="boom@1:node=0")
+
+
+def test_faulted_run_recovers_and_stamps_columns():
+    spec = RunSpec(2, 4, "merge-p2p-s", "ethernet", "tiny", faults=CRASH)
+    res = run_one(spec)
+    assert res.faults == CRASH
+    assert res.retries >= 1
+    assert res.recovery_time > 0
+    # The run still completed every iteration despite the crash.
+    clean = run_one(RunSpec(2, 4, "merge-p2p-s", "ethernet", "tiny"))
+    assert res.total_iterations == clean.total_iterations
+    assert clean.faults == "" and clean.retries == 0
+    assert clean.recovery_time == 0.0
+
+
+def test_fault_spec_changes_the_seed_only_when_set():
+    from repro.harness.runner import _seed_of
+
+    base = RunSpec(2, 4, "merge-p2p-s", "ethernet", "tiny")
+    faulted = RunSpec(2, 4, "merge-p2p-s", "ethernet", "tiny", faults=CRASH)
+    assert _seed_of(base) != _seed_of(faulted)
+    assert _seed_of(base) == _seed_of(
+        RunSpec(2, 4, "merge-p2p-s", "ethernet", "tiny", faults="")
+    )
+
+
+def test_sweep_specs_thread_the_fault_schedule():
+    specs = sweep_specs(
+        [(2, 4)], ["merge-p2p-s"], ["ethernet"], "tiny", 2, faults=CRASH
+    )
+    assert [s.faults for s in specs] == [CRASH, CRASH]
+
+
+def test_csv_round_trips_fault_columns(faulty_sweep):
+    text = faulty_sweep.to_csv()
+    header = text.splitlines()[0]
+    for col in ("faults", "retries", "recovery_time"):
+        assert col in header.split(",")
+    again = ResultSet.from_csv(text)
+    assert again.to_csv() == text
+    assert all(r.faults == CRASH for r in again.results)
+    assert all(r.retries >= 1 for r in again.results)
+
+
+def test_old_csv_without_fault_columns_still_loads():
+    text = (
+        "ns,nt,config_key,fabric,scale,rep,reconfig_time,app_time,"
+        "spawn_time,overlapped_iterations,total_iterations\n"
+        "2,4,merge-p2p-s,ethernet,tiny,0,0.1,1.0,0.05,0,30\n"
+    )
+    (r,) = ResultSet.from_csv(text).results
+    assert r.faults == "" and r.retries == 0 and r.recovery_time == 0.0
+
+
+def test_parallel_faulted_sweep_is_bit_identical(faulty_sweep):
+    parallel = run_sweep(
+        pairs=[(2, 4)],
+        config_keys=["baseline-p2p-s", "merge-p2p-s"],
+        fabrics=["ethernet"],
+        scale="tiny",
+        repetitions=2,
+        faults=CRASH,
+        workers=2,
+    )
+    assert parallel.to_csv() == faulty_sweep.to_csv()
+
+
+def test_cli_run_accepts_faults(tmp_path):
+    out = tmp_path / "faulty.csv"
+    rc = cli_main(
+        [
+            "run", "--scale", "tiny", "--figures", "fig2",
+            "--reps", "1", "--out", str(out), "--faults", CRASH,
+        ]
+    )
+    assert rc == 0
+    rs = ResultSet.from_csv(out)
+    assert rs.results and all(r.faults == CRASH for r in rs.results)

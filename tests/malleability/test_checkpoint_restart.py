@@ -108,6 +108,106 @@ def test_pfs_validation_and_api():
     pfs.delete("missing")  # idempotent
 
 
+class TinyCsrApp:
+    """3-row CSR + dense app: with 4 ranks, rank 3 owns *zero* rows.
+
+    Exercises the empty-rank checkpoint path: ``_serialize`` must write a
+    zero-byte marker segment instead of touching the (matrix-less) store.
+    """
+
+    n_rows = 3
+    n_iterations = 8
+
+    def __init__(self):
+        from repro.redistribution import FieldSpec
+
+        self.a_global = sp_csr()
+        self.specs = (
+            FieldSpec("A", "csr", constant=True),
+            FieldSpec("x", "dense", constant=False),
+        )
+
+    def initial_data(self, lo, hi):
+        return {
+            "A": self.a_global[lo:hi],
+            "x": np.arange(lo, hi, dtype=np.float64),
+        }
+
+    def iterate(self, mpi, comm, dataset, iteration):
+        yield from mpi.compute(1e-3)
+        x = dataset.stores["x"].data
+        total = yield from mpi.allreduce(float(x.sum()), comm=comm)
+        assert total == pytest.approx(3.0 + iteration * self.n_rows)
+        x += 1.0
+
+    def on_handoff(self, mpi, dataset):
+        store = dataset.stores["A"]
+        if store.n_rows:
+            got = store.matrix.toarray()
+            want = self.a_global[dataset.lo : dataset.hi].toarray()
+            np.testing.assert_array_equal(got, want)
+
+
+def sp_csr():
+    from scipy import sparse
+
+    return sparse.csr_matrix(
+        np.array([[2.0, 0.0, 1.0], [0.0, 3.0, 0.0], [1.0, 0.0, 4.0]])
+    )
+
+
+@pytest.mark.parametrize(
+    "ns,nts",
+    [
+        (4, [2]),  # shrink: source rank 3 is empty at the checkpoint
+        (2, [4]),  # grow: restarted rank 3 is empty ever after
+        (4, [4, 2]),  # empty rank both writes gen0 and re-writes gen1
+    ],
+)
+def test_cr_empty_ranks_shrink_grow(ns, nts):
+    """Zero-row ranks survive the disk round-trip in both directions."""
+    sim = Simulator()
+    machine = Machine(sim, 4, 2, ETHERNET_10G)
+    pfs = ParallelFileSystem(machine)
+    world = MpiWorld(
+        machine, spawn_model=SpawnModel(base=0.01, per_process=0.001, per_node=0.002)
+    )
+    stats = RunStats()
+    app = TinyCsrApp()
+    requests = [
+        ReconfigRequest(at_iteration=2 + 2 * i, n_targets=nt)
+        for i, nt in enumerate(nts)
+    ]
+    world.launch(
+        run_cr_malleable,
+        slots=range(ns),
+        args=(app, requests, stats, pfs, CheckpointRestartConfig(0.05, 0.05)),
+    )
+    sim.run()
+    assert stats.total_iterations() == app.n_iterations
+    assert len(stats.reconfigs) == len(nts)
+    # The empty rank's segments are real files with zero payload bytes.
+    for gen in range(len(nts)):
+        n_writers = ns if gen == 0 else nts[gen - 1]
+        empties = [
+            r for r in range(n_writers)
+            if r >= app.n_rows
+        ]
+        for r in empties:
+            segs = pfs.segments_of(f"checkpoint.gen{gen}.rank{r}")
+            assert [s.nbytes for s in segs] == [0, 0]
+            assert all(s.payload is None for s in segs)
+
+
+def test_zero_row_csr_store_sizes_to_zero():
+    from repro.redistribution import FieldSpec
+    from repro.redistribution.stores import CsrStore
+
+    store = CsrStore(FieldSpec("A", "csr"), 5, 5)
+    assert store.n_rows == 0
+    assert store.range_nbytes(5, 5) == 0
+
+
 def test_cr_with_real_cg_data_preserves_numerics():
     """C/R round-trips real CSR + dense payloads through the disk: the CG
     residual stream must match the sequential reference exactly."""

@@ -126,3 +126,54 @@ def test_overlap_count_bounded_by_sum_of_ranks(n, pa, pb):
     b = block_offsets(n, pb)
     chunks = list(range_overlaps(a, b))
     assert len(chunks) <= pa + pb - 1
+
+
+# ----------------------------------------------------------- cache immutability
+
+
+def test_cached_arrays_are_read_only():
+    """The LRU caches hand out shared arrays; in-place mutation must raise
+    instead of silently poisoning every later caller."""
+    counts = block_counts(10, 4)
+    offsets = block_offsets(10, 4)
+    for arr in (counts, offsets):
+        assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            arr[0] = 99
+    # The cache really is shared (same object on a repeat call) and intact.
+    assert block_counts(10, 4) is counts
+    assert block_offsets(10, 4) is offsets
+    np.testing.assert_array_equal(counts, [3, 3, 2, 2])
+    np.testing.assert_array_equal(offsets, [0, 3, 6, 8, 10])
+
+
+def test_copy_of_cached_array_is_writable():
+    mine = block_counts(10, 4).copy()
+    mine[0] = 99  # the documented way to mutate
+    np.testing.assert_array_equal(block_counts(10, 4), [3, 3, 2, 2])
+
+
+def test_cached_plans_expose_read_only_offsets():
+    from repro.redistribution import RedistributionPlan
+
+    for plan in (
+        RedistributionPlan.block(40, 4, 6),
+        RedistributionPlan.movement_minimizing(40, 4, 6),
+    ):
+        for arr in (plan.src_offsets, plan.dst_offsets):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[-1] = 0
+
+
+def test_plan_detaches_from_caller_owned_offsets():
+    """Mutating the arrays a plan was built from must not reach the plan."""
+    from repro.redistribution import RedistributionPlan
+
+    src = np.array([0, 5, 10], dtype=np.int64)
+    dst = np.array([0, 2, 10], dtype=np.int64)
+    plan = RedistributionPlan(src, dst)
+    src[1] = 7
+    dst[1] = 9
+    assert plan.src_range(0) == (0, 5)
+    assert plan.dst_range(0) == (0, 2)

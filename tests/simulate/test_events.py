@@ -264,3 +264,75 @@ def test_discard_callback():
     ev.discard_callback(cb)
     ev.trigger()
     assert seen == []
+
+
+def test_allof_all_settled_with_failure_raises_not_none():
+    """Regression: when *every* event already settled and one failed, AllOf
+    must raise the stored exception instead of resuming with the failed
+    events' ``None`` values (the sendrecv-after-peer-death blind spot)."""
+    sim = Simulator()
+    evs = [sim.event(), sim.event()]
+    evs[0].fail(RuntimeError("first"))
+    evs[1].fail(RuntimeError("second"))
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf(evs)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.run()
+    # Deterministic: the *first* failed event by list order surfaces.
+    assert caught == ["first"]
+
+
+def test_allof_settled_mix_of_success_and_failure_raises():
+    sim = Simulator()
+    evs = [sim.event(), sim.event()]
+    evs[0].trigger("ok")
+    evs[1].fail(RuntimeError("boom"))
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf(evs)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_anyof_prefers_lowest_index_among_settled():
+    sim = Simulator()
+    evs = [sim.event(), sim.event(), sim.event()]
+    evs[2].trigger("late-index")
+    evs[1].trigger("low-index")
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf(evs)))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(1, "low-index")]
+
+
+def test_anyof_already_failed_event_raises():
+    sim = Simulator()
+    evs = [sim.event(), sim.event()]
+    evs[0].fail(RuntimeError("gone"))
+    caught = []
+
+    def waiter():
+        try:
+            yield AnyOf(evs)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert caught == ["gone"]

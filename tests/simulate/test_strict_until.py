@@ -1,0 +1,157 @@
+"""Regression tests for the ``until`` contract of ``Simulator.run``.
+
+Two documented-but-previously-broken behaviours:
+
+* ``strict_until=True`` must raise :class:`SimTimeLimitExceeded` when the
+  limit elapses with events still queued or processes blocked (the lenient
+  default keeps returning ``until``);
+* a run stopping at ``until`` whose remaining heap holds only *cancelled*
+  items must still run deadlock detection — previously it silently returned
+  ``until``, masking a hang.
+"""
+
+import pytest
+
+from repro.simulate import (
+    DeadlockError,
+    Passivate,
+    SimTimeLimitExceeded,
+    Simulator,
+    Timeout,
+    WaitEvent,
+)
+
+
+def _sleeper(duration):
+    yield Timeout(duration)
+    return "slept"
+
+
+# --------------------------------------------------------------- lenient mode
+def test_lenient_until_returns_limit_with_work_left():
+    sim = Simulator()
+    p = sim.spawn(_sleeper(10.0), name="slow")
+    assert sim.run(until=1.0) == 1.0
+    assert sim.now == 1.0
+    assert p.alive  # still sleeping; work remains queued
+    # a later unbounded run finishes the job
+    assert sim.run() == 10.0
+    assert p.result == "slept"
+
+
+def test_lenient_until_past_all_events_returns_final_time():
+    sim = Simulator()
+    sim.spawn(_sleeper(2.0), name="quick")
+    assert sim.run(until=5.0) == 2.0
+
+
+# ---------------------------------------------------------------- strict mode
+def test_strict_until_raises_with_events_queued():
+    sim = Simulator()
+    sim.spawn(_sleeper(10.0), name="slow")
+    with pytest.raises(SimTimeLimitExceeded) as exc_info:
+        sim.run(until=1.0, strict_until=True)
+    err = exc_info.value
+    assert err.until == 1.0
+    assert err.pending_events >= 1
+    assert any("slow" in entry for entry in err.blocked)
+    assert sim.now == 1.0
+
+
+def test_strict_until_passes_when_run_completes_in_time():
+    sim = Simulator()
+    p = sim.spawn(_sleeper(2.0), name="quick")
+    assert sim.run(until=5.0, strict_until=True) == 2.0
+    assert p.result == "slept"
+
+
+def test_strict_until_requires_an_until():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.run(strict_until=True)
+
+
+def test_strict_until_reports_blocked_processes():
+    sim = Simulator()
+
+    def stuck():
+        yield Passivate()
+
+    def ticker():
+        yield Timeout(10.0)
+
+    sim.spawn(stuck(), name="stuck-proc")
+    sim.spawn(ticker(), name="ticker")
+    with pytest.raises(SimTimeLimitExceeded) as exc_info:
+        sim.run(until=1.0, strict_until=True)
+    assert any("stuck-proc" in entry for entry in exc_info.value.blocked)
+
+
+# ------------------------------------------- cancelled-heap deadlock detection
+def test_until_with_only_cancelled_items_still_detects_deadlock():
+    """A blocked process plus a heap of stale wakeups must not return
+    ``until`` as if the run were healthy."""
+    sim = Simulator()
+    ev = sim.event("never")
+
+    def waiter():
+        # Block on an event nobody triggers; the pending command leaves a
+        # stale (cancelled) wakeup behind when combined with a timeout race.
+        yield WaitEvent(ev)
+
+    sim.spawn(waiter(), name="waiter")
+    # Simulate a stale wakeup beyond the limit: schedule then cancel.
+    item = sim.schedule(10.0, lambda: None)
+    item.cancelled = True
+    with pytest.raises(DeadlockError) as exc_info:
+        sim.run(until=5.0)
+    assert any("waiter" in entry for entry in exc_info.value.blocked)
+
+
+def test_until_with_cancelled_items_and_no_blockers_is_clean():
+    sim = Simulator()
+    p = sim.spawn(_sleeper(1.0), name="done-early")
+    item = sim.schedule(10.0, lambda: None)
+    item.cancelled = True
+    assert sim.run(until=5.0) == 1.0
+    assert p.result == "slept"
+
+
+def test_strict_until_ignores_cancelled_items():
+    """Cancelled heap entries are not 'events still queued'."""
+    sim = Simulator()
+    p = sim.spawn(_sleeper(1.0), name="quick")
+    item = sim.schedule(10.0, lambda: None)
+    item.cancelled = True
+    assert sim.run(until=5.0, strict_until=True) == 1.0
+    assert p.result == "slept"
+
+
+# ----------------------------------------------------------------- kill_now
+def test_kill_now_is_synchronous():
+    sim = Simulator()
+    cleaned = []
+
+    def victim():
+        try:
+            yield Timeout(100.0)
+        finally:
+            cleaned.append("victim")
+
+    p = sim.spawn(victim(), name="victim")
+    sim.run(until=1.0)
+    assert p.alive
+    sim.kill_now(p, reason="fault injection")
+    # cleanup ran before kill_now returned — no event-loop turn needed
+    assert cleaned == ["victim"]
+    assert not p.alive
+    assert p.state == "killed"
+    assert sim.run() == 1.0  # nothing left; stale wakeup was cancelled
+
+
+def test_kill_now_on_dead_process_is_a_noop():
+    sim = Simulator()
+    p = sim.spawn(_sleeper(0.5), name="p")
+    sim.run()
+    sim.kill_now(p)  # no raise
+    assert p.result == "slept"

@@ -1,7 +1,8 @@
 """Failure injection: crashes and kills must fail loudly, not hang silently.
 
-A simulator is only trustworthy if broken runs are *diagnosable*: a dead
-rank must surface as a deadlock report naming the stuck peers, and
+A simulator is only trustworthy if broken runs are *diagnosable*: since the
+failure layer landed, a dead rank surfaces as :class:`CommFailedError` in the
+peers blocked on it (ULFM-style) rather than a whole-run deadlock report, and
 exceptions in rank code must propagate out of ``sim.run()``.
 """
 
@@ -9,8 +10,8 @@ import numpy as np
 import pytest
 
 from repro.cluster import ETHERNET_10G, Machine
-from repro.simulate import DeadlockError, ProcessKilled, SimulationError, Simulator, Timeout
-from repro.smpi import MpiWorld, run_spmd
+from repro.simulate import ProcessKilled, SimulationError, Simulator, Timeout
+from repro.smpi import CommFailedError, MpiWorld, run_spmd
 
 
 def test_rank_exception_propagates_with_context():
@@ -25,7 +26,8 @@ def test_rank_exception_propagates_with_context():
     assert isinstance(err.value.__cause__, RuntimeError)
 
 
-def test_killed_rank_leaves_peers_diagnosably_stuck():
+def test_killed_rank_fails_blocked_peers():
+    """A peer blocked on a killed rank gets CommFailedError, not a hang."""
     sim = Simulator()
     machine = Machine(sim, 2, 2, ETHERNET_10G)
     world = MpiWorld(machine)
@@ -45,15 +47,44 @@ def test_killed_rank_leaves_peers_diagnosably_stuck():
         res.procs[1].kill("node failure")
 
     sim.spawn(assassin())
-    with pytest.raises(DeadlockError) as err:
+    with pytest.raises(SimulationError) as err:
         sim.run()
-    # The report names the stuck receiver.
-    assert "rank0" in str(err.value)
+    # The receiver was woken with a CommFailedError naming the dead rank.
+    assert isinstance(err.value.__cause__, CommFailedError)
+    assert 1 in err.value.__cause__.dead_gids
+    assert 1 in world.dead_gids
+
+
+def test_peer_catching_commfailed_survives():
+    """Rank code that catches CommFailedError recovers and finishes clean."""
+    sim = Simulator()
+    machine = Machine(sim, 2, 2, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        if mpi.rank == 0:
+            try:
+                yield from mpi.recv(source=1, tag=7)
+            except CommFailedError as e:
+                return ("survived", tuple(e.dead_gids))
+            return "unexpected"
+        yield from mpi.compute(10.0)
+        return None
+
+    res = world.launch(main, slots=[0, 1])
+
+    def assassin():
+        yield Timeout(1.0)
+        res.procs[1].kill("node failure")
+
+    sim.spawn(assassin())
+    sim.run()
+    assert res.procs[0].result == ("survived", (1,))
 
 
 def test_kill_during_redistribution_is_detected():
-    """Killing a source mid-transfer leaves targets waiting: deadlock
-    report, not silent corruption."""
+    """Killing a source mid-transfer fails the waiting peer with
+    CommFailedError — no silent corruption, no hang."""
     from repro.redistribution import Dataset, FieldSpec, RedistributionPlan
     from repro.redistribution.api import RedistMethod, make_session
 
@@ -85,8 +116,9 @@ def test_kill_during_redistribution_is_detected():
         res.procs[0].kill()
 
     sim.spawn(assassin())
-    with pytest.raises(DeadlockError):
+    with pytest.raises(SimulationError) as err:
         sim.run()
+    assert isinstance(err.value.__cause__, CommFailedError)
     assert res.procs[1].result != "done"
 
 
@@ -132,3 +164,121 @@ def test_processkilled_cleanup_runs():
     sim.spawn(assassin())
     sim.run()
     assert cleaned == [0]
+
+def test_waitany_is_deterministic_across_settled_requests():
+    """With several requests already complete, waitany returns the lowest
+    index — the P2P redistribution state machine depends on this order."""
+
+    def main(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            for t in (1, 2, 3):
+                reqs.append((yield from mpi.irecv(source=1, tag=t)))
+            yield from mpi.compute(1.0)  # let all three land
+            order = []
+            while reqs:
+                idx, req = yield from mpi.waitany(reqs)
+                order.append(req.data)
+                reqs.pop(idx)
+            return order
+        for t in (3, 2, 1):  # sent in reverse tag order
+            yield from mpi.send(f"m{t}", dest=0, tag=t)
+        return None
+
+    results, _ = run_spmd(main, 2, n_nodes=1, cores_per_node=2)
+    assert results[0] == ["m1", "m2", "m3"]
+
+
+def test_waitany_raises_when_peer_dies():
+    """waitany on a request whose peer died raises CommFailedError instead
+    of blocking forever (or returning a bogus index)."""
+    sim = Simulator()
+    machine = Machine(sim, 2, 2, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        if mpi.rank == 0:
+            req = yield from mpi.irecv(source=1, tag=5)
+            try:
+                yield from mpi.waitany([req])
+            except CommFailedError as e:
+                return ("failed-over", tuple(e.dead_gids))
+            return "unexpected"
+        yield from mpi.compute(10.0)
+        return None
+
+    res = world.launch(main, slots=[0, 1])
+
+    def assassin():
+        yield Timeout(1.0)
+        res.procs[1].kill("node failure")
+
+    sim.spawn(assassin())
+    sim.run()
+    assert res.procs[0].result == ("failed-over", (1,))
+
+
+def test_nonblocking_test_raises_after_peer_death():
+    """MPI_Test-style polling learns about a dead peer via CommFailedError —
+    the overlapped (A/T) strategies poll instead of blocking."""
+    sim = Simulator()
+    machine = Machine(sim, 2, 2, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        if mpi.rank == 0:
+            req = yield from mpi.irecv(source=1, tag=9)
+            seen = []
+            try:
+                while True:
+                    done = yield from mpi.test(req)
+                    seen.append(done)
+                    if done:
+                        return "completed"
+                    yield from mpi.compute(0.2)
+            except CommFailedError:
+                # test() must have reported incomplete, never completed.
+                assert not any(seen)
+                return "test-raised"
+        yield from mpi.compute(10.0)
+        return None
+
+    res = world.launch(main, slots=[0, 1])
+
+    def assassin():
+        yield Timeout(1.0)
+        res.procs[1].kill("node failure")
+
+    sim.spawn(assassin())
+    sim.run()
+    assert res.procs[0].result == "test-raised"
+
+
+def test_testall_raises_after_peer_death():
+    sim = Simulator()
+    machine = Machine(sim, 2, 2, ETHERNET_10G)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            for t in (1, 2):
+                reqs.append((yield from mpi.irecv(source=1, tag=t)))
+            try:
+                while not (yield from mpi.testall(reqs)):
+                    yield from mpi.compute(0.2)
+            except CommFailedError as e:
+                return ("testall-raised", tuple(e.dead_gids))
+            return "unexpected"
+        yield from mpi.compute(10.0)
+        return None
+
+    res = world.launch(main, slots=[0, 1])
+
+    def assassin():
+        yield Timeout(1.0)
+        res.procs[1].kill("node failure")
+
+    sim.spawn(assassin())
+    sim.run()
+    assert res.procs[0].result == ("testall-raised", (1,))
