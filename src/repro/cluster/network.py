@@ -356,8 +356,9 @@ class Network:
             flat.extend(idx)
             offsets.append(len(flat))
             # link.flows is a set, so each flow counts once per link even if
-            # the route listed it twice.
-            for j in set(idx):
+            # the route listed it twice (dict.fromkeys: dedup in first-seen
+            # order, keeping member iteration deterministic).
+            for j in dict.fromkeys(idx):
                 members[j].append(fi)
                 counts[j] += 1
         flat_idx = np.array(flat, dtype=np.int64)

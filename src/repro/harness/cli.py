@@ -63,17 +63,28 @@ def cmd_run(args) -> int:
         from ..obs import MetricsRegistry
 
         registry = MetricsRegistry()
-    rs = run_sweep(
-        sorted(pairs),
-        sorted(keys),
-        sorted(fabrics),
-        scale=args.scale,
-        repetitions=args.reps,
-        progress=progress,
-        workers=args.workers,
-        metrics=registry,
-        faults=args.faults or "",
-    )
+    try:
+        rs = run_sweep(
+            sorted(pairs),
+            sorted(keys),
+            sorted(fabrics),
+            scale=args.scale,
+            repetitions=args.reps,
+            progress=progress,
+            workers=args.workers,
+            metrics=registry,
+            faults=args.faults or "",
+            sanitize=args.sanitize,
+        )
+    except Exception as exc:
+        from ..sanitize import SanitizerError
+
+        if not isinstance(exc, SanitizerError):
+            raise
+        print(exc, file=sys.stderr)
+        return 1
+    if args.sanitize:
+        print("sanitizer: no findings")
     out_path = Path(args.out)
     if args.append and out_path.exists():
         rs = ResultSet.from_csv(out_path).merge(rs)
@@ -102,7 +113,12 @@ def cmd_observe(args) -> int:
     )
     registry = MetricsRegistry()
     tracer = Tracer()
-    result = run_one(spec, metrics=registry, tracer=tracer)
+    sanitizer = None
+    if args.sanitize:
+        from ..sanitize import Sanitizer
+
+        sanitizer = Sanitizer()
+    result = run_one(spec, metrics=registry, tracer=tracer, sanitizer=sanitizer)
     # Replay the per-stage reconfiguration spans into Perfetto lanes.
     registry.feed_tracer(tracer)
     write_metrics_json(registry, args.metrics_out)
@@ -112,6 +128,11 @@ def cmd_observe(args) -> int:
     print(f"  reconfig {result.reconfig_time:.6f}s  app {result.app_time:.6f}s")
     print(f"wrote {args.metrics_out} and {args.trace_out}\n")
     print(metrics_summary(build_metrics_doc(registry)))
+    if sanitizer is not None:
+        print()
+        print(sanitizer.report())
+        if sanitizer.findings:
+            return 1
     return 0
 
 
@@ -228,6 +249,12 @@ def build_parser() -> argparse.ArgumentParser:
         "'spawnfail:attempt=0;degrade@1:node=0,factor=0.5' "
         "(see docs/faults.md); adds faults/retries/recovery_time columns",
     )
+    p_run.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the MPI-correctness sanitizer to every cell "
+        "(docs/sanitizer.md); any SAN finding fails the sweep with a "
+        "full report and exit code 1",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_obs = sub.add_parser(
@@ -247,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--trace-out", default="trace.json")
     p_obs.add_argument("--faults", default=None, metavar="SPEC",
                        help="seeded fault schedule for the run")
+    p_obs.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the MPI-correctness sanitizer; findings are printed "
+        "after the metrics summary, flushed into metrics.json as "
+        "sanitizer_findings{rule=...}, and flip the exit code to 1",
+    )
     p_obs.set_defaults(fn=cmd_observe)
 
     p_rep = sub.add_parser("report", help="render figures from cached results")

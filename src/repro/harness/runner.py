@@ -245,6 +245,7 @@ def run_one(
     synth_config: Optional[SyntheticConfig] = None,
     metrics=None,
     tracer=None,
+    sanitizer=None,
 ) -> RunResult:
     """Execute one job and extract the figure metrics.
 
@@ -252,9 +253,13 @@ def run_one(
     given, a :class:`repro.obs.MetricsProbe` is attached for the whole run
     and finalized into it (including the per-stage reconfiguration
     breakdown).  ``tracer`` — an optional :class:`repro.trace.Tracer`,
-    attached for the run and detached afterwards.  The returned
-    :class:`RunResult` is identical either way: its breakdown columns come
-    from always-on stamps, never from the probe.
+    attached for the run and detached afterwards.  ``sanitizer`` — an
+    optional :class:`repro.sanitize.Sanitizer`; it is attached for the
+    run, detached afterwards, and (when ``metrics`` is also given) its
+    findings are flushed into the registry as
+    ``sanitizer_findings{rule=...}``.  The returned :class:`RunResult` is
+    identical either way: its breakdown columns come from always-on
+    stamps, never from the probe or the sanitizer.
     """
     preset = SCALES[spec.scale]
     base = synth_config or cg_emulation_config(spec.scale)
@@ -277,6 +282,8 @@ def run_one(
         probe = MetricsProbe(metrics).attach(machine, world)
     if tracer is not None:
         tracer.attach(machine)
+    if sanitizer is not None:
+        sanitizer.attach(world)
     if spec.plan_mode == "block":
         plan_factory = RedistributionPlan.block
     elif spec.plan_mode == "minmove":
@@ -291,7 +298,15 @@ def run_one(
         FaultInjector(
             FaultSchedule.parse(spec.faults), machine, world
         ).attach()
-    sim.run()
+    try:
+        sim.run()
+    finally:
+        # Detach even on deadlock/failure so the sanitizer runs its
+        # end-of-run passes and its findings survive the exception.
+        if sanitizer is not None:
+            sanitizer.detach()
+            if metrics is not None:
+                sanitizer.flush_to(metrics)
     if tracer is not None:
         tracer.detach()
     if probe is not None:
@@ -583,6 +598,7 @@ def run_sweep(
     workers: Optional[int] = None,
     metrics=None,
     faults: str = "",
+    sanitize: bool = False,
 ) -> ResultSet:
     """Run the full cross product; the master data behind every figure.
 
@@ -607,6 +623,12 @@ def run_sweep(
         Optional :mod:`repro.faults` schedule spec applied to every cell.
         Injection is seeded and event-driven, so a faulted sweep remains
         bit-identical between sequential and parallel executions.
+    sanitize:
+        Attach a fresh :class:`repro.sanitize.Sanitizer` to every cell.
+        Findings flush into ``metrics`` (when given) per cell; any
+        finding across the sweep raises
+        :class:`repro.sanitize.SanitizerError` after all cells ran, with
+        per-cell provenance in each finding's ``detail["cell"]``.
     """
     preset = SCALES[scale]
     reps = repetitions if repetitions is not None else preset.repetitions
@@ -614,39 +636,89 @@ def run_sweep(
     specs = sweep_specs(pairs, config_keys, fabrics, scale, reps, faults=faults)
     total = len(specs)
     if workers is not None and workers > 1 and total > 1:
-        results = _run_parallel(
-            specs, base, min(workers, total), progress, total, metrics
+        results, findings = _run_parallel(
+            specs, base, min(workers, total), progress, total, metrics,
+            sanitize=sanitize,
         )
+        _raise_if_findings(findings)
         return ResultSet(results)
     out = ResultSet()
+    findings: list = []
     # Sequential path: only consult the wall clock when someone is watching
     # (time.time() per tiny cell is measurable overhead at paper scale).
-    started = time.time() if progress is not None else 0.0
+    started = time.time() if progress is not None else 0.0  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
     for done, spec in enumerate(specs, start=1):
         cell_reg = None
         if metrics is not None:
             from ..obs import MetricsRegistry
 
             cell_reg = MetricsRegistry()
-        out.add(run_one(spec, synth_config=base, metrics=cell_reg))
+        san = None
+        if sanitize:
+            from ..sanitize import Sanitizer
+
+            san = Sanitizer()
+        out.add(
+            run_one(spec, synth_config=base, metrics=cell_reg, sanitizer=san)
+        )
+        if san is not None:
+            findings.extend(_stamp_cell(san.findings, spec))
         if cell_reg is not None:
             metrics.merge(cell_reg)
         if progress is not None:
-            elapsed = time.time() - started
+            elapsed = time.time() - started  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
             progress(
                 f"[{done}/{total}] {spec.fabric} {spec.ns}->{spec.nt} "
                 f"{spec.config.key} rep{spec.rep} ({elapsed:.0f}s)"
             )
+    _raise_if_findings(findings)
     return out
 
 
-def _run_cell_with_metrics(spec: RunSpec, base: SyntheticConfig):
-    """Pool worker: one cell plus its metrics registry as a plain dict."""
+def _cell_key(spec: RunSpec) -> str:
+    return f"{spec.fabric}:{spec.ns}->{spec.nt}:{spec.config.key}:rep{spec.rep}"
+
+
+def _stamp_cell(findings, spec: RunSpec) -> list:
+    """Annotate sanitizer findings with the sweep cell they came from."""
+    for f in findings:
+        f.detail["cell"] = _cell_key(spec)
+    return list(findings)
+
+
+def _raise_if_findings(findings) -> None:
+    if findings:
+        from ..sanitize import SanitizerError
+        from ..sanitize.findings import Finding
+
+        raise SanitizerError(sorted(findings, key=Finding.sort_key))
+
+
+def _run_cell_with_metrics(
+    spec: RunSpec,
+    base: SyntheticConfig,
+    with_metrics: bool = True,
+    sanitize: bool = False,
+):
+    """Pool worker: one cell plus its metrics registry (as a plain dict)
+    and its sanitizer findings (as plain dicts), either of which may be
+    ``None`` when not requested."""
     from ..obs import MetricsRegistry
 
-    reg = MetricsRegistry()
-    result = run_one(spec, synth_config=base, metrics=reg)
-    return result, reg.to_dict()
+    reg = MetricsRegistry() if with_metrics else None
+    san = None
+    if sanitize:
+        from ..sanitize import Sanitizer
+
+        san = Sanitizer()
+    result = run_one(spec, synth_config=base, metrics=reg, sanitizer=san)
+    doc = reg.to_dict() if reg is not None else None
+    found = (
+        [f.to_dict() for f in _stamp_cell(san.findings, spec)]
+        if san is not None
+        else None
+    )
+    return result, doc, found
 
 
 def _run_parallel(
@@ -656,17 +728,26 @@ def _run_parallel(
     progress: Optional[Callable[[str], None]],
     total: int,
     metrics=None,
-) -> list[RunResult]:
-    """Fan ``specs`` out over a process pool; gather in canonical order."""
+    sanitize: bool = False,
+) -> tuple[list[RunResult], list]:
+    """Fan ``specs`` out over a process pool; gather in canonical order.
+
+    Returns ``(results, findings)`` where ``findings`` is the canonical-
+    order concatenation of every cell's sanitizer findings (empty unless
+    ``sanitize``)."""
     results: list[Optional[RunResult]] = [None] * total
     docs: list[Optional[dict]] = [None] * total
-    started = time.time()
+    found: list[Optional[list]] = [None] * total
+    started = time.time()  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
     done = 0
     with_metrics = metrics is not None
+    rich = with_metrics or sanitize
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        if with_metrics:
+        if rich:
             index_of = {
-                pool.submit(_run_cell_with_metrics, spec, base): i
+                pool.submit(
+                    _run_cell_with_metrics, spec, base, with_metrics, sanitize
+                ): i
                 for i, spec in enumerate(specs)
             }
         else:
@@ -680,14 +761,14 @@ def _run_parallel(
             for fut in finished:
                 i = index_of[fut]
                 payload = fut.result()  # re-raises worker failures
-                if with_metrics:
-                    results[i], docs[i] = payload
+                if rich:
+                    results[i], docs[i], found[i] = payload
                 else:
                     results[i] = payload
                 done += 1
                 if progress is not None:
                     spec = specs[i]
-                    elapsed = time.time() - started
+                    elapsed = time.time() - started  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
                     progress(
                         f"[{done}/{total}] {spec.fabric} {spec.ns}->{spec.nt} "
                         f"{spec.config.key} rep{spec.rep} ({elapsed:.0f}s)"
@@ -699,4 +780,11 @@ def _run_parallel(
         # Canonical-order merge: identical aggregate for any worker count.
         for doc in docs:
             metrics.merge(MetricsRegistry.from_dict(doc))
-    return results  # type: ignore[return-value]
+    findings: list = []
+    if sanitize:
+        from ..sanitize.findings import Finding
+
+        for cell in found:
+            for d in cell or ():
+                findings.append(Finding(**d))
+    return results, findings  # type: ignore[return-value]

@@ -146,9 +146,17 @@ class RedistributionSession:
         payloads = self.src_dataset.extract(tr.lo, tr.hi, self.names)
         nbytes = self.src_dataset.range_nbytes(tr.lo, tr.hi, self.names)
         self._emit_transfer("memcpy", nbytes)
+        san = self.ctx.world.sanitizer
+        token = None
+        if san is not None:
+            token = san.on_memcpy_begin(
+                self.ctx, self.src_dataset, tr.lo, tr.hi, self.names
+            )
         cost = nbytes / self.ctx.machine.memory_channel.bandwidth
         if cost > 0:
             yield from self.ctx.compute(cost)
+        if san is not None:
+            san.on_memcpy_end(token)
         self.dst_dataset.insert(tr.lo, tr.hi, payloads, self.names)
 
     def _chunk_sizes(self, tr: Transfer) -> dict[str, int]:

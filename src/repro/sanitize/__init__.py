@@ -1,0 +1,33 @@
+"""`repro.sanitize` — MPI-correctness sanitizer + determinism lint.
+
+Two complementary checkers for the simulated stack:
+
+* :class:`Sanitizer` (runtime, rules ``SAN0xx``): attaches to a live
+  :class:`~repro.smpi.world.MpiWorld` in the cooperative Tracer /
+  MetricsProbe style (zero cost detached) and observes buffer races,
+  request leaks, unmatched traffic, aborted-communicator use,
+  inconsistent vector collectives and deadlock wait-for-graphs.
+* :mod:`repro.sanitize.lint` (static, rules ``REP0xx``): an AST lint
+  over ``src/`` run as ``python -m repro.sanitize.lint`` that enforces
+  the repo's determinism invariants (no wall-clock, no unseeded
+  randomness, no bare-set iteration, no bare ``except``, ``__slots__``
+  on hot-path classes, no dropped isend/irecv requests).
+
+Both produce :class:`~repro.sanitize.findings.Finding` objects with
+stable rule codes; runtime findings export into an obs registry as
+``sanitizer_findings{rule=...}``.
+"""
+
+from .findings import ALL_RULES, Finding, REP_RULES, SAN_RULES, rule_doc
+from .runtime import Sanitizer, SanitizerError, fingerprint_payload
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "REP_RULES",
+    "SAN_RULES",
+    "Sanitizer",
+    "SanitizerError",
+    "fingerprint_payload",
+    "rule_doc",
+]

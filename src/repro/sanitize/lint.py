@@ -1,0 +1,417 @@
+"""Static determinism lint for the simulated stack (rules ``REP0xx``).
+
+Byte-identical replays are the repo's core contract: every run must be a
+pure function of its seed.  This AST lint enforces the source-level
+invariants that keep it that way::
+
+    python -m repro.sanitize.lint src/              # text report, exit 1 on hit
+    python -m repro.sanitize.lint --format json src/
+    python -m repro.sanitize.lint --select REP001,REP004 src/
+
+Rules (see :data:`repro.sanitize.findings.REP_RULES`):
+
+======  ==============================================================
+REP001  wall-clock call (``time.time``/``monotonic``/``perf_counter``,
+        ``datetime.now``/``utcnow``) in simulation code
+REP002  unseeded randomness (``random.*`` module functions, the global
+        ``np.random.*`` generator); use ``np.random.default_rng(seed)``
+REP003  iteration over a bare ``set`` expression (set order is not a
+        deterministic contract)
+REP004  bare ``except:`` (swallows ``ProcessKilled`` and friends)
+REP005  hot-path class without ``__slots__`` (kernel commands, events,
+        requests and messages are allocated at very high rates)
+REP006  ``isend``/``irecv`` result discarded (the request can never be
+        waited or tested — a guaranteed leak at finalize)
+======  ==============================================================
+
+Suppressions are explicit and per-line::
+
+    t0 = time.time()  # repro: noqa[REP001] - progress heartbeat only
+
+``# repro: noqa`` without a rule list suppresses every rule on that line.
+Suppression comments are intentionally *not* flake8's bare ``# noqa`` so
+the two tools never shadow each other.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .findings import Finding, REP_RULES
+
+__all__ = ["lint_file", "lint_paths", "lint_source", "main"]
+
+#: ``time`` module attributes that read the wall clock.
+_WALL_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+#: ``datetime``/``date`` class methods that read the wall clock.
+_WALL_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+#: ``random`` module-level functions backed by the unseeded global state.
+_RANDOM_MODULE_FUNCS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "lognormvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "triangular", "getrandbits", "seed", "randbytes",
+})
+#: ``np.random.*`` names that are *allowed* (seeded-generator entry points).
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence",
+                           "BitGenerator", "PCG64", "Philox", "MT19937"})
+
+#: path suffixes whose classes are allocated on the simulator hot path and
+#: therefore must declare ``__slots__`` (REP005).
+_HOT_PATH_SUFFIXES = (
+    "repro/simulate/core.py",
+    "repro/simulate/events.py",
+    "repro/simulate/primitives.py",
+    "repro/smpi/requests.py",
+    "repro/smpi/datatypes.py",
+    "repro/smpi/status.py",
+    "repro/smpi/endpoint.py",
+)
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+
+def _noqa_rules(line: str) -> Optional[frozenset[str]]:
+    """Rules suppressed on ``line``: a set, empty set = suppress all,
+    or ``None`` when there is no suppression comment at all."""
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    rules = m.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+
+class _Visitor(ast.NodeVisitor):
+    """One file's worth of determinism checks."""
+
+    def __init__(self, path: str, lines: Sequence[str], hot_path: bool):
+        self.path = path
+        self.lines = lines
+        self.hot_path = hot_path
+        self.findings: list[Finding] = []
+        #: local names bound to the ``time`` module.
+        self.time_mods: set[str] = set()
+        #: local names bound to wall-clock functions (``from time import ...``).
+        self.wall_funcs: set[str] = set()
+        #: local names bound to the ``datetime`` *module*.
+        self.datetime_mods: set[str] = set()
+        #: local names bound to the ``datetime.datetime``/``date`` classes.
+        self.datetime_classes: set[str] = set()
+        #: local names bound to the ``random`` module.
+        self.random_mods: set[str] = set()
+        #: local names bound to unseeded ``random`` functions.
+        self.random_funcs: set[str] = set()
+        #: local names bound to the numpy package.
+        self.numpy_mods: set[str] = set()
+        #: local names bound to ``numpy.random``.
+        self.np_random_mods: set[str] = set()
+
+    # ------------------------------------------------------------- reporting
+    def _emit(self, rule: str, message: str, node: ast.AST) -> None:
+        line = getattr(node, "lineno", 1)
+        source = self.lines[line - 1] if line - 1 < len(self.lines) else ""
+        suppressed = _noqa_rules(source)
+        if suppressed is not None and (not suppressed or rule in suppressed):
+            return
+        self.findings.append(Finding(
+            rule=rule, message=message, path=self.path,
+            line=line, col=getattr(node, "col_offset", 0),
+        ))
+
+    # --------------------------------------------------------------- imports
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self.time_mods.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_mods.add(bound)
+            elif alias.name == "random":
+                self.random_mods.add(bound)
+            elif alias.name in ("numpy", "numpy.random"):
+                if alias.name == "numpy.random" and alias.asname:
+                    self.np_random_mods.add(alias.asname)
+                else:
+                    self.numpy_mods.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "time" and alias.name in _WALL_TIME_ATTRS:
+                self.wall_funcs.add(bound)
+            elif node.module == "datetime" and alias.name in ("datetime", "date"):
+                self.datetime_classes.add(bound)
+            elif node.module == "random" and alias.name in _RANDOM_MODULE_FUNCS:
+                self.random_funcs.add(bound)
+            elif node.module == "numpy" and alias.name == "random":
+                self.np_random_mods.add(bound)
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------------- calls
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # REP001 — wall clock.
+        if isinstance(func, ast.Name):
+            if func.id in self.wall_funcs:
+                self._emit("REP001", f"wall-clock call {func.id}(); "
+                           "simulation code must use sim.now", node)
+            if func.id in self.random_funcs:
+                self._emit("REP002", f"unseeded randomness {func.id}(); "
+                           "use np.random.default_rng(seed)", node)
+        elif isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in self.time_mods and func.attr in _WALL_TIME_ATTRS:
+                    self._emit("REP001",
+                               f"wall-clock call {base.id}.{func.attr}(); "
+                               "simulation code must use sim.now", node)
+                if (base.id in self.datetime_classes
+                        and func.attr in _WALL_DATETIME_ATTRS):
+                    self._emit("REP001",
+                               f"wall-clock call {base.id}.{func.attr}(); "
+                               "simulation code must use sim.now", node)
+                if (base.id in self.random_mods
+                        and func.attr in _RANDOM_MODULE_FUNCS):
+                    self._emit("REP002",
+                               f"unseeded randomness {base.id}.{func.attr}(); "
+                               "use np.random.default_rng(seed)", node)
+                if (base.id in self.np_random_mods
+                        and func.attr not in _NP_RANDOM_OK):
+                    self._emit("REP002",
+                               f"np.random.{func.attr}() uses the unseeded "
+                               "global generator; use "
+                               "np.random.default_rng(seed)", node)
+            elif isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+                # datetime.datetime.now() / np.random.rand().
+                if (base.value.id in self.datetime_mods
+                        and base.attr in ("datetime", "date")
+                        and func.attr in _WALL_DATETIME_ATTRS):
+                    self._emit("REP001",
+                               f"wall-clock call {base.value.id}.{base.attr}."
+                               f"{func.attr}(); simulation code must use "
+                               "sim.now", node)
+                if (base.value.id in self.numpy_mods
+                        and base.attr == "random"
+                        and func.attr not in _NP_RANDOM_OK):
+                    self._emit("REP002",
+                               f"np.random.{func.attr}() uses the unseeded "
+                               "global generator; use "
+                               "np.random.default_rng(seed)", node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------- iteration
+    @staticmethod
+    def _is_bare_set(expr: ast.AST) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("set", "frozenset")):
+            return True
+        if isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+            # ``a | b`` etc. over sets: only flag when a side is clearly a set.
+            return (_Visitor._is_bare_set(expr.left)
+                    or _Visitor._is_bare_set(expr.right))
+        return False
+
+    def _check_iter(self, iter_node: ast.AST, where: ast.AST) -> None:
+        if self._is_bare_set(iter_node):
+            self._emit("REP003",
+                       "iteration over a bare set expression; set order is "
+                       "not deterministic across processes — sort it or use "
+                       "dict.fromkeys", where)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter, node.iter)
+        self.generic_visit(node)
+
+    # ---------------------------------------------------------------- except
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit("REP004",
+                       "bare 'except:' swallows everything including "
+                       "ProcessKilled; name the exceptions", node)
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------------- slots
+    @staticmethod
+    def _has_slots(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for tgt in targets:
+                if isinstance(tgt, ast.Name) and tgt.id == "__slots__":
+                    return True
+        return False
+
+    @staticmethod
+    def _is_exempt_class(node: ast.ClassDef) -> bool:
+        names = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                names.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.append(base.attr)
+        if any(n in ("Enum", "IntEnum", "Flag", "Protocol") or
+               n.endswith(("Error", "Exception", "Warning")) for n in names):
+            return True
+        if node.name.endswith(("Error", "Exception", "Warning")):
+            return True
+        # dataclass(slots=True) generates __slots__ at class-build time.
+        for dec in node.decorator_list:
+            if isinstance(dec, ast.Call):
+                for kw in dec.keywords:
+                    if (kw.arg == "slots"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True):
+                        return True
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if (self.hot_path and not self._has_slots(node)
+                and not self._is_exempt_class(node)):
+            self._emit("REP005",
+                       f"hot-path class {node.name} lacks __slots__ "
+                       "(this module's objects are allocated per "
+                       "message/event)", node)
+        self.generic_visit(node)
+
+    # -------------------------------------------------------- dropped requests
+    @staticmethod
+    def _request_call(expr: ast.AST) -> Optional[str]:
+        """Name of the isend/irecv being called, unwrapping yield-from."""
+        if isinstance(expr, ast.YieldFrom):
+            expr = expr.value
+        if isinstance(expr, ast.Await):
+            expr = expr.value
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        attr = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if attr in ("isend", "irecv"):
+            return attr
+        return None
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        attr = self._request_call(node.value)
+        if attr is not None:
+            self._emit("REP006",
+                       f"{attr}() result discarded: the request can never "
+                       "be waited or tested (guaranteed leak at finalize)",
+                       node)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        attr = self._request_call(node.value)
+        if attr is not None and all(
+                isinstance(t, ast.Name) and t.id == "_" for t in node.targets):
+            self._emit("REP006",
+                       f"{attr}() request assigned to '_' and dropped; keep "
+                       "it and wait/test it", node)
+        self.generic_visit(node)
+
+
+# ------------------------------------------------------------------ drivers
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Lint one source string; ``path`` is used for provenance and for the
+    hot-path (REP005) module scoping."""
+    posix = Path(path).as_posix()
+    hot = posix.endswith(_HOT_PATH_SUFFIXES)
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(path, source.splitlines(), hot)
+    visitor.visit(tree)
+    findings = visitor.findings
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - set(REP_RULES)
+        if unknown:
+            raise ValueError(f"unknown lint rules selected: {sorted(unknown)}")
+        findings = [f for f in findings if f.rule in wanted]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_file(path: Path, select: Optional[Iterable[str]] = None) -> list[Finding]:
+    return lint_source(path.read_text(), str(path), select)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Lint files and/or directories (recursing into ``*.py``)."""
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, select))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize.lint",
+        description="Static determinism lint (REP0xx) for the simulated "
+        "stack; exit code 1 when findings exist.",
+    )
+    parser.add_argument("paths", nargs="+", type=Path,
+                        help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule codes to run (default: all REP rules)",
+    )
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code, doc in REP_RULES.items():
+            print(f"{code}  {doc}")
+        return 0
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {missing[0]}")
+    findings = lint_paths(args.paths, select)
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2,
+                         sort_keys=True))
+    else:
+        for f in findings:
+            print(f.format())
+        n = len(findings)
+        print(f"{n} finding(s)" if n else "clean: no findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -137,7 +137,7 @@ class _HeapItem:
         self.cancelled = False
 
 
-class Simulator:
+class Simulator:  # repro: noqa[REP005] - one instance per run; hooks land as attributes
     """The event loop.
 
     Typical use::
@@ -162,6 +162,10 @@ class Simulator:
         #: Layers that keep internal work queues (e.g. lazily scheduled
         #: network recomputation) can register here.
         self.idle_hooks: list[Callable[[], bool]] = []
+        #: hooks consulted when deadlock is about to be raised; each returns
+        #: explanation lines folded into the :class:`DeadlockError` message.
+        #: The MPI sanitizer registers its wait-for-graph renderer here.
+        self.diagnostics: list[Callable[[], list[str]]] = []
 
     # ----------------------------------------------------------------- ids
     def _next_id(self) -> int:
@@ -338,7 +342,10 @@ class Simulator:
             break
         blocked = self._blocked_report()
         if blocked:
-            raise DeadlockError(blocked)
+            details: list[str] = []
+            for hook in list(self.diagnostics):
+                details.extend(hook())
+            raise DeadlockError(blocked, details=details)
         return self.now
 
     def _blocked_report(self) -> list[str]:

@@ -13,12 +13,23 @@ class DeadlockError(SimulationError):
     The message lists every blocked process so that higher layers (e.g. the
     simulated MPI matching engine) surface *which* ranks were waiting and on
     what, mirroring how a hung ``mpiexec`` job is usually diagnosed.
+
+    ``details`` carries extra explanation lines gathered from
+    :attr:`repro.simulate.core.Simulator.diagnostics` hooks — with an MPI
+    sanitizer attached this is the wait-for-graph (which rank blocks on
+    which peer/tag/ctx, plus any wait cycle).
     """
 
-    def __init__(self, blocked: list[str]):
+    def __init__(self, blocked: list[str], details: list[str] | None = None):
         self.blocked = list(blocked)
+        self.details = list(details or [])
         desc = ", ".join(blocked) if blocked else "<unknown>"
-        super().__init__(f"simulation deadlock: {len(self.blocked)} blocked process(es): {desc}")
+        msg = f"simulation deadlock: {len(self.blocked)} blocked process(es): {desc}"
+        if self.details:
+            msg += "\nwait-for graph:\n" + "\n".join(
+                f"  {line}" for line in self.details
+            )
+        super().__init__(msg)
 
 
 class ProcessKilled(SimulationError):

@@ -157,6 +157,11 @@ class RankCtx:
         dst_gid = comm.peer_gid(dest)
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         req = SendRequest(self.sim, dst_gid, tag, size)
+        san = self.world.sanitizer
+        if san is not None:
+            # Register before injection: eager sends complete *at* inject,
+            # so the mutation window closes immediately (as it should).
+            san.on_isend(self, comm, dest, tag, payload, req)
         msg = Message(
             seq=self.world.next_chan_seq(self.gid, dst_gid),
             ctx_id=comm.ctx_id,
@@ -193,6 +198,9 @@ class RankCtx:
             self._ep.post_recv(req)
         finally:
             self._ep.exit_progress()
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_irecv(self, comm, source, tag, req)
         # A receive naming a dead source that found nothing already arrived
         # can never match: complete it in error now (after post_recv, so a
         # buffered eager payload from the late peer still wins the race).
@@ -242,18 +250,26 @@ class RankCtx:
         return rreq.data
 
     # ---------------------------------------------------------------- waits
-    def _polling_block(self, command):
+    def _polling_block(self, command, reqs=None):
         """Block on a kernel command while polling (CPU) and holding the
-        progress engine — the shape of every blocking MPI call."""
+        progress engine — the shape of every blocking MPI call.
+
+        ``reqs`` (optional) names the requests being waited on so an
+        attached sanitizer can draw wait-for-graph edges on deadlock."""
         self._ep.enter_progress()
         tok = PollerToken(label=f"gid{self.gid}")
         self.node.add_poller(tok)
         t0 = self.sim.now
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_block(self, command, reqs)
         try:
             result = yield command
         finally:
             self.node.remove_poller(tok)
             self._ep.exit_progress()
+            if san is not None:
+                san.on_unblock(self)
             m = self.world.metrics
             if m is not None:
                 m.timer("smpi.wait_blocked", rank=self.gid).record(
@@ -263,7 +279,7 @@ class RankCtx:
 
     def wait(self, req: Request):
         """Blocking wait on one request (polls; progress engine held)."""
-        yield from self._polling_block(WaitEvent(req.done))
+        yield from self._polling_block(WaitEvent(req.done), (req,))
         return req
 
     def waitall(self, reqs: Sequence[Request]):
@@ -271,7 +287,7 @@ class RankCtx:
         reqs = list(reqs)
         if not reqs:
             return reqs
-        yield from self._polling_block(AllOf([r.done for r in reqs]))
+        yield from self._polling_block(AllOf([r.done for r in reqs]), reqs)
         return reqs
 
     def waitany(self, reqs: Sequence[Request]):
@@ -283,7 +299,9 @@ class RankCtx:
         reqs = list(reqs)
         if not reqs:
             raise ValueError("waitany needs at least one request")
-        idx, _ = yield from self._polling_block(AnyOf([r.done for r in reqs]))
+        idx, _ = yield from self._polling_block(
+            AnyOf([r.done for r in reqs]), reqs
+        )
         return idx, reqs[idx]
 
     def progress_tick(self, cost: Optional[float] = None):
@@ -696,6 +714,9 @@ class RankCtx:
             else:
                 apply()
 
+        san = world.sanitizer
+        if san is not None:
+            san.on_win_put(self, win.comm, target_rank, payload, done)
         flow_done.add_callback(land)
         win._track(done)
         return done

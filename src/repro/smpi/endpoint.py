@@ -81,7 +81,7 @@ class Message:
         )
 
 
-class Endpoint:
+class Endpoint:  # repro: noqa[REP005] - one per rank (not per message); queues dominate its footprint
     """Matching engine + progress engine of one simulated MPI process.
 
     Shared by the process's main flow of control and any auxiliary threads
@@ -364,6 +364,11 @@ class Endpoint:
         senders, failed receives, or traffic on a communicator a recovery
         policy explicitly abandoned (:meth:`MpiWorld.abort_comm`)."""
         self.closed = True
+        san = self.world.sanitizer
+        if san is not None:
+            # Findings first, so leaks/unmatched traffic carry full
+            # provenance even when the hard check below then raises.
+            san.on_finalize(self)
         dead = self.world.dead_gids
         aborted = self.world.aborted_ctxs
 

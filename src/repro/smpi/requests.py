@@ -17,9 +17,17 @@ from .status import Status
 
 __all__ = ["Request", "SendRequest", "RecvRequest", "MultiRequest"]
 
+#: Cooperative hook for :class:`repro.sanitize.Sanitizer`.  ``None`` in
+#: normal runs (one pointer comparison per ``req.data`` read); when a
+#: sanitizer is attached it observes reads of still-pending receive
+#: buffers (rule SAN002).
+_SANITIZER = None
+
 
 class Request:
     """Base request: a completion event plus optional data/status."""
+
+    __slots__ = ("req_id", "kind", "done", "_data", "status", "error")
 
     _ids = itertools.count()
 
@@ -28,11 +36,26 @@ class Request:
         self.kind = kind
         self.done: SimEvent = sim.event(name=f"{kind}#{self.req_id}")
         #: payload delivered to a receive (None for sends).
-        self.data: Any = None
+        self._data: Any = None
         #: envelope of a completed receive.
         self.status: Optional[Status] = None
         #: the exception that failed this request, if any.
         self.error: Optional[BaseException] = None
+
+    @property
+    def data(self) -> Any:
+        """Payload of a completed receive (``None`` for sends).
+
+        Reading this before the request completed is undefined behaviour
+        under real MPI; an attached sanitizer flags it as SAN002.
+        """
+        if _SANITIZER is not None:
+            _SANITIZER.on_data_read(self)
+        return self._data
+
+    @data.setter
+    def data(self, value: Any) -> None:
+        self._data = value
 
     @property
     def completed(self) -> bool:
@@ -66,6 +89,8 @@ class SendRequest(Request):
     """Pending send.  Eager sends complete at injection (buffered semantics);
     rendezvous sends complete when the payload has fully drained."""
 
+    __slots__ = ("dst_gid", "tag", "nbytes")
+
     def __init__(self, sim: Simulator, dst_gid: int, tag: int, nbytes: int):
         super().__init__(sim, "send")
         self.dst_gid = dst_gid
@@ -76,6 +101,8 @@ class SendRequest(Request):
 class RecvRequest(Request):
     """Posted receive.  ``source``/``tag`` may be wildcards; the matched
     sender's communicator-relative rank lands in :attr:`Request.status`."""
+
+    __slots__ = ("comm", "source", "tag")
 
     def __init__(self, sim: Simulator, comm, source: int, tag: int):
         super().__init__(sim, "recv")
@@ -99,6 +126,8 @@ class MultiRequest(Request):
     Completes when every child completes.  ``Testall`` on the parent is the
     paper's Algorithm-3 completion check for ``MPI_Ialltoallv``.
     """
+
+    __slots__ = ("children",)
 
     def __init__(self, sim: Simulator, children: Iterable[Request]):
         super().__init__(sim, "multi")

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 __all__ = ["Status"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Status:
     """Envelope information of a completed receive.
 

@@ -82,6 +82,12 @@ class MpiWorld:
         #: :class:`repro.obs.MetricsProbe` while attached; ``None`` means
         #: every instrumented layer pays one pointer comparison and no more.
         self.metrics = None
+        #: cooperative correctness hook: a
+        #: :class:`repro.sanitize.Sanitizer` while attached, else ``None``.
+        #: The smpi/redistribution layers report sends, receives, puts,
+        #: blocking waits and finalize through it at pointer-comparison
+        #: cost; detached runs are byte-identical.
+        self.sanitizer = None
         #: gids of ranks known dead (node crash, kill, terminate_ranks).
         self.dead_gids: set[int] = set()
         #: every message injected and not yet delivered/retired, keyed by
@@ -373,7 +379,7 @@ class MpiWorld:
         * pending world-level collectives (spawn/merge) with a dead
           participant fail for everyone still waiting at the rendezvous.
         """
-        new = sorted(g for g in set(gids) if g not in self.dead_gids)
+        new = sorted(g for g in dict.fromkeys(gids) if g not in self.dead_gids)
         if not new:
             return
         self.dead_gids.update(new)
