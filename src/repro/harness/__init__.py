@@ -5,6 +5,8 @@ Every table and figure of the paper's evaluation maps to an entry in
 (``repro-harness``) runs the necessary sweeps and renders the artefacts.
 """
 
+from .cache import CACHE_VERSION, CellCache
+from .executor import SweepCellError, resolve_workers
 from .experiments import EXPERIMENTS, ExperimentSpec, async_sync_pairs, pairs_for
 from .expmd import Claim, evaluate_claims, experiments_markdown
 from .report import FigureData, build_figure, figure_report, headline_speedups
@@ -18,6 +20,10 @@ from .runner import (
 )
 
 __all__ = [
+    "CACHE_VERSION",
+    "CellCache",
+    "SweepCellError",
+    "resolve_workers",
     "EXPERIMENTS",
     "ExperimentSpec",
     "pairs_for",

@@ -1,0 +1,159 @@
+"""Deterministic sweep-cell result cache.
+
+Every cell of a sweep is a pure function of its :class:`RunSpec`, the base
+:class:`~repro.synthetic.configfile.SyntheticConfig` and the code that
+interprets them: the simulation is seeded by :func:`~repro.harness.runner.
+_seed_of` and history-independent (the PR 1 contract), so an identical
+cell re-run produces identical numbers.  This module memoizes cells on
+disk so re-running a figure sweep (the common workflow: tweak the report,
+re-run the CLI) costs milliseconds instead of minutes.
+
+Keying — the cache token concatenates, in order:
+
+* :data:`CACHE_VERSION` (bump on any wire/semantic change in this file or
+  :data:`~repro.harness.executor.WIRE_FIELDS`);
+* the observability **schema fingerprint**
+  (:func:`repro.obs.schema.schema_fingerprint`) — metrics-shape changes
+  invalidate every entry that carries a metrics document;
+* every :class:`RunSpec` field (ns, nt, config key, fabric, scale, rep,
+  plan_mode, canonical faults spec) — also the seed inputs;
+* whether a metrics document was requested;
+* the ``repr`` of the base synthetic config and of the scale preset, so
+  edited workloads or presets never serve stale entries.
+
+Entries are one JSON file per cell named by the SHA-256 of the token;
+the full token is stored *inside* the entry and verified on load, so a
+(astronomically unlikely) prefix collision or a corrupt/truncated file
+degrades to a cache miss, never a wrong result.  Writes are atomic
+(tempfile + ``os.replace``), so concurrent sweeps sharing a cache
+directory cannot observe torn entries.
+
+Values round-trip exactly: Python's ``json`` serializes floats with
+``repr`` and parses them back bit-for-bit, and ints stay ints — which is
+what makes a cached sweep's CSV **byte-identical** to an uncached one.
+
+Sanitized sweeps bypass the cache entirely (findings are about the run,
+not the result, and must be regenerated), as does anything the caller
+does not route through :func:`CellCache.get` / :func:`CellCache.put`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["CACHE_VERSION", "CellCache"]
+
+#: Bump to invalidate every existing cache entry (wire-format or cell
+#: semantics changes that the schema fingerprint cannot see).
+CACHE_VERSION = 1
+
+#: Field separator inside the token (never appears in any component).
+_SEP = "\x1f"
+
+
+class CellCache:
+    """Directory-backed memo of ``(wire, metrics_doc)`` per sweep cell."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        #: hit/miss tally for this instance (bench disclosure).
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def coerce(
+        cls, cache: "Union[CellCache, str, Path, None]"
+    ) -> "Optional[CellCache]":
+        """Accept ``None`` (caching off), a path, or a ready instance."""
+        if cache is None or isinstance(cache, CellCache):
+            return cache
+        return cls(cache)
+
+    # ------------------------------------------------------------- keying
+    @staticmethod
+    def token(spec, base, with_metrics: bool) -> str:
+        """The full invalidation token for one cell (see module docstring)."""
+        from ..obs import schema_fingerprint
+        from ..synthetic.presets import SCALES
+
+        preset = SCALES.get(spec.scale)
+        return _SEP.join(
+            (
+                f"v{CACHE_VERSION}",
+                schema_fingerprint() if with_metrics else "nometrics-schema",
+                str(spec.ns),
+                str(spec.nt),
+                spec.config.key,
+                spec.fabric,
+                spec.scale,
+                str(spec.rep),
+                spec.plan_mode,
+                spec.faults,
+                "metrics" if with_metrics else "nometrics",
+                repr(base),
+                repr(preset),
+            )
+        )
+
+    def _path(self, token: str) -> Path:
+        digest = hashlib.sha256(token.encode()).hexdigest()[:24]
+        return self.root / f"{digest}.json"
+
+    # ------------------------------------------------------------ get/put
+    def get(self, spec, base, with_metrics: bool):
+        """Return ``(wire, metrics_doc)`` or ``None`` on any miss.
+
+        Corrupt, truncated, stale-version or token-mismatched entries are
+        misses — the cache never guesses.
+        """
+        tok = self.token(spec, base, with_metrics)
+        path = self._path(tok)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("v") != CACHE_VERSION
+            or entry.get("key") != tok
+            or not isinstance(entry.get("wire"), list)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return tuple(entry["wire"]), entry.get("metrics")
+
+    def put(self, spec, base, with_metrics: bool, wire, doc) -> None:
+        """Persist one completed cell atomically (tmp file + replace)."""
+        tok = self.token(spec, base, with_metrics)
+        path = self._path(tok)
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "v": CACHE_VERSION,
+            "key": tok,
+            "wire": list(wire),
+            "metrics": doc,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ---------------------------------------------------------- reporting
+    @property
+    def hit_rate(self) -> float:
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0

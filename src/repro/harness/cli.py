@@ -24,6 +24,18 @@ from .runner import ResultSet, run_sweep
 __all__ = ["main"]
 
 
+def _workers_arg(text: str):
+    """``--workers`` value: a positive int or the literal ``auto``."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', not {text!r}"
+        ) from None
+
+
 def _parse_figures(text: str) -> list[str]:
     if text == "all":
         return list(EXPERIMENTS)
@@ -63,6 +75,7 @@ def cmd_run(args) -> int:
         from ..obs import MetricsRegistry
 
         registry = MetricsRegistry()
+    cache = None if args.no_cache else args.cache
     try:
         rs = run_sweep(
             sorted(pairs),
@@ -75,6 +88,7 @@ def cmd_run(args) -> int:
             metrics=registry,
             faults=args.faults or "",
             sanitize=args.sanitize,
+            cache=cache,
         )
     except Exception as exc:
         from ..sanitize import SanitizerError
@@ -229,9 +243,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the scale's repetition count")
     p_run.add_argument("--out", default="results.csv")
     p_run.add_argument(
-        "--workers", type=int, default=None,
-        help="fan the sweep out over N processes (results are bit-identical "
-        "to a sequential run; default: sequential)",
+        "--workers", type=_workers_arg, default=None, metavar="N|auto",
+        help="fan the sweep out over N processes, or 'auto' for "
+        "min(cpu_count, cells); results are bit-identical to a sequential "
+        "run; N<=1 or N>cells falls back to sequential (default: sequential)",
+    )
+    p_run.add_argument(
+        "--cache", default=".repro-cache", metavar="DIR",
+        help="cell-result cache directory (default: .repro-cache); cache "
+        "hits replay a cell's exact wire scalars and metrics document, so "
+        "cached sweeps stay byte-identical to fresh ones",
+    )
+    p_run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the cell-result cache (every cell re-simulates)",
     )
     p_run.add_argument("--verbose", action="store_true")
     p_run.add_argument("--append", action="store_true",

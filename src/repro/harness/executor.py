@@ -1,0 +1,292 @@
+"""Chunked process-pool executor behind ``run_sweep(workers=...)``.
+
+The original parallel path submitted **one future per cell** and shipped a
+fully pickled :class:`~repro.harness.runner.RunResult` (config dataclass
+graph included) plus a metrics document back per future.  On the tiny
+grids the evaluation sweeps over, the per-future overhead (pickling,
+queue round-trips, pool bookkeeping) outweighed the simulation itself and
+the "parallel" sweep ran *slower* than sequential (BENCH_sweep recorded
+0.893x).  This module replaces it with:
+
+* **warm workers** — a pool initializer ships the base
+  :class:`~repro.synthetic.configfile.SyntheticConfig` and the full spec
+  list *once* (as initargs, not per task), pre-imports the heavy numeric
+  stack, and pre-builds a throwaway :class:`~repro.cluster.Machine` so
+  the first real cell pays no import/JIT cost;
+* **chunked dispatch** — cells travel as strided index lists
+  (``n_chunks = min(n_cells, workers * 4)``), amortizing the per-future
+  cost over many cells while keeping late chunks small enough for load
+  balancing;
+* **a compact wire format** — a worker returns 13 scalars per cell
+  (:data:`WIRE_FIELDS`); everything else in a :class:`RunResult` is
+  reconstructed parent-side from the :class:`RunSpec` the parent already
+  holds.  The same wire tuples feed the cell cache, so cached, parallel
+  and sequential sweeps all materialize rows through one code path and
+  stay byte-identical.
+
+Failures keep their provenance: a cell raising inside a chunk surfaces as
+:class:`SweepCellError` naming the cell (``fabric:ns->nt:config:rep``)
+and its grid index, picklable across the pool boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Optional, Sequence, Union
+
+__all__ = [
+    "WIRE_FIELDS",
+    "SweepCellError",
+    "resolve_workers",
+    "result_to_wire",
+    "wire_to_result",
+    "run_cell",
+    "run_parallel",
+]
+
+#: The 13 per-cell scalars a worker ships back (everything else in a
+#: RunResult is spec-derived).  Order is a wire format: the cell cache
+#: persists tuples in this order, so reordering invalidates caches —
+#: bump :data:`repro.harness.cache.CACHE_VERSION` if you must.
+WIRE_FIELDS = (
+    "reconfig_time",
+    "app_time",
+    "spawn_time",
+    "overlapped_iterations",
+    "total_iterations",
+    "rms_decision_time",
+    "plan_build_time",
+    "redist_time",
+    "commit_time",
+    "redist_bytes",
+    "peak_oversubscription",
+    "retries",
+    "recovery_time",
+)
+
+
+class SweepCellError(RuntimeError):
+    """A sweep cell failed inside a pool worker.
+
+    Carries the cell's provenance (``fabric:ns->nt:config:rep``) and grid
+    index so a mid-chunk failure is attributable without re-running the
+    sweep.  ``__reduce__`` keeps it picklable across the process-pool
+    boundary (the default reduce of exceptions with keyword state is not).
+    """
+
+    def __init__(self, cell: str, index: int, cell_message: str):
+        self.cell = cell
+        self.index = index
+        self.cell_message = cell_message
+        super().__init__(
+            f"sweep cell {cell} (grid index {index}) failed: {cell_message}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.cell, self.index, self.cell_message))
+
+
+def resolve_workers(workers: Union[int, str, None], total: int) -> Optional[int]:
+    """Turn the user-facing ``workers`` knob into a pool width or ``None``.
+
+    ``None``/``0``/``1`` mean sequential.  ``"auto"`` asks for
+    ``min(os.cpu_count(), total)``.  A numeric request *larger than the
+    cell count* falls back to sequential: the pool would mostly spawn
+    idle interpreters, and sequential is both faster and exercises the
+    canonical code path.  Anything non-sensical raises ``ValueError``.
+    """
+    if workers is None:
+        return None
+    if isinstance(workers, str):
+        if workers.strip().lower() != "auto":
+            raise ValueError(
+                f"workers must be an int or 'auto', not {workers!r}"
+            )
+        resolved = min(os.cpu_count() or 1, total)
+        return resolved if resolved > 1 else None
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers <= 1:
+        return None
+    if workers > total:
+        # More processes than cells: every extra worker is pure spawn
+        # cost.  Run sequentially instead (satellite contract).
+        return None
+    return workers
+
+
+# --------------------------------------------------------------- wire format
+def result_to_wire(result) -> tuple:
+    """Collapse a RunResult to its 13 non-spec scalars (wire order)."""
+    return tuple(getattr(result, f) for f in WIRE_FIELDS)
+
+
+def wire_to_result(spec, wire: Sequence):
+    """Rebuild the full RunResult from its spec + wire scalars.
+
+    Lossless by construction: every RunResult field is either one of the
+    13 wire scalars or copied verbatim from the spec by
+    :func:`~repro.harness.runner.run_one` — so
+    ``wire_to_result(spec, result_to_wire(run_one(spec))) == run_one(spec)``.
+    """
+    from .runner import RunResult
+
+    kw = dict(zip(WIRE_FIELDS, wire))
+    return RunResult(
+        ns=spec.ns,
+        nt=spec.nt,
+        config=spec.config,
+        fabric=spec.fabric,
+        scale=spec.scale,
+        rep=spec.rep,
+        plan_mode=spec.plan_mode,
+        faults=spec.faults,
+        **kw,
+    )
+
+
+def run_cell(spec, base, with_metrics: bool, sanitize: bool):
+    """Run one cell; return ``(wire, metrics_doc | None, findings | None)``.
+
+    The single cell-execution path shared by the sequential loop, the
+    pool workers and the cache-fill: everything downstream (CSV rows,
+    merged metrics, cached entries) is derived from this triple, which is
+    what makes cached / parallel / sequential sweeps byte-identical.
+    """
+    from .runner import _stamp_cell, run_one
+
+    reg = None
+    if with_metrics:
+        from ..obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+    san = None
+    if sanitize:
+        from ..sanitize import Sanitizer
+
+        san = Sanitizer()
+    result = run_one(spec, synth_config=base, metrics=reg, sanitizer=san)
+    doc = reg.to_dict() if reg is not None else None
+    found = (
+        [f.to_dict() for f in _stamp_cell(san.findings, spec)]
+        if san is not None
+        else None
+    )
+    return result_to_wire(result), doc, found
+
+
+# ------------------------------------------------------------------- workers
+#: Per-process state installed by :func:`_worker_init`; lives for the whole
+#: pool so consecutive chunks reuse it ("warm workers").
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(base, specs, with_metrics: bool, sanitize: bool) -> None:
+    """Pool initializer: runs once per worker process, not once per chunk.
+
+    Ships the shared immutables (base config + full spec list) into a
+    module global and pre-warms the expensive imports and the simulation
+    stack, so the first chunk a worker receives runs at steady-state
+    speed.
+    """
+    _WORKER_STATE["base"] = base
+    _WORKER_STATE["specs"] = specs
+    _WORKER_STATE["with_metrics"] = with_metrics
+    _WORKER_STATE["sanitize"] = sanitize
+    # Pre-import the numeric stack (the dominant cold-start cost).
+    import numpy  # noqa: F401
+    import scipy.sparse  # noqa: F401
+
+    # Pre-build one throwaway machine so lazy per-class setup (fabric
+    # tables, scheduler state) happens before the first timed cell.
+    from ..cluster.fabrics import ETHERNET_10G
+    from ..cluster.machine import Machine
+    from ..simulate.core import Simulator
+
+    Machine(Simulator(), 2, 2, ETHERNET_10G, seed=0)
+
+
+def _run_chunk(indices: Sequence[int]) -> list:
+    """Worker entry: run a strided chunk of cells against the warm state."""
+    from .runner import _cell_key
+
+    base = _WORKER_STATE["base"]
+    specs = _WORKER_STATE["specs"]
+    with_metrics = _WORKER_STATE["with_metrics"]
+    sanitize = _WORKER_STATE["sanitize"]
+    out = []
+    for i in indices:
+        spec = specs[i]
+        try:
+            wire, doc, found = run_cell(spec, base, with_metrics, sanitize)
+        except Exception as exc:  # noqa: BLE001 - provenance wrapper
+            raise SweepCellError(
+                _cell_key(spec), i, f"{type(exc).__name__}: {exc}"
+            ) from exc
+        out.append((i, wire, doc, found))
+    return out
+
+
+def make_chunks(indices: Sequence[int], workers: int) -> list[list[int]]:
+    """Strided chunking: ``min(n, workers*4)`` chunks, round-robin filled.
+
+    Striding (rather than contiguous slicing) spreads each fabric/pair
+    band across all chunks, so chunk runtimes stay balanced even though
+    cell cost varies systematically along the canonical order; 4 chunks
+    per worker keeps tail latency low when costs are uneven.  Handles odd
+    remainders by construction — chunk lengths differ by at most one.
+    """
+    n_chunks = min(len(indices), workers * 4)
+    if n_chunks <= 0:
+        return []
+    return [list(indices[k::n_chunks]) for k in range(n_chunks)]
+
+
+def run_parallel(
+    specs,
+    base,
+    workers: int,
+    indices: Sequence[int],
+    wires: list,
+    docs: list,
+    found: list,
+    with_metrics: bool,
+    sanitize: bool,
+    progress: Optional[Callable[[str], None]],
+    total: int,
+    done: int,
+    started: float,
+) -> int:
+    """Fan the pending ``indices`` out over a warm chunked pool.
+
+    Fills ``wires``/``docs``/``found`` (grid-indexed lists) in place and
+    returns the updated ``done`` counter.  Progress is emitted once per
+    *cell* (not per chunk) in completion order, preserving the
+    ``[done/total]`` counting contract of the sequential path.
+    """
+    chunks = make_chunks(indices, workers)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(base, specs, with_metrics, sanitize),
+    ) as pool:
+        pending = {pool.submit(_run_chunk, chunk) for chunk in chunks}
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                for i, wire, doc, cell_found in fut.result():
+                    wires[i] = wire
+                    docs[i] = doc
+                    found[i] = cell_found
+                    done += 1
+                    if progress is not None:
+                        spec = specs[i]
+                        elapsed = time.time() - started  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
+                        progress(
+                            f"[{done}/{total}] {spec.fabric} "
+                            f"{spec.ns}->{spec.nt} {spec.config.key} "
+                            f"rep{spec.rep} ({elapsed:.0f}s)"
+                        )
+    return done

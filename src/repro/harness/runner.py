@@ -20,7 +20,6 @@ import csv
 import io
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
@@ -595,30 +594,36 @@ def run_sweep(
     repetitions: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     synth_config: Optional[SyntheticConfig] = None,
-    workers: Optional[int] = None,
+    workers: "Union[int, str, None]" = None,
     metrics=None,
     faults: str = "",
     sanitize: bool = False,
+    cache=None,
 ) -> ResultSet:
     """Run the full cross product; the master data behind every figure.
 
     Parameters
     ----------
     workers:
-        ``None`` or ``1`` runs sequentially in-process.  ``N > 1`` fans the
-        grid out over a :class:`ProcessPoolExecutor`; results are gathered
-        back in canonical spec order, so the returned ResultSet (and its
-        CSV serialization) is bit-identical to a sequential run.
+        ``None``, ``0`` or ``1`` run sequentially in-process.  ``N > 1``
+        fans the grid out over a warm, chunked process pool
+        (:mod:`repro.harness.executor`); results are gathered back in
+        canonical spec order, so the returned ResultSet (and its CSV
+        serialization) is bit-identical to a sequential run.  ``"auto"``
+        picks ``min(os.cpu_count(), n_cells)``.  A numeric ``N`` larger
+        than the number of cells to run falls back to sequential (the
+        pool would mostly spawn idle interpreters).
     metrics:
         Optional :class:`repro.obs.MetricsRegistry` to aggregate the whole
         sweep into.  Each cell records into its own fresh registry; cell
-        registries are merged into ``metrics`` in canonical spec order
-        (parallel workers ship their registry back as a document), so the
-        merged aggregate is identical for any worker count.
+        registries travel as plain documents and are merged into
+        ``metrics`` in canonical spec order, so the merged aggregate is
+        identical for any worker count and for cached re-runs.
     progress:
         Called once per completed cell with ``[done/total]`` plus an
         elapsed-seconds heartbeat.  Under parallel execution cells complete
         out of order; ``done`` counts completions, not grid position.
+        Cache hits count as completions too.
     faults:
         Optional :mod:`repro.faults` schedule spec applied to every cell.
         Injection is seeded and event-driven, so a faulted sweep remains
@@ -629,50 +634,99 @@ def run_sweep(
         finding across the sweep raises
         :class:`repro.sanitize.SanitizerError` after all cells ran, with
         per-cell provenance in each finding's ``detail["cell"]``.
+        Sanitized sweeps bypass the cell cache (findings must be
+        regenerated, never replayed).
+    cache:
+        ``None`` (default) disables caching.  A path or
+        :class:`repro.harness.cache.CellCache` memoizes completed cells
+        on disk; cache hits reproduce the exact wire scalars and metrics
+        documents of a fresh run, so cached sweeps stay byte-identical.
     """
+    from .cache import CellCache
+    from .executor import resolve_workers, run_cell, run_parallel, wire_to_result
+
     preset = SCALES[scale]
     reps = repetitions if repetitions is not None else preset.repetitions
     base = synth_config or cg_emulation_config(scale)
     specs = sweep_specs(pairs, config_keys, fabrics, scale, reps, faults=faults)
     total = len(specs)
-    if workers is not None and workers > 1 and total > 1:
-        results, findings = _run_parallel(
-            specs, base, min(workers, total), progress, total, metrics,
-            sanitize=sanitize,
-        )
-        _raise_if_findings(findings)
-        return ResultSet(results)
-    out = ResultSet()
-    findings: list = []
-    # Sequential path: only consult the wall clock when someone is watching
-    # (time.time() per tiny cell is measurable overhead at paper scale).
+    with_metrics = metrics is not None
+    cache_obj = None if sanitize else CellCache.coerce(cache)
+
+    # Grid-indexed gather targets; every execution style fills these and
+    # the rows/merges below derive from them, which is what keeps
+    # sequential / parallel / cached sweeps byte-identical.
+    wires: list = [None] * total
+    docs: list = [None] * total
+    found: list = [None] * total
+
+    pending = list(range(total))
+    if cache_obj is not None:
+        pending = []
+        for i, spec in enumerate(specs):
+            hit = cache_obj.get(spec, base, with_metrics)
+            if hit is not None:
+                wires[i], docs[i] = hit
+            else:
+                pending.append(i)
+
+    nworkers = resolve_workers(workers, len(pending)) if pending else None
+    # Only consult the wall clock when someone is watching (time.time()
+    # per tiny cell is measurable overhead at paper scale).
     started = time.time() if progress is not None else 0.0  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
-    for done, spec in enumerate(specs, start=1):
-        cell_reg = None
-        if metrics is not None:
-            from ..obs import MetricsRegistry
 
-            cell_reg = MetricsRegistry()
-        san = None
-        if sanitize:
-            from ..sanitize import Sanitizer
-
-            san = Sanitizer()
-        out.add(
-            run_one(spec, synth_config=base, metrics=cell_reg, sanitizer=san)
+    def _report(done: int, spec: RunSpec) -> None:
+        elapsed = time.time() - started  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
+        progress(
+            f"[{done}/{total}] {spec.fabric} {spec.ns}->{spec.nt} "
+            f"{spec.config.key} rep{spec.rep} ({elapsed:.0f}s)"
         )
-        if san is not None:
-            findings.extend(_stamp_cell(san.findings, spec))
-        if cell_reg is not None:
-            metrics.merge(cell_reg)
+
+    if nworkers is not None:
+        # Cache hits report first (canonical order), then pool completions.
+        done = 0
         if progress is not None:
-            elapsed = time.time() - started  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
-            progress(
-                f"[{done}/{total}] {spec.fabric} {spec.ns}->{spec.nt} "
-                f"{spec.config.key} rep{spec.rep} ({elapsed:.0f}s)"
-            )
+            for i in range(total):
+                if wires[i] is not None:
+                    done += 1
+                    _report(done, specs[i])
+        done = run_parallel(
+            specs, base, nworkers, pending, wires, docs, found,
+            with_metrics, sanitize, progress, total, done, started,
+        )
+        if cache_obj is not None:
+            for i in pending:
+                cache_obj.put(specs[i], base, with_metrics, wires[i], docs[i])
+    else:
+        for done, spec in enumerate(specs, start=1):
+            i = done - 1
+            if wires[i] is None:
+                wires[i], docs[i], found[i] = run_cell(
+                    spec, base, with_metrics, sanitize
+                )
+                if cache_obj is not None:
+                    cache_obj.put(spec, base, with_metrics, wires[i], docs[i])
+            if progress is not None:
+                _report(done, spec)
+
+    if with_metrics:
+        from ..obs import MetricsRegistry
+
+        # Canonical-order document merge: identical aggregate for any
+        # worker count, and identical again when cells replay from cache.
+        for doc in docs:
+            metrics.merge(MetricsRegistry.from_dict(doc))
+    findings: list = []
+    if sanitize:
+        from ..sanitize.findings import Finding
+
+        for cell in found:
+            for d in cell or ():
+                findings.append(Finding(**d))
     _raise_if_findings(findings)
-    return out
+    return ResultSet(
+        [wire_to_result(spec, wires[i]) for i, spec in enumerate(specs)]
+    )
 
 
 def _cell_key(spec: RunSpec) -> str:
@@ -694,97 +748,3 @@ def _raise_if_findings(findings) -> None:
         raise SanitizerError(sorted(findings, key=Finding.sort_key))
 
 
-def _run_cell_with_metrics(
-    spec: RunSpec,
-    base: SyntheticConfig,
-    with_metrics: bool = True,
-    sanitize: bool = False,
-):
-    """Pool worker: one cell plus its metrics registry (as a plain dict)
-    and its sanitizer findings (as plain dicts), either of which may be
-    ``None`` when not requested."""
-    from ..obs import MetricsRegistry
-
-    reg = MetricsRegistry() if with_metrics else None
-    san = None
-    if sanitize:
-        from ..sanitize import Sanitizer
-
-        san = Sanitizer()
-    result = run_one(spec, synth_config=base, metrics=reg, sanitizer=san)
-    doc = reg.to_dict() if reg is not None else None
-    found = (
-        [f.to_dict() for f in _stamp_cell(san.findings, spec)]
-        if san is not None
-        else None
-    )
-    return result, doc, found
-
-
-def _run_parallel(
-    specs: Sequence[RunSpec],
-    base: SyntheticConfig,
-    workers: int,
-    progress: Optional[Callable[[str], None]],
-    total: int,
-    metrics=None,
-    sanitize: bool = False,
-) -> tuple[list[RunResult], list]:
-    """Fan ``specs`` out over a process pool; gather in canonical order.
-
-    Returns ``(results, findings)`` where ``findings`` is the canonical-
-    order concatenation of every cell's sanitizer findings (empty unless
-    ``sanitize``)."""
-    results: list[Optional[RunResult]] = [None] * total
-    docs: list[Optional[dict]] = [None] * total
-    found: list[Optional[list]] = [None] * total
-    started = time.time()  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
-    done = 0
-    with_metrics = metrics is not None
-    rich = with_metrics or sanitize
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        if rich:
-            index_of = {
-                pool.submit(
-                    _run_cell_with_metrics, spec, base, with_metrics, sanitize
-                ): i
-                for i, spec in enumerate(specs)
-            }
-        else:
-            index_of = {
-                pool.submit(run_one, spec, base): i
-                for i, spec in enumerate(specs)
-            }
-        pending = set(index_of)
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for fut in finished:
-                i = index_of[fut]
-                payload = fut.result()  # re-raises worker failures
-                if rich:
-                    results[i], docs[i], found[i] = payload
-                else:
-                    results[i] = payload
-                done += 1
-                if progress is not None:
-                    spec = specs[i]
-                    elapsed = time.time() - started  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
-                    progress(
-                        f"[{done}/{total}] {spec.fabric} {spec.ns}->{spec.nt} "
-                        f"{spec.config.key} rep{spec.rep} ({elapsed:.0f}s)"
-                    )
-    assert all(r is not None for r in results)
-    if with_metrics:
-        from ..obs import MetricsRegistry
-
-        # Canonical-order merge: identical aggregate for any worker count.
-        for doc in docs:
-            metrics.merge(MetricsRegistry.from_dict(doc))
-    findings: list = []
-    if sanitize:
-        from ..sanitize.findings import Finding
-
-        for cell in found:
-            for d in cell or ():
-                findings.append(Finding(**d))
-    return results, findings  # type: ignore[return-value]

@@ -128,6 +128,7 @@ def make_session(
     src_dataset: Optional[Dataset] = None,
     dst_dataset: Optional[Dataset] = None,
     label: str = "redist",
+    coalesce: bool = False,
 ) -> RedistributionSession:
     """Build this rank's Stage-3 session for the chosen method.
 
@@ -137,6 +138,11 @@ def make_session(
     class here; anything else fails *at the factory* with the choice list,
     and role/dataset mismatches fail in the session constructor with a
     named-argument message, instead of deep inside the manager.
+
+    ``coalesce=True`` (opt-in) piggybacks per-peer size metadata on the
+    value payloads so each peer pair exchanges one larger simulated message
+    instead of two — same modeled data volume, fewer events.  Off by
+    default to keep the paper's two-message Algorithm 1/2 schedules.
     """
     if isinstance(method, str):
         method = RedistMethod.parse(method)
@@ -163,4 +169,5 @@ def make_session(
         src_dataset=src_dataset,
         dst_dataset=dst_dataset,
         label=label,
+        coalesce=coalesce,
     )

@@ -18,13 +18,20 @@ source and target groups intersect — cannot deadlock (§3.1).
 
 from __future__ import annotations
 
+from ..smpi.datatypes import payload_nbytes
 from .session import SIZES_TAG, VALUES_TAG, RedistributionSession
 
 __all__ = ["P2PRedistribution"]
 
 
 class P2PRedistribution(RedistributionSession):
-    """One rank's Algorithm-1 state machine."""
+    """One rank's Algorithm-1 state machine.
+
+    With ``coalesce=True`` the per-target pair of messages (sizes on tag 77,
+    values on tag 88) becomes a single tag-77 message whose payload is the
+    ``(sizes, values)`` tuple and whose modeled size is the *sum* of the two
+    original messages — same bytes on the wire, half the messages, and no
+    second receive wave on the target side."""
 
     method_name = "p2p"
 
@@ -60,6 +67,19 @@ class P2PRedistribution(RedistributionSession):
                 sizes = self._chunk_sizes(tr)
                 total = sum(sizes.values())
                 self._emit_transfer("values", total)
+                if self.coalesce:
+                    # One message carrying both sizes and values; modeled
+                    # size = sizes-message bytes + values bytes, so the wire
+                    # volume matches the two-message schedule exactly.
+                    payload = self.src_dataset.extract(tr.lo, tr.hi, self.names)
+                    creq = yield from self.ctx.isend(
+                        (sizes, payload), tr.dst, tag=SIZES_TAG,
+                        comm=self.comm,
+                        nbytes=payload_nbytes(sizes) + total,
+                        label=f"{self.label}:coalesced",
+                    )
+                    self._send_reqs.append(creq)
+                    continue
                 sreq = yield from self.ctx.isend(
                     sizes, tr.dst, tag=SIZES_TAG, comm=self.comm,
                     label=f"{self.label}:sizes",
@@ -73,7 +93,17 @@ class P2PRedistribution(RedistributionSession):
 
     # ----------------------------------------------------------- completion
     def _handle_completed_size(self, src: int, req):
-        """Tag-77 arrival: 'create internal structures' and post tag-88."""
+        """Tag-77 arrival: 'create internal structures' and post tag-88.
+
+        Coalesced mode: the tag-77 payload already carries the values, so
+        the insert happens here and no tag-88 receive is posted."""
+        if self.coalesce:
+            sizes, payload = req.data
+            self._sizes_seen[src] = sizes
+            lo, hi = self._recv_ranges[src]
+            self.dst_dataset.insert(lo, hi, payload, self.names)
+            self._num_rcv -= 1
+            return
         self._sizes_seen[src] = req.data
         vreq = yield from self.ctx.irecv(
             source=src, tag=VALUES_TAG, comm=self.comm

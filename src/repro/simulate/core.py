@@ -75,7 +75,7 @@ class SimProcess:
         "blocked_on",
         "result",
         "context",
-        "_pending_item",
+        "_pending_seq",
     )
 
     def __init__(self, sim: "Simulator", gen: Generator[Command, Any, Any], name: str):
@@ -92,10 +92,12 @@ class SimProcess:
         #: arbitrary per-process scratch space for higher layers (e.g. the
         #: simulated MPI rank, the node the process runs on).
         self.context: dict[str, Any] = {}
-        #: heap item of a pending Timeout wakeup, cancelled when the process
-        #: is resumed or killed early so stale wakeups neither fire nor
-        #: needlessly advance the clock.
-        self._pending_item: Optional["_HeapItem"] = None
+        #: heap sequence number of a pending Timeout wakeup (-1 = none),
+        #: invalidated when the process is resumed or killed early so stale
+        #: wakeups neither fire nor needlessly advance the clock.  Storing
+        #: the seq instead of a handle object keeps timeout scheduling
+        #: allocation-free (the wakeup rides the heap as a plain tuple).
+        self._pending_seq: int = -1
 
     # -------------------------------------------------------------- lifecycle
     @property
@@ -126,6 +128,11 @@ class _HeapItem:
     object is never compared) — an order-of-magnitude cheaper than a Python
     ``__lt__`` for the hundreds of thousands of sift comparisons per run.
     The handle's ``cancelled`` flag may be set to skip execution.
+
+    Only *callback* events carry a ``_HeapItem``.  Process wakeups — the
+    dominant event class — ride the heap as plain tuples instead (see
+    :meth:`Simulator._schedule_timeout` / the drain loop in
+    :meth:`Simulator.run`), which keeps them allocation-light.
     """
 
     __slots__ = ("time", "seq", "fn", "cancelled")
@@ -191,6 +198,34 @@ class Simulator:  # repro: noqa[REP005] - one instance per run; hooks land as at
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         return self.schedule(time - self.now, fn)
 
+    def _schedule_timeout(self, delay: float, proc: SimProcess, value: Any) -> None:
+        """Allocation-light fast path for a cancellable Timeout wakeup.
+
+        The wakeup is pushed as a plain 4-tuple ``(time, seq, proc, value)``
+        — no handle object, no closure.  Cancellation is by sequence number:
+        the wakeup fires only while ``proc._pending_seq`` still equals its
+        ``seq``, so :meth:`_cancel_pending` invalidates it with a single
+        integer store.  Equivalent to the historical ``schedule(delay,
+        lambda: self._step(proc, value, None))`` + handle-cancel protocol,
+        at a fraction of the per-event cost.
+        """
+        seq = next(self._seq)
+        proc._pending_seq = seq
+        heapq.heappush(self._heap, (self.now + delay, seq, proc, value))
+
+    def _schedule_wakeup(
+        self, proc: SimProcess, value: Any, exc: Optional[BaseException]
+    ) -> None:
+        """Closure-free zero-delay wakeup (spawn/resume/throw_in).
+
+        Pushed as a 5-tuple ``(time, seq, proc, value, exc)``; never
+        cancelled (a stale wakeup on a dead process is a no-op via the
+        state check in :meth:`_step`, exactly as before).
+        """
+        heapq.heappush(
+            self._heap, (self.now, next(self._seq), proc, value, exc)
+        )
+
     # -------------------------------------------------------------- processes
     def spawn(self, gen: Generator[Command, Any, Any], name: str = "") -> SimProcess:
         """Register a generator as a simulated process, starting it at the
@@ -200,22 +235,22 @@ class Simulator:  # repro: noqa[REP005] - one instance per run; hooks land as at
             raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
         proc = SimProcess(self, gen, name or f"proc#{next(self._ids)}")
         self._processes.append(proc)
-        self.schedule(0.0, lambda: self._step(proc, None, None))
+        self._schedule_wakeup(proc, None, None)
         return proc
 
     def resume(self, proc: SimProcess, value: Any = None) -> None:
         """Resume ``proc`` at the current time, sending ``value`` into it."""
-        if not proc.alive:
+        if proc.state is not SimProcess._ALIVE:
             return
-        self._cancel_pending(proc)
-        self.schedule(0.0, lambda: self._step(proc, value, None))
+        proc._pending_seq = -1
+        self._schedule_wakeup(proc, value, None)
 
     def throw_in(self, proc: SimProcess, exc: BaseException) -> None:
         """Raise ``exc`` inside ``proc`` at the current time."""
-        if not proc.alive:
+        if proc.state is not SimProcess._ALIVE:
             return
-        self._cancel_pending(proc)
-        self.schedule(0.0, lambda: self._step(proc, None, exc))
+        proc._pending_seq = -1
+        self._schedule_wakeup(proc, None, exc)
 
     def kill_now(self, proc: SimProcess, reason: str = "killed") -> None:
         """Kill ``proc`` *synchronously* (its ``finally`` cleanup runs before
@@ -234,14 +269,14 @@ class Simulator:  # repro: noqa[REP005] - one instance per run; hooks land as at
 
     @staticmethod
     def _cancel_pending(proc: SimProcess) -> None:
-        if proc._pending_item is not None:
-            proc._pending_item.cancelled = True
-            proc._pending_item = None
+        proc._pending_seq = -1
 
     def _step(self, proc: SimProcess, value: Any, exc: Optional[BaseException]) -> None:
-        if not proc.alive:
+        # ``state`` only ever holds the interned class constants, so an
+        # identity check is safe and skips the ``alive`` property call.
+        if proc.state is not SimProcess._ALIVE:
             return
-        proc._pending_item = None
+        proc._pending_seq = -1
         proc.blocked_on = None
         try:
             if exc is not None:
@@ -299,41 +334,61 @@ class Simulator:  # repro: noqa[REP005] - one instance per run; hooks land as at
         # The drain loop runs hundreds of thousands of iterations per
         # simulated job; bind the hot lookups to locals (heap list, heappop,
         # failures list — both lists are only ever mutated in place).
+        # Heap entries come in three shapes, disambiguated by length (the
+        # (time, seq) prefix is unique, so C-level tuple comparison never
+        # reaches the payload):
+        #   3-tuple (time, seq, _HeapItem)        - generic callback
+        #   4-tuple (time, seq, proc, value)      - cancellable Timeout wakeup
+        #   5-tuple (time, seq, proc, value, exc) - spawn/resume/throw wakeup
         heap = self._heap
         heappop = heapq.heappop
         failures = self._failures
+        step = self._step
         while True:
             while heap:
                 if failures:
                     self._raise_failures()
-                t = heap[0][0]
+                entry = heap[0]
+                t = entry[0]
                 if until is not None and t > until:
                     # Stale (cancelled) wakeups are not pending work: drop
                     # them so a heap holding nothing else falls through to
                     # the deadlock check below instead of returning early.
-                    if heap[0][2].cancelled:
+                    if self._entry_stale(entry):
                         heappop(heap)
                         continue
                     self.now = until
                     if strict_until:
                         pending = sum(
-                            1 for _, _, it in heap if not it.cancelled
+                            1 for e in heap if not self._entry_stale(e)
                         )
                         raise SimTimeLimitExceeded(
                             until, pending, self._blocked_report()
                         )
                     return self.now
-                item = heappop(heap)[2]
-                if item.cancelled:
+                entry = heappop(heap)
+                n = len(entry)
+                if n == 4:
+                    # Timeout wakeup: fires only while still the process's
+                    # registered pending wakeup (seq match = not cancelled).
+                    proc = entry[2]
+                    if proc._pending_seq != entry[1]:
+                        continue
+                elif n == 3 and entry[2].cancelled:
                     continue
                 now = self.now
-                if t < now - 1e-12:
+                if t > now:
+                    self.now = t
+                elif t < now - 1e-12:
                     raise SimulationError(
                         f"time went backwards: {t} < {now}"
                     )
-                if t > now:
-                    self.now = t
-                item.fn()
+                if n == 4:
+                    step(proc, entry[3], None)
+                elif n == 3:
+                    entry[2].fn()
+                else:
+                    step(entry[2], entry[3], entry[4])
             if failures:
                 self._raise_failures()
             # Allow layers to flush deferred work that may enqueue new events.
@@ -347,6 +402,16 @@ class Simulator:  # repro: noqa[REP005] - one instance per run; hooks land as at
                 details.extend(hook())
             raise DeadlockError(blocked, details=details)
         return self.now
+
+    @staticmethod
+    def _entry_stale(entry: tuple) -> bool:
+        """True when a heap entry is a cancelled callback or stale wakeup."""
+        n = len(entry)
+        if n == 3:
+            return entry[2].cancelled
+        if n == 4:
+            return entry[2]._pending_seq != entry[1]
+        return False
 
     def _blocked_report(self) -> list[str]:
         return [

@@ -31,9 +31,9 @@ class Timeout(Command):
         self.value = value
 
     def execute(self, sim: Simulator, proc: SimProcess) -> None:
-        proc._pending_item = sim.schedule(
-            self.delay, lambda: sim._step(proc, self.value, None)
-        )
+        # Allocation-light wakeup: rides the heap as a plain tuple, with
+        # seq-based cancellation (see Simulator._schedule_timeout).
+        sim._schedule_timeout(self.delay, proc, self.value)
 
 
 class WaitEvent(Command):

@@ -195,38 +195,47 @@ class MpiWorld:
                 )
             )
             return
-        src_ep = self.endpoints[msg.src_gid]
-        dst_ep = self.endpoints[msg.dst_gid]
-        spec = self.channel_spec(msg.src_gid, msg.dst_gid)
+        endpoints = self.endpoints
+        src_node = endpoints[msg.src_gid].node
+        dst_node = endpoints[msg.dst_gid].node
+        machine = self.machine
+        if src_node.node_id == dst_node.node_id:
+            spec = machine.memory_channel
+        else:
+            spec = machine.fabric
         if label:
             self.bytes_by_label[label] = self.bytes_by_label.get(label, 0.0) + msg.nbytes
+        eager = msg.nbytes <= spec.eager_threshold
         m = self.metrics
         if m is not None:
-            proto = "eager" if msg.nbytes <= spec.eager_threshold else "rndv"
+            proto = "eager" if eager else "rndv"
             m.counter("smpi.messages", comm=msg.ctx_id, protocol=proto).inc()
             m.counter("smpi.bytes", comm=msg.ctx_id, protocol=proto).inc(msg.nbytes)
             m.histogram("smpi.message_nbytes").observe(msg.nbytes)
-        self._inflight[msg.msg_id] = msg
-        if msg.nbytes <= spec.eager_threshold:
+        if eager:
+            # Eager fast lane: buffered semantics complete the send locally
+            # right now, so the in-flight table — which only exists to fail
+            # *pending* requests when a peer dies or a communicator aborts —
+            # has nothing left to fail.  Skipping registration saves two dict
+            # operations per message and shrinks the failure-layer scans;
+            # staleness on arrival is decided by ``dead_gids`` alone (the
+            # same verdict the table scan used to reach).
             msg.protocol = "eager"
-            # Buffered semantics: local completion at injection.
             msg.send_req._complete(None)
-            ev = self.machine.transfer(
-                src_ep.node, dst_ep.node, msg.nbytes, label=f"eager:{msg.msg_id}"
+            ev = machine.transfer(
+                src_node, dst_node, msg.nbytes, label=f"eager:{msg.msg_id}"
             )
             ev.add_callback(lambda _ev: self._eager_arrived(msg, spec))
         else:
             msg.protocol = "rndv"
-            ev = self.machine.transfer(
-                src_ep.node, dst_ep.node, 0, label=f"rts:{msg.msg_id}"
+            self._inflight[msg.msg_id] = msg
+            ev = machine.transfer(
+                src_node, dst_node, 0, label=f"rts:{msg.msg_id}"
             )
             ev.add_callback(lambda _ev: self._rts_arrived(msg))
 
     def _eager_arrived(self, msg: Message, spec: FabricSpec) -> None:
-        if msg.msg_id not in self._inflight:
-            return  # retired while in flight (peer died)
         if msg.dst_gid in self.dead_gids:
-            self._inflight.pop(msg.msg_id, None)
             return  # receiver died; buffered data evaporates with it
         dst_ep = self.endpoints[msg.dst_gid]
         self._after_copy(msg, spec, lambda: dst_ep.deliver_eager(msg))
