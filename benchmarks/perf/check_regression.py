@@ -34,6 +34,11 @@ HERE = Path(__file__).resolve().parent
 POLARITY = {
     "kernel_events_per_s": True,
     "allocator_flows_per_s": True,
+    "allocator_speedup_vs_reference_dense": True,
+    "allocator_speedup_vs_reference_sparse": True,
+    "parallel_speedup": True,
+    "parallel_speedup_nocache": True,
+    "warm_fleet_speedup": True,
     "single_run_small_merge_p2p_t_ethernet_s": False,
 }
 

@@ -401,16 +401,57 @@ class Network:
             f.rate = rates[fi]
 
     def _allocate_small(self, touched: dict, lids) -> None:
-        """Progressive filling over the touched links only.
+        """Progressive filling over the touched links only, seeded from
+        the incrementally maintained per-link flow counts.
 
-        Identical to :func:`max_min_reference` run on the restricted link
-        set, handed the links in link_id (creation) order so bottleneck
-        tie-breaking matches a full-machine reference run exactly."""
-        rates = max_min_reference(
-            self._active, [touched[lid] for lid in lids]
-        )
-        for f, r in rates.items():
-            f.rate = r
+        Bit-identical to :func:`max_min_reference` on the restricted link
+        set, but sidesteps its two scaling sins (measured at 0.956x vs
+        the oracle on saturated 64-link fillings before this rework):
+
+        * **counts init** — the reference recounts membership per link
+          with an O(links x flows) scan; every active flow is unfrozen at
+          round zero, so ``len(link.flows)`` already *is* that count.
+        * **clamping** — the reference rescans all ``remaining`` entries
+          after every round; only the entries just subtracted from can
+          have gone negative, so clamping inline at the subtraction is
+          equivalent (shares are >= 0: once an entry would clamp, both
+          paths pin it to 0.0 for every later read) and O(route) instead
+          of O(links).
+
+        Links are scanned in link_id (creation) order, matching the
+        reference's all-links dict order for bottleneck tie-breaking;
+        within a round every frozen flow subtracts the *same* share, so
+        the ``link.flows`` set iteration order cannot leak into rates.
+        """
+        active = self._active
+        unfrozen = set(active)
+        remaining = {lid: touched[lid].capacity for lid in lids}
+        counts = {lid: len(touched[lid].flows) for lid in lids}
+        inf = math.inf
+        while unfrozen:
+            b_lid = -1
+            b_share = inf
+            for lid in lids:
+                cnt = counts[lid]
+                if cnt > 0:
+                    share = remaining[lid] / cnt
+                    if share < b_share:
+                        b_share = share
+                        b_lid = lid
+            if b_lid < 0:
+                break
+            for f in touched[b_lid].flows:
+                if f not in unfrozen:
+                    continue
+                f.rate = b_share
+                unfrozen.discard(f)
+                for link in f.route:
+                    lid2 = link.link_id
+                    r = remaining[lid2] - b_share
+                    remaining[lid2] = r if r > 0.0 else 0.0
+                    counts[lid2] -= 1
+        for f in unfrozen:  # routeless flows: the reference leaves them at 0
+            f.rate = 0.0
 
     def _reallocate_and_reschedule(self) -> None:
         self._max_min_allocate()

@@ -7,6 +7,7 @@ Every table and figure of the paper's evaluation maps to an entry in
 
 from .cache import CACHE_VERSION, CellCache
 from .executor import SweepCellError, resolve_workers
+from .fleet import WorkerFleet, active_fleet, get_fleet, shutdown_fleet
 from .experiments import EXPERIMENTS, ExperimentSpec, async_sync_pairs, pairs_for
 from .expmd import Claim, evaluate_claims, experiments_markdown
 from .report import FigureData, build_figure, figure_report, headline_speedups
@@ -24,6 +25,10 @@ __all__ = [
     "CellCache",
     "SweepCellError",
     "resolve_workers",
+    "WorkerFleet",
+    "active_fleet",
+    "get_fleet",
+    "shutdown_fleet",
     "EXPERIMENTS",
     "ExperimentSpec",
     "pairs_for",

@@ -1,20 +1,19 @@
-"""Chunked process-pool executor behind ``run_sweep(workers=...)``.
+"""Cell execution core behind ``run_sweep(workers=...)``.
 
-The original parallel path submitted **one future per cell** and shipped a
-fully pickled :class:`~repro.harness.runner.RunResult` (config dataclass
-graph included) plus a metrics document back per future.  On the tiny
-grids the evaluation sweeps over, the per-future overhead (pickling,
-queue round-trips, pool bookkeeping) outweighed the simulation itself and
-the "parallel" sweep ran *slower* than sequential (BENCH_sweep recorded
-0.893x).  This module replaces it with:
+The PR 5 executor opened a fresh :class:`~concurrent.futures.
+ProcessPoolExecutor` per sweep; pool startup plus per-chunk pickling left
+cold parallel sweeps *slower* than sequential (BENCH_sweep recorded
+0.915x nocache).  Parallel dispatch now rides the **persistent worker
+fleet** (:mod:`repro.harness.fleet`): workers are spawned once per
+base-config fingerprint, stay warm across ``run_sweep`` calls, and
+stream struct-packed results back through shared-memory rings in
+completion order.  This module keeps the executor's stable surface:
 
-* **warm workers** — a pool initializer ships the base
-  :class:`~repro.synthetic.configfile.SyntheticConfig` and the full spec
-  list *once* (as initargs, not per task), pre-imports the heavy numeric
-  stack, and pre-builds a throwaway :class:`~repro.cluster.Machine` so
-  the first real cell pays no import/JIT cost;
+* **worker resolution** — :func:`resolve_workers` turns the user-facing
+  knob into a pool width (``"auto"``, sequential fallbacks, a clamp to 1
+  when ``os.cpu_count()`` is unknown);
 * **chunked dispatch** — cells travel as strided index lists
-  (``n_chunks = min(n_cells, workers * 4)``), amortizing the per-future
+  (``n_chunks = min(n_cells, workers * 4)``), amortizing per-dispatch
   cost over many cells while keeping late chunks small enough for load
   balancing;
 * **a compact wire format** — a worker returns 13 scalars per cell
@@ -24,16 +23,16 @@ the "parallel" sweep ran *slower* than sequential (BENCH_sweep recorded
   and sequential sweeps all materialize rows through one code path and
   stay byte-identical.
 
-Failures keep their provenance: a cell raising inside a chunk surfaces as
-:class:`SweepCellError` naming the cell (``fabric:ns->nt:config:rep``)
-and its grid index, picklable across the pool boundary.
+Failures keep their provenance: a cell raising inside a worker (or a
+worker dying mid-sweep) surfaces as :class:`SweepCellError` naming the
+cell (``fabric:ns->nt:config:rep``) and its grid index, picklable across
+the process boundary.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Optional, Sequence, Union
 
 __all__ = [
@@ -92,9 +91,11 @@ def resolve_workers(workers: Union[int, str, None], total: int) -> Optional[int]
     """Turn the user-facing ``workers`` knob into a pool width or ``None``.
 
     ``None``/``0``/``1`` mean sequential.  ``"auto"`` asks for
-    ``min(os.cpu_count(), total)``.  A numeric request *larger than the
-    cell count* falls back to sequential: the pool would mostly spawn
-    idle interpreters, and sequential is both faster and exercises the
+    ``min(os.cpu_count(), total)`` — and ``os.cpu_count()`` may return
+    ``None`` on exotic platforms, which clamps to 1 (sequential) rather
+    than crashing or guessing.  A numeric request *larger than the cell
+    count* falls back to sequential: the pool would mostly spawn idle
+    interpreters, and sequential is both faster and exercises the
     canonical code path.  Anything non-sensical raises ``ValueError``.
     """
     if workers is None:
@@ -104,7 +105,8 @@ def resolve_workers(workers: Union[int, str, None], total: int) -> Optional[int]
             raise ValueError(
                 f"workers must be an int or 'auto', not {workers!r}"
             )
-        resolved = min(os.cpu_count() or 1, total)
+        cpus = os.cpu_count() or 1  # cpu_count() may be None: clamp to 1
+        resolved = min(cpus, total)
         return resolved if resolved > 1 else None
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -177,58 +179,6 @@ def run_cell(spec, base, with_metrics: bool, sanitize: bool):
     return result_to_wire(result), doc, found
 
 
-# ------------------------------------------------------------------- workers
-#: Per-process state installed by :func:`_worker_init`; lives for the whole
-#: pool so consecutive chunks reuse it ("warm workers").
-_WORKER_STATE: dict = {}
-
-
-def _worker_init(base, specs, with_metrics: bool, sanitize: bool) -> None:
-    """Pool initializer: runs once per worker process, not once per chunk.
-
-    Ships the shared immutables (base config + full spec list) into a
-    module global and pre-warms the expensive imports and the simulation
-    stack, so the first chunk a worker receives runs at steady-state
-    speed.
-    """
-    _WORKER_STATE["base"] = base
-    _WORKER_STATE["specs"] = specs
-    _WORKER_STATE["with_metrics"] = with_metrics
-    _WORKER_STATE["sanitize"] = sanitize
-    # Pre-import the numeric stack (the dominant cold-start cost).
-    import numpy  # noqa: F401
-    import scipy.sparse  # noqa: F401
-
-    # Pre-build one throwaway machine so lazy per-class setup (fabric
-    # tables, scheduler state) happens before the first timed cell.
-    from ..cluster.fabrics import ETHERNET_10G
-    from ..cluster.machine import Machine
-    from ..simulate.core import Simulator
-
-    Machine(Simulator(), 2, 2, ETHERNET_10G, seed=0)
-
-
-def _run_chunk(indices: Sequence[int]) -> list:
-    """Worker entry: run a strided chunk of cells against the warm state."""
-    from .runner import _cell_key
-
-    base = _WORKER_STATE["base"]
-    specs = _WORKER_STATE["specs"]
-    with_metrics = _WORKER_STATE["with_metrics"]
-    sanitize = _WORKER_STATE["sanitize"]
-    out = []
-    for i in indices:
-        spec = specs[i]
-        try:
-            wire, doc, found = run_cell(spec, base, with_metrics, sanitize)
-        except Exception as exc:  # noqa: BLE001 - provenance wrapper
-            raise SweepCellError(
-                _cell_key(spec), i, f"{type(exc).__name__}: {exc}"
-            ) from exc
-        out.append((i, wire, doc, found))
-    return out
-
-
 def make_chunks(indices: Sequence[int], workers: int) -> list[list[int]]:
     """Strided chunking: ``min(n, workers*4)`` chunks, round-robin filled.
 
@@ -258,35 +208,38 @@ def run_parallel(
     total: int,
     done: int,
     started: float,
+    wire: Optional[str] = None,
+    on_cell: Optional[Callable[[int], None]] = None,
 ) -> int:
-    """Fan the pending ``indices`` out over a warm chunked pool.
+    """Fan the pending ``indices`` out over the persistent worker fleet.
 
     Fills ``wires``/``docs``/``found`` (grid-indexed lists) in place and
-    returns the updated ``done`` counter.  Progress is emitted once per
-    *cell* (not per chunk) in completion order, preserving the
+    returns the updated ``done`` counter.  Results stream back per cell
+    in completion order through the fleet's shared-memory rings (or the
+    ``REPRO_WIRE=pickle`` queue lane); ``on_cell(i)`` fires as each cell
+    lands, which is what lets ``run_sweep`` merge metrics documents and
+    feed the cell cache incrementally instead of per-chunk.  Progress is
+    emitted once per *cell* in completion order, preserving the
     ``[done/total]`` counting contract of the sequential path.
     """
-    chunks = make_chunks(indices, workers)
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_worker_init,
-        initargs=(base, specs, with_metrics, sanitize),
-    ) as pool:
-        pending = {pool.submit(_run_chunk, chunk) for chunk in chunks}
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for fut in finished:
-                for i, wire, doc, cell_found in fut.result():
-                    wires[i] = wire
-                    docs[i] = doc
-                    found[i] = cell_found
-                    done += 1
-                    if progress is not None:
-                        spec = specs[i]
-                        elapsed = time.time() - started  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
-                        progress(
-                            f"[{done}/{total}] {spec.fabric} "
-                            f"{spec.ns}->{spec.nt} {spec.config.key} "
-                            f"rep{spec.rep} ({elapsed:.0f}s)"
-                        )
+    from .fleet import get_fleet
+
+    fleet = get_fleet(base, workers, wire=wire)
+    for i, cell_wire, doc, cell_found in fleet.run_cells(
+        specs, indices, with_metrics, sanitize
+    ):
+        wires[i] = cell_wire
+        docs[i] = doc
+        found[i] = cell_found
+        done += 1
+        if on_cell is not None:
+            on_cell(i)
+        if progress is not None:
+            spec = specs[i]
+            elapsed = time.time() - started  # repro: noqa[REP001] - host-side progress heartbeat, not simulated time
+            progress(
+                f"[{done}/{total}] {spec.fabric} "
+                f"{spec.ns}->{spec.nt} {spec.config.key} "
+                f"rep{spec.rep} ({elapsed:.0f}s)"
+            )
     return done

@@ -599,6 +599,7 @@ def run_sweep(
     faults: str = "",
     sanitize: bool = False,
     cache=None,
+    wire: Optional[str] = None,
 ) -> ResultSet:
     """Run the full cross product; the master data behind every figure.
 
@@ -606,13 +607,22 @@ def run_sweep(
     ----------
     workers:
         ``None``, ``0`` or ``1`` run sequentially in-process.  ``N > 1``
-        fans the grid out over a warm, chunked process pool
-        (:mod:`repro.harness.executor`); results are gathered back in
-        canonical spec order, so the returned ResultSet (and its CSV
-        serialization) is bit-identical to a sequential run.  ``"auto"``
-        picks ``min(os.cpu_count(), n_cells)``.  A numeric ``N`` larger
+        fans the grid out over the **persistent worker fleet**
+        (:mod:`repro.harness.fleet`): workers are spawned once per base
+        config and reused by consecutive ``run_sweep`` calls, streaming
+        results back through shared-memory rings in completion order.
+        Results are gathered back in canonical spec order, so the
+        returned ResultSet (and its CSV serialization) is bit-identical
+        to a sequential run.  ``"auto"`` picks
+        ``min(os.cpu_count() or 1, n_cells)``.  A numeric ``N`` larger
         than the number of cells to run falls back to sequential (the
-        pool would mostly spawn idle interpreters).
+        fleet would mostly hold idle interpreters).
+    wire:
+        Fleet result transport: ``"shm"`` (struct-packed records through
+        shared-memory rings, the default) or ``"pickle"`` (per-cell
+        queue messages, the debugging fallback).  ``None`` defers to the
+        ``REPRO_WIRE`` environment variable.  Both lanes are
+        byte-identical; only throughput differs.
     metrics:
         Optional :class:`repro.obs.MetricsRegistry` to aggregate the whole
         sweep into.  Each cell records into its own fresh registry; cell
@@ -682,21 +692,45 @@ def run_sweep(
             f"{spec.config.key} rep{spec.rep} ({elapsed:.0f}s)"
         )
 
+    # Incremental canonical-order merge: cells complete out of order
+    # under the fleet, but documents are merged strictly along the grid
+    # frontier (the lowest index not yet absorbed), so the aggregate is
+    # identical for any worker count, any completion order, and cached
+    # replays — while still being folded in as cells stream in instead
+    # of in one pass after the sweep.
+    frontier = 0
+
+    def _absorb() -> None:
+        nonlocal frontier
+        if not with_metrics:
+            frontier = total
+            return
+        from ..obs import MetricsRegistry
+
+        while frontier < total and wires[frontier] is not None:
+            metrics.merge(MetricsRegistry.from_dict(docs[frontier]))
+            frontier += 1
+
+    def _on_cell(i: int) -> None:
+        """Streamed-completion hook: persist + merge as cells finish."""
+        if cache_obj is not None:
+            cache_obj.put(specs[i], base, with_metrics, wires[i], docs[i])
+        _absorb()
+
     if nworkers is not None:
-        # Cache hits report first (canonical order), then pool completions.
+        # Cache hits report first (canonical order), then fleet completions.
         done = 0
         if progress is not None:
             for i in range(total):
                 if wires[i] is not None:
                     done += 1
                     _report(done, specs[i])
+        _absorb()
         done = run_parallel(
             specs, base, nworkers, pending, wires, docs, found,
             with_metrics, sanitize, progress, total, done, started,
+            wire=wire, on_cell=_on_cell,
         )
-        if cache_obj is not None:
-            for i in pending:
-                cache_obj.put(specs[i], base, with_metrics, wires[i], docs[i])
     else:
         for done, spec in enumerate(specs, start=1):
             i = done - 1
@@ -708,14 +742,7 @@ def run_sweep(
                     cache_obj.put(spec, base, with_metrics, wires[i], docs[i])
             if progress is not None:
                 _report(done, spec)
-
-    if with_metrics:
-        from ..obs import MetricsRegistry
-
-        # Canonical-order document merge: identical aggregate for any
-        # worker count, and identical again when cells replay from cache.
-        for doc in docs:
-            metrics.merge(MetricsRegistry.from_dict(doc))
+    _absorb()
     findings: list = []
     if sanitize:
         from ..sanitize.findings import Finding

@@ -1,0 +1,157 @@
+"""Lifecycle of the persistent worker fleet (PR 6).
+
+The fleet contract: workers are spawned once per base-config fingerprint
+and serve many ``run_sweep`` calls; results stream back through
+shared-memory rings (or the pickle queue lane) byte-identically; failure
+— a cell raising or a worker dying — surfaces as
+:class:`~repro.harness.executor.SweepCellError` with cell provenance
+while the fleet itself stays usable; shutdown unlinks every shm segment.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.harness.executor import SweepCellError
+from repro.harness.fleet import (
+    WorkerFleet,
+    active_fleet,
+    fleet_fingerprint,
+    get_fleet,
+    shutdown_fleet,
+)
+from repro.harness.runner import run_sweep, sweep_specs
+from repro.synthetic.presets import cg_emulation_config
+
+PAIRS = [(2, 4), (4, 8)]
+KEYS = ["merge-p2p-t", "baseline-p2p-s"]
+FABRICS = ["ethernet"]
+GRID = dict(scale="tiny", repetitions=1)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fleet():
+    """Every test starts and ends without a live fleet (and without
+    leaked workers or shm segments from a failed assertion)."""
+    shutdown_fleet()
+    yield
+    shutdown_fleet()
+
+
+def _worker_pids(fleet: WorkerFleet) -> list[int]:
+    return [w.process.pid for w in fleet._workers]
+
+
+def test_fleet_survives_across_run_sweep_calls_with_identical_csv():
+    seq = run_sweep(PAIRS, KEYS, FABRICS, **GRID)
+
+    first = run_sweep(PAIRS, KEYS, FABRICS, workers=2, **GRID)
+    fleet = active_fleet()
+    assert fleet is not None
+    pids = _worker_pids(fleet)
+
+    second = run_sweep(PAIRS, KEYS, FABRICS, workers=2, **GRID)
+    # Same fleet object, same worker processes: no respawn in between.
+    assert active_fleet() is fleet
+    assert _worker_pids(fleet) == pids
+    assert fleet.sweeps_served == 2
+    assert fleet.metrics.counter("fleet.worker_reuse").value == 2
+
+    assert seq.to_csv() == first.to_csv() == second.to_csv()
+
+
+def test_changed_base_config_reinitializes_the_fleet():
+    base_a = cg_emulation_config("tiny")
+    base_b = dataclasses.replace(base_a, iterations=base_a.iterations + 1)
+    assert fleet_fingerprint(base_a) != fleet_fingerprint(base_b)
+
+    fleet_a = get_fleet(base_a, 2)
+    assert get_fleet(base_a, 2) is fleet_a  # same base: reuse
+    fleet_b = get_fleet(base_b, 2)
+    assert fleet_b is not fleet_a  # new base: fresh workers
+    assert fleet_a._closed  # and the old fleet was shut down
+    assert active_fleet() is fleet_b
+
+
+def test_worker_death_surfaces_as_sweep_cell_error_with_provenance():
+    specs = sweep_specs(PAIRS, KEYS, FABRICS, "tiny", 1)
+    fleet = get_fleet(cg_emulation_config("tiny"), 2)
+    for w in fleet._workers:
+        w.process.kill()
+        w.process.join()
+    with pytest.raises(SweepCellError) as exc_info:
+        list(fleet.run_cells(specs, list(range(len(specs))), False, False))
+    err = exc_info.value
+    assert "died" in err.cell_message
+    # Provenance: the error names a real cell of this sweep and its index.
+    assert 0 <= err.index < len(specs)
+    spec = specs[err.index]
+    assert err.cell == (
+        f"{spec.fabric}:{spec.ns}->{spec.nt}:{spec.config.key}:rep{spec.rep}"
+    )
+    # The registry heals the fleet: the next get_fleet respawns the dead
+    # workers and the fleet serves a full sweep again.
+    healed = get_fleet(cg_emulation_config("tiny"), 2)
+    assert healed is fleet
+    assert all(w.process.is_alive() for w in healed._workers)
+    got = list(healed.run_cells(specs, list(range(len(specs))), False, False))
+    assert sorted(i for i, *_ in got) == list(range(len(specs)))
+
+
+def test_failing_cell_streams_back_as_sweep_cell_error():
+    # An unknown fabric name makes run_cell raise inside the worker.
+    specs = sweep_specs(PAIRS, KEYS, ["ethernet"], "tiny", 1)
+    bad = sweep_specs([(2, 4)], KEYS[:1], ["no-such-fabric"], "tiny", 1)
+    fleet = get_fleet(cg_emulation_config("tiny"), 2)
+    with pytest.raises(SweepCellError) as exc_info:
+        list(fleet.run_cells(bad, [0], False, False))
+    assert exc_info.value.index == 0
+    assert "no-such-fabric" in exc_info.value.cell
+    # The worker survived the failing cell and serves the next sweep.
+    assert all(w.process.is_alive() for w in fleet._workers)
+    got = list(fleet.run_cells(specs, list(range(len(specs))), False, False))
+    assert sorted(i for i, *_ in got) == list(range(len(specs)))
+
+
+def test_shutdown_unlinks_all_shared_memory_segments():
+    fleet = get_fleet(cg_emulation_config("tiny"), 2)
+    names = [w.ring.shm.name for w in fleet._workers]
+    assert all(os.path.exists(f"/dev/shm/{n}") for n in names)
+    shutdown_fleet()
+    assert active_fleet() is None
+    assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
+    assert not any(w.process.is_alive() for w in fleet._workers)
+
+
+def test_pickle_wire_lane_is_byte_identical():
+    seq = run_sweep(PAIRS, KEYS, FABRICS, **GRID)
+    shm = run_sweep(PAIRS, KEYS, FABRICS, workers=2, wire="shm", **GRID)
+    assert active_fleet().wire == "shm"
+    pik = run_sweep(PAIRS, KEYS, FABRICS, workers=2, wire="pickle", **GRID)
+    fleet = active_fleet()
+    assert fleet.wire == "pickle"
+    assert all(w.ring is None for w in fleet._workers)  # queue lane
+    assert seq.to_csv() == shm.to_csv() == pik.to_csv()
+
+
+def test_wire_env_variable_selects_the_lane(monkeypatch):
+    monkeypatch.setenv("REPRO_WIRE", "pickle")
+    fleet = get_fleet(cg_emulation_config("tiny"), 2)
+    assert fleet.wire == "pickle"
+    monkeypatch.setenv("REPRO_WIRE", "shm")
+    other = get_fleet(cg_emulation_config("tiny"), 2)
+    assert other is not fleet and other.wire == "shm"
+
+
+def test_metrics_merge_is_identical_between_sequential_and_fleet():
+    from repro.obs import MetricsRegistry
+
+    seq_reg, par_reg = MetricsRegistry(), MetricsRegistry()
+    run_sweep(PAIRS, KEYS, FABRICS, metrics=seq_reg, **GRID)
+    run_sweep(PAIRS, KEYS, FABRICS, metrics=par_reg, workers=2, **GRID)
+    assert seq_reg.to_dict() == par_reg.to_dict()
+    # Fleet telemetry stays in the fleet-owned registry, never in the
+    # sweep aggregate (byte-identity would break otherwise).
+    assert not any(k.startswith("fleet.") for k in par_reg.counters)
+    assert active_fleet().metrics.counter("fleet.cells_streamed").value > 0
