@@ -1,0 +1,135 @@
+"""RMA-vs-COL characterisation benchmark -> BENCH_rma.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_rma.py [--quick] [--out PATH]
+        [--assert-advantage]
+
+The question behind promoting one-sided RMA to a first-class method: *in
+which regimes does it actually beat the paper's collective baseline?*
+This bench sweeps (NS, NT) pairs on both fabrics and compares simulated
+synchronous reconfiguration times of the RMA configurations against
+``baseline-col-s`` (the paper's reference configuration, Figures 7/8).
+
+Expected shape, and what the recorded JSON pins:
+
+* **Ethernet (non-RDMA)** — ``baseline-rma-s`` beats ``baseline-col-s``
+  on the same inter-communicator layout: no pairwise phase serialisation,
+  no two-sided matching; one lock round-trip replaces the size exchange.
+  The rendezvous-progress rule costs it nothing here because the sync
+  strategy keeps both sides inside MPI for the whole epoch.
+* **Infiniband (RDMA)** — the same-layout advantage evaporates (hardware
+  completion makes COL's matching cheap too); RMA only wins through the
+  Merge layout, like every other method.
+
+``rma_vs_col_ethernet_speedup`` (best same-layout speedup over the pair
+grid) is the gated headline: higher is better, and it must stay > 1 for
+the RMA arm to keep its keep.  ``--assert-advantage`` exits non-zero if
+no regime beats the collective baseline — the acceptance smoke for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+if str(REPO / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.runner import RunSpec, run_one  # noqa: E402
+
+#: the paper's reference configuration (speedup denominators, Figs 7/8).
+REFERENCE = "baseline-col-s"
+#: the challengers: same-layout RMA and the merged-layout RMA.
+CANDIDATES = ("baseline-rma-s", "merge-rma-s")
+PAIRS = [(8, 2), (8, 4), (4, 2), (2, 4), (4, 8), (2, 8)]
+FABRICS = ("ethernet", "infiniband")
+
+
+def bench(scale: str) -> dict:
+    cells: dict[str, dict] = {}
+    headline: dict[str, float] = {}
+    for fabric in FABRICS:
+        rows = []
+        best_same_layout = 0.0
+        best_any = 0.0
+        for ns, nt in PAIRS:
+            t = {
+                key: run_one(
+                    RunSpec(ns, nt, key, fabric, scale, 0)
+                ).reconfig_time
+                for key in (REFERENCE, *CANDIDATES)
+            }
+            same = t[REFERENCE] / t["baseline-rma-s"]
+            merged = t[REFERENCE] / t["merge-rma-s"]
+            best_same_layout = max(best_same_layout, same)
+            best_any = max(best_any, same, merged)
+            rows.append(
+                {
+                    "pair": f"{ns}->{nt}",
+                    "baseline_col_s": round(t[REFERENCE], 5),
+                    "baseline_rma_s": round(t["baseline-rma-s"], 5),
+                    "merge_rma_s": round(t["merge-rma-s"], 5),
+                    "same_layout_speedup": round(same, 4),
+                    "merge_speedup": round(merged, 4),
+                }
+            )
+        cells[fabric] = {
+            "rows": rows,
+            "best_same_layout_speedup": round(best_same_layout, 4),
+            "best_speedup": round(best_any, 4),
+        }
+        headline[f"rma_vs_col_{fabric}_speedup"] = round(best_same_layout, 4)
+    out = {"fabrics": cells}
+    out.update(headline)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny scale (CI smoke)")
+    parser.add_argument("--out", default=str(HERE / "BENCH_rma.json"))
+    parser.add_argument(
+        "--assert-advantage", action="store_true",
+        help="exit 1 unless at least one Ethernet regime beats "
+        f"{REFERENCE} with an RMA configuration",
+    )
+    args = parser.parse_args(argv)
+
+    scale = "tiny" if args.quick else "small"
+    out = {
+        "recorded_at": time.strftime("%Y-%m-%d"),
+        "mode": "quick" if args.quick else "full",
+        "scale": scale,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+    out.update(bench(scale))
+
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(json.dumps(out, indent=2))
+    print(f"wrote {args.out}")
+
+    if args.assert_advantage:
+        best = out["fabrics"]["ethernet"]["best_speedup"]
+        if best <= 1.0:
+            print(
+                f"FAIL: no Ethernet regime beats {REFERENCE} "
+                f"(best speedup {best:.3f})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: best Ethernet RMA speedup over {REFERENCE}: {best:.3f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

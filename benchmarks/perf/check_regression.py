@@ -39,6 +39,7 @@ POLARITY = {
     "parallel_speedup": True,
     "parallel_speedup_nocache": True,
     "warm_fleet_speedup": True,
+    "rma_vs_col_ethernet_speedup": True,
     "single_run_small_merge_p2p_t_ethernet_s": False,
 }
 

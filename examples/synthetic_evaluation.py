@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Mini-evaluation with the synthetic application (the paper's §4 workflow).
 
-Runs the CG-emulation workload (scaled down) for all 12 reconfiguration
-configurations on both fabrics, then prints the paper's two comparisons:
+Runs the CG-emulation workload (scaled down) for all 18 reconfiguration
+configurations (the paper's 12 two-sided ones plus the one-sided RMA
+arm) on both fabrics, then prints the paper's two comparisons:
 
 * reconfiguration time in isolation (Figures 2-5 style), and
 * total application time speedups vs Baseline COLS (Figures 7-8 style).

@@ -27,6 +27,7 @@ __all__ = [
     "chunk_times",
     "predict_p2p_redistribution",
     "predict_pairwise_alltoallv",
+    "predict_rma_redistribution",
     "predict_spawn",
     "predict_reconfiguration",
     "Prediction",
@@ -108,6 +109,27 @@ def predict_pairwise_alltoallv(
     return total
 
 
+def predict_rma_redistribution(
+    plan: RedistributionPlan, bytes_per_row: float, fabric: FabricSpec
+) -> float:
+    """Passive-target puts with all chunks in flight concurrently.
+
+    Same bandwidth floor as P2P, but the one-sided schedule needs no size
+    pre-exchange and no per-chunk rendezvous handshake — its control cost
+    is one lock round-trip plus the fire-and-forget unlock release.  On
+    non-RDMA fabrics the simulator adds the rendezvous-progress stalls this
+    closed form deliberately ignores."""
+    peak = _bottleneck_bytes(plan, bytes_per_row)
+    if peak == 0:
+        return 0.0
+    t = peak / fabric.bandwidth
+    if fabric.copy_rate > 0:
+        t += peak / fabric.copy_rate
+    # lock request/grant round-trip + unlock release
+    t += 3 * fabric.latency
+    return t
+
+
 def predict_spawn(spawn: SpawnModel, n_procs: int, n_nodes: int) -> float:
     return spawn.cost(n_procs, n_nodes)
 
@@ -144,6 +166,10 @@ def predict_reconfiguration(
         t_redist = predict_p2p_redistribution(plan, bytes_per_row, fabric)
     elif method == "col":
         t_redist = predict_pairwise_alltoallv(plan, bytes_per_row, fabric)
+    elif method == "rma":
+        t_redist = predict_rma_redistribution(plan, bytes_per_row, fabric)
     else:
-        raise ValueError(f"unknown method {method!r}; use 'p2p' or 'col'")
+        raise ValueError(
+            f"unknown method {method!r}; use 'p2p', 'col' or 'rma'"
+        )
     return Prediction(spawn=t_spawn, redistribution=t_redist)

@@ -44,6 +44,12 @@ class FabricSpec:
     #: the coupling behind the paper's thread-strategy (T) penalties.
     #: RDMA fabrics bypass the CPU, hence a much higher rate.
     copy_rate: float = 0.0
+    #: hardware one-sided support: RMA ops complete without target-side
+    #: progress.  Non-RDMA fabrics run passive-target RMA through a
+    #: software agent, so large (rendezvous-sized) one-sided payloads only
+    #: land while the target is inside an MPI call — the same progress
+    #: artifact that shapes the two-sided asynchronous strategies.
+    rdma: bool = False
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -82,6 +88,7 @@ INFINIBAND_EDR = FabricSpec(
     cpu_overhead=0.5e-6,
     eager_threshold=16 * 1024,
     copy_rate=60.0e9,
+    rdma=True,
 )
 
 #: Intra-node shared-memory channel (per-copy bandwidth of one memcpy
@@ -93,6 +100,7 @@ MEMORY_CHANNEL = FabricSpec(
     cpu_overhead=0.2e-6,
     eager_threshold=1 << 30,
     copy_rate=0.0,
+    rdma=True,
 )
 
 _BY_NAME = {

@@ -345,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--nt", type=int, required=True)
     p_pred.add_argument("--fabric", choices=["ethernet", "infiniband"],
                         default="ethernet")
-    p_pred.add_argument("--method", choices=["p2p", "col"], default="p2p")
+    p_pred.add_argument("--method", choices=["p2p", "col", "rma"], default="p2p")
     p_pred.add_argument("--baseline", action="store_true",
                         help="Baseline spawn method (default: Merge)")
     p_pred.add_argument("--scale", choices=sorted(SCALES), default="paper")

@@ -1,8 +1,16 @@
 """Experiment registry: one spec per figure of the paper's evaluation.
 
-Every figure is a *view* over the same master sweep (pairs x 12 configs x
+Every figure is a *view* over the same master sweep (pairs x 18 configs x
 2 fabrics x reps), so the registry records which slice, metric and
 presentation each figure needs; :mod:`repro.harness.report` renders them.
+
+The config lists are derived from :data:`repro.malleability.config.
+ALL_CONFIGS`, so the views grew with the matrix: since the RMA arm became
+first-class the "synchronous" figures (2/3) plot six series ``{Baseline,
+Merge} x {P2P, COL, RMA}`` and the alpha/speedup/grid figures cover all
+18 cells.  The paper's *expectations* remain claims about its original 12
+two-sided configurations; the RMA series ride along as the §5 extension
+(their dedicated characterisation lives in ``benchmarks/perf/bench_rma``).
 """
 
 from __future__ import annotations

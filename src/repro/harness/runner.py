@@ -19,7 +19,6 @@ from __future__ import annotations
 import csv
 import io
 import time
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
@@ -48,33 +47,19 @@ __all__ = [
 ConfigLike = Union[ReconfigConfig, str]
 
 
-def _coerce_config(config, config_key, klass: str) -> ReconfigConfig:
-    """Accept a ReconfigConfig or any string its parser takes; reject both
-    (ambiguous) or neither.  ``config_key=`` is the deprecated spelling."""
-    if config_key is not None:
-        if config is not None:
-            raise TypeError(f"{klass}: pass config or config_key, not both")
-        warnings.warn(
-            f"{klass}(config_key=...) is deprecated; pass config= a "
-            "ReconfigConfig (or key string)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        config = config_key
+def _coerce_config(config, klass: str) -> ReconfigConfig:
+    """Accept a ReconfigConfig or any string its parser takes.
+
+    Migration note: the deprecated ``config_key=`` keyword and the
+    ``.config_key`` property were removed with the 18-config matrix —
+    pass/read ``config`` (a :class:`ReconfigConfig` or key string) and
+    spell the string as ``.config.key``.  Stored CSVs are unaffected:
+    the serialized column is still literally named ``config_key``."""
     if config is None:
         raise TypeError(f"{klass} requires a reconfiguration config")
     if isinstance(config, ReconfigConfig):
         return config
     return ReconfigConfig.parse(config)
-
-
-def _deprecated_key(klass: str) -> None:
-    warnings.warn(
-        f"{klass}.config_key is deprecated; use .config (a ReconfigConfig) "
-        "or .config.key",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass(frozen=True, init=False)
@@ -83,8 +68,9 @@ class RunSpec:
 
     The configuration is carried as a first-class
     :class:`~repro.malleability.ReconfigConfig`; strings (``"merge-col-s"``
-    or ``"Merge COLS"``) are parsed on construction.  ``config_key`` remains
-    as a deprecated read-only property / keyword for old callers.
+    or ``"Merge COLS"``) are parsed on construction.  The former
+    ``config_key`` property/keyword is gone — use ``.config.key`` (the CSV
+    column of that name is unchanged, so cached sweeps still load).
     """
 
     ns: int
@@ -109,14 +95,10 @@ class RunSpec:
         rep: int = 0,
         plan_mode: str = "block",
         faults: str = "",
-        *,
-        config_key: Optional[str] = None,
     ):
         object.__setattr__(self, "ns", ns)
         object.__setattr__(self, "nt", nt)
-        object.__setattr__(
-            self, "config", _coerce_config(config, config_key, "RunSpec")
-        )
+        object.__setattr__(self, "config", _coerce_config(config, "RunSpec"))
         object.__setattr__(self, "fabric", fabric)
         object.__setattr__(self, "scale", scale)
         object.__setattr__(self, "rep", rep)
@@ -127,12 +109,6 @@ class RunSpec:
             self, "faults",
             FaultSchedule.parse(faults).canonical() if faults.strip() else "",
         )
-
-    @property
-    def config_key(self) -> str:
-        """Deprecated string spelling of :attr:`config`."""
-        _deprecated_key("RunSpec")
-        return self.config.key
 
 
 @dataclass(frozen=True, init=False)
@@ -201,14 +177,10 @@ class RunResult:
         faults: str = "",
         retries: int = 0,
         recovery_time: float = 0.0,
-        *,
-        config_key: Optional[str] = None,
     ):
         object.__setattr__(self, "ns", ns)
         object.__setattr__(self, "nt", nt)
-        object.__setattr__(
-            self, "config", _coerce_config(config, config_key, "RunResult")
-        )
+        object.__setattr__(self, "config", _coerce_config(config, "RunResult"))
         object.__setattr__(self, "fabric", fabric)
         object.__setattr__(self, "scale", scale)
         object.__setattr__(self, "rep", rep)
@@ -227,12 +199,6 @@ class RunResult:
         object.__setattr__(self, "faults", faults)
         object.__setattr__(self, "retries", retries)
         object.__setattr__(self, "recovery_time", recovery_time)
-
-    @property
-    def config_key(self) -> str:
-        """Deprecated string spelling of :attr:`config`."""
-        _deprecated_key("RunResult")
-        return self.config.key
 
     @property
     def pair(self) -> tuple[int, int]:

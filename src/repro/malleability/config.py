@@ -1,9 +1,12 @@
-"""The 12 reconfiguration configurations of the paper's evaluation (§4.3).
+"""The 18-configuration reconfiguration matrix.
 
 A configuration is ``(spawn method, redistribution method, strategy)``:
-``{Baseline, Merge} x {P2P, COL} x {S, A, T}``.  Figure legends name them
-e.g. "Merge COLS", "Baseline P2PA" — :attr:`ReconfigConfig.name` matches
-that convention so harness output lines up with the paper's plots.
+``{Baseline, Merge} x {P2P, COL, RMA} x {S, A, T}``.  The paper's
+evaluation (§4.3) covers the 12 two-sided cells; the RMA arm is its §5
+future-work extension, promoted to a first-class method with the same
+strategy axis.  Figure legends name them e.g. "Merge COLS", "Baseline
+P2PA", "Merge RMAT" — :attr:`ReconfigConfig.name` matches that convention
+so harness output lines up with the paper's plots.
 """
 
 from __future__ import annotations
@@ -83,14 +86,14 @@ def _all_configs() -> tuple[ReconfigConfig, ...]:
     return tuple(
         ReconfigConfig(sp, rd, st)
         for sp in (SpawnMethod.BASELINE, SpawnMethod.MERGE)
-        for rd in (RedistMethod.P2P, RedistMethod.COL)
+        for rd in (RedistMethod.P2P, RedistMethod.COL, RedistMethod.RMA)
         for st in (Strategy.SYNC, Strategy.ASYNC_NONBLOCKING, Strategy.ASYNC_THREAD)
     )
 
 
-#: the paper's 12 configurations, in a stable order.
+#: the 18 configurations (paper's 12 + the RMA arm), in a stable order.
 ALL_CONFIGS: tuple[ReconfigConfig, ...] = _all_configs()
-#: the 4 synchronous ones (Figures 2 and 3).
+#: the 6 synchronous ones (Figures 2 and 3 use their two-sided subset).
 SYNC_CONFIGS = tuple(c for c in ALL_CONFIGS if c.strategy is Strategy.SYNC)
-#: the 8 asynchronous ones (Figures 4 and 5).
+#: the 12 asynchronous ones (Figures 4 and 5 use their two-sided subset).
 ASYNC_CONFIGS = tuple(c for c in ALL_CONFIGS if c.strategy is not Strategy.SYNC)

@@ -1,4 +1,4 @@
-"""The malleability engine: Stages 1-4 for all twelve configurations.
+"""The malleability engine: Stages 1-4 for all eighteen configurations.
 
 One :class:`GroupRunner` per rank drives the application loop with the
 paper's checkpoint protocol embedded (Algorithms 3 and 4):

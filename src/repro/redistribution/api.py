@@ -3,12 +3,13 @@
 The paper's configuration space (§4.3) is the cross product of
 
 * Stage-2 spawn method: ``BASELINE`` | ``MERGE`` (from [16]),
-* Stage-3 redistribution method: ``P2P`` | ``COL`` (this paper's §3.1),
+* Stage-3 redistribution method: ``P2P`` | ``COL`` (this paper's §3.1)
+  | ``RMA`` (one-sided passive-target sessions, the §5 arm),
 * overlap strategy: ``S`` synchronous | ``A`` non-blocking | ``T`` threads
   (§3.2),
 
-giving the 12 configurations of the evaluation.  This module owns the
-Stage-3 axes; the spawn method lives in :mod:`repro.malleability`.
+giving the 18 configurations of the evaluation matrix.  This module owns
+the Stage-3 axes; the spawn method lives in :mod:`repro.malleability`.
 """
 
 from __future__ import annotations
@@ -36,22 +37,28 @@ def _norm(text: str) -> str:
 
 
 def parse_choice(
-    text: str, choices: Mapping[str, _T], kind: str, valid: Sequence[str]
+    text: str,
+    choices: Mapping[str, _T],
+    kind: str,
+    valid: Sequence[str],
+    aliases: Sequence[str] = (),
 ) -> _T:
     """The one case/separator-tolerant parser behind every harness enum.
 
     ``choices`` maps *normalized* tokens (see :func:`_norm`) to values;
-    ``valid`` is the human-facing spelling list used in the error message,
-    which is deliberately uniform across :class:`RedistMethod`,
-    :class:`Strategy` and :class:`~repro.malleability.SpawnMethod`::
+    ``valid`` is the human-facing spelling list used in the error message
+    and ``aliases`` the accepted long forms, listed uniformly across
+    :class:`RedistMethod`, :class:`Strategy` and
+    :class:`~repro.malleability.SpawnMethod`::
 
-        unknown <kind> '<text>'; valid choices: A, B, C
+        unknown <kind> '<text>'; valid choices: A, B, C (aliases: x, y)
     """
     try:
         return choices[_norm(text)]
     except KeyError:
+        hint = f" (aliases: {', '.join(aliases)})" if aliases else ""
         raise ValueError(
-            f"unknown {kind} {text!r}; valid choices: {', '.join(valid)}"
+            f"unknown {kind} {text!r}; valid choices: {', '.join(valid)}{hint}"
         ) from None
 
 
@@ -60,7 +67,8 @@ class RedistMethod(enum.Enum):
 
     P2P = "p2p"
     COL = "col"
-    #: future-work extension (paper §5): one-sided RMA puts.
+    #: the paper's §5 extension, first-class since the 18-config matrix:
+    #: passive-target one-sided puts/gets.
     RMA = "rma"
 
     @classmethod
@@ -77,6 +85,7 @@ class RedistMethod(enum.Enum):
             },
             "redistribution method",
             ("P2P", "COL", "RMA"),
+            aliases=("point-to-point", "collective", "one-sided"),
         )
 
 
@@ -110,6 +119,7 @@ class Strategy(enum.Enum):
             },
             "strategy",
             ("S", "A", "T"),
+            aliases=("sync", "async", "non-blocking", "thread"),
         )
 
     @property
@@ -123,47 +133,41 @@ def make_session(
     comm,
     plan: RedistributionPlan,
     names: list[str],
+    *,
     src_rank: Optional[int] = None,
     dst_rank: Optional[int] = None,
     src_dataset: Optional[Dataset] = None,
     dst_dataset: Optional[Dataset] = None,
     label: str = "redist",
     coalesce: bool = False,
+    variant: Optional[str] = None,
 ) -> RedistributionSession:
     """Build this rank's Stage-3 session for the chosen method.
 
-    ``method`` may be a :class:`RedistMethod` or any string its tolerant
-    parser accepts (``"RMA"``, ``"col"``, ``"point-to-point"``...).  Every
-    method — including the §5 RMA extension — resolves to a real session
-    class here; anything else fails *at the factory* with the choice list,
-    and role/dataset mismatches fail in the session constructor with a
-    named-argument message, instead of deep inside the manager.
+    The single validated construction path of the whole stack: the
+    manager, the thread/async drivers and the tests all come through here,
+    so every option is checked once, with a uniform error vocabulary.
 
-    ``coalesce=True`` (opt-in) piggybacks per-peer size metadata on the
-    value payloads so each peer pair exchanges one larger simulated message
-    instead of two — same modeled data volume, fewer events.  Off by
-    default to keep the paper's two-message Algorithm 1/2 schedules.
+    ``method`` may be a :class:`RedistMethod` or any string its tolerant
+    parser accepts (``"RMA"``, ``"col"``, ``"one-sided"``...).  Unknown
+    methods fail *at the factory* with the choice list; role/dataset
+    mismatches fail in the session constructor with a named-argument
+    message, instead of deep inside the manager.
+
+    ``coalesce=True`` (opt-in, P2P/COL only) piggybacks per-peer size
+    metadata on the value payloads so each peer pair exchanges one larger
+    simulated message instead of two — same modeled data volume, fewer
+    events.  Off by default to keep the paper's two-message Algorithm 1/2
+    schedules.
+
+    ``variant`` selects the RMA data-movement direction:
+    ``"origin"``/``"put"`` (sources drive; the default) or
+    ``"target"``/``"get"`` (targets drive).  Setting it for P2P/COL is an
+    error — those methods have no direction to choose.
     """
     if isinstance(method, str):
         method = RedistMethod.parse(method)
-    if method is RedistMethod.P2P:
-        cls = P2PRedistribution
-    elif method is RedistMethod.COL:
-        cls = ColRedistribution
-    elif method is RedistMethod.RMA:
-        from .rma import RmaRedistribution
-
-        cls = RmaRedistribution
-    else:
-        raise ValueError(
-            f"unknown redistribution method {method!r}; valid choices: "
-            + ", ".join(m.name for m in RedistMethod)
-        )
-    return cls(
-        ctx,
-        comm,
-        plan,
-        names,
+    kwargs = dict(
         src_rank=src_rank,
         dst_rank=dst_rank,
         src_dataset=src_dataset,
@@ -171,3 +175,34 @@ def make_session(
         label=label,
         coalesce=coalesce,
     )
+    if method is RedistMethod.RMA:
+        from .rma import RmaRedistribution
+
+        if coalesce:
+            raise ValueError(
+                "coalesce does not apply to the RMA method: one-sided "
+                "chunks already travel as single messages"
+            )
+        if variant is not None:
+            kwargs["variant"] = parse_choice(
+                variant,
+                {
+                    "origin": "origin",
+                    "origindriven": "origin",
+                    "put": "origin",
+                    "target": "target",
+                    "targetdriven": "target",
+                    "get": "target",
+                },
+                "RMA variant",
+                ("origin", "target"),
+                aliases=("origin-driven", "put", "target-driven", "get"),
+            )
+        return RmaRedistribution(ctx, comm, plan, names, **kwargs)
+    if variant is not None:
+        raise ValueError(
+            f"variant={variant!r} only applies to the RMA method, "
+            f"not {method.name}"
+        )
+    cls = P2PRedistribution if method is RedistMethod.P2P else ColRedistribution
+    return cls(ctx, comm, plan, names, **kwargs)

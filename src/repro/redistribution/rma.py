@@ -1,21 +1,28 @@
-"""RMA-based redistribution — the paper's future-work extension (§5).
+"""One-sided (RMA) redistribution — the paper's §5 extension, promoted to a
+first-class third method alongside P2P (Algorithm 1) and COL (Algorithm 2).
 
-"Future work will extend the experiments to analyse the behaviour of other
-methods, such as RMA for data redistribution."
+Built on the passive-target subsystem (:mod:`repro.smpi.rma`): a window is
+created collectively over the redistribution communicator and the data
+moves inside ``win_lock`` epochs, in one of two symmetrical variants:
 
-Built on the simulated one-sided subsystem (:mod:`repro.smpi.rma`):
+* **origin-driven** (``variant="origin"``, the default): each *source*
+  opens a shared lock epoch per destination and issues one *put* per chunk
+  of its send schedule — no size pre-exchange and no two-sided matching.
+  Targets expose their (empty) destination dataset and learn completeness
+  from put-notification counters: the plan predicts exactly how many
+  chunks must land.
+* **target-driven** (``variant="target"``): each *target* locks its
+  sources and issues one *get* per chunk of its receive schedule; sources
+  expose their source dataset and wait until the notification counter says
+  every chunk was served.
 
-* a window is created collectively over the redistribution communicator;
-  each target exposes its (empty) destination dataset;
-* sources issue one *put* per chunk — no size pre-exchange, no two-sided
-  matching, and crucially **no target-side progress requirement**: the put
-  lands even while the target computes, which sidesteps the rendezvous
-  stalls that shape the two-sided asynchronous strategy;
-* completeness uses put-notification counters: a target knows from the plan
-  exactly how many chunks it must receive.
-
-This is an *extension*, not part of the paper's 12 evaluated
-configurations; the ablation benchmark compares it against P2P and COL.
+Either way the rendezvous-progress artifact carries over from the
+two-sided world on non-RDMA fabrics (see :mod:`repro.smpi.rma`): large
+one-sided payloads only complete while the *data-holding* side is inside
+an MPI call, so the asynchronous strategies drain them at ``test()``
+checkpoints — which is exactly the regime the RMA-vs-COL characterisation
+benchmark probes.  On RDMA fabrics the hardware completes ops without any
+remote progress and the method's no-matching advantage shows directly.
 """
 
 from __future__ import annotations
@@ -23,11 +30,19 @@ from __future__ import annotations
 from ..simulate.primitives import AllOf
 from .session import RedistributionSession
 
-__all__ = ["RmaRedistribution"]
+__all__ = ["RmaRedistribution", "RMA_VARIANTS"]
+
+#: accepted values of :class:`RmaRedistribution` ``variant=``.
+RMA_VARIANTS = ("origin", "target")
 
 
 class _DatasetExposure:
-    """Window exposure adapter: puts carry ``(lo, hi, payload_dict)``."""
+    """Window exposure adapter over one dataset.
+
+    Origin-driven puts carry ``(lo, hi, payload_dict)`` tuples; target-
+    driven gets read a row range back out (offset/count address dataset
+    rows, not bytes — ``read_nbytes`` reports the true wire size).
+    """
 
     def __init__(self, dataset, names):
         self.dataset = dataset
@@ -37,80 +52,213 @@ class _DatasetExposure:
         lo, hi, payloads = payload
         self.dataset.insert(lo, hi, payloads, self.names)
 
-    def read(self, offset: int, count: int):  # pragma: no cover - unused
-        raise NotImplementedError("redistribution only puts")
+    def read(self, offset: int, count: int):
+        """Serve one get: ``(payload_dict, wire_nbytes)``.
+
+        The byte count rides along because only the data-holding side can
+        price a chunk (the requesting side's dataset is still empty — with
+        CSR fields the wire size depends on the rows' population)."""
+        lo, hi = offset, offset + count
+        return (
+            self.dataset.extract(lo, hi, list(self.names)),
+            self.dataset.range_nbytes(lo, hi, list(self.names)),
+        )
+
+    def read_nbytes(self, offset: int, count: int) -> int:
+        return self.dataset.range_nbytes(offset, offset + count, list(self.names))
 
 
 class RmaRedistribution(RedistributionSession):
-    """One rank's one-sided redistribution."""
+    """One rank's one-sided redistribution (see module docstring)."""
 
     method_name = "rma"
 
-    def start(self):
-        """Create the window (collective) and issue all puts."""
-        if self._started:
-            raise RuntimeError("session already started")
-        self._started = True
-        self._mark_started()
-        exposure = (
-            _DatasetExposure(self.dst_dataset, self.names)
-            if self.is_target
-            else None
-        )
-        self._win = yield from self.ctx.win_create(exposure, comm=self.comm)
-        self._put_events = []
-        self._notify_event = None
+    def __init__(self, *args, variant: str = "origin", **kwargs):
+        super().__init__(*args, **kwargs)
+        if variant not in RMA_VARIANTS:
+            raise ValueError(
+                f"unknown RMA variant {variant!r}; "
+                f"valid choices: {', '.join(RMA_VARIANTS)}"
+            )
+        if self.coalesce:
+            raise ValueError(
+                "coalesce does not apply to the RMA method: one-sided "
+                "chunks already travel as single messages"
+            )
+        self.variant = variant
 
-        if self.is_target:
-            expected = sum(
+    # --------------------------------------------------------------- common
+    @property
+    def _drives(self) -> bool:
+        """Do I issue the one-sided operations (lock/put or lock/get)?"""
+        if self.variant == "origin":
+            return self.is_source
+        return self.is_target
+
+    def _schedule(self):
+        """(peer, lo, hi) triples I drive, excluding the memcpy self-chunk."""
+        if self.variant == "origin":
+            for tr in self.plan.sends_for(self.src_rank):
+                if self.is_target and tr.dst == self.dst_rank:
+                    continue  # self-chunk moves by memcpy
+                yield tr.dst, tr.lo, tr.hi
+        else:
+            for tr in self.plan.recvs_for(self.dst_rank):
+                if self.is_source and tr.src == self.src_rank:
+                    continue
+                yield tr.src, tr.lo, tr.hi
+
+    def _expected_notifications(self) -> int:
+        """Completed ops my exposure must observe before I am done."""
+        if self.variant == "origin":
+            # Puts landing in my destination dataset.
+            return sum(
                 1
                 for tr in self.plan.recvs_for(self.dst_rank)
                 if not (self.is_source and tr.src == self.src_rank)
             )
+        # Gets served from my source dataset.
+        return sum(
+            1
+            for tr in self.plan.sends_for(self.src_rank)
+            if not (self.is_target and tr.dst == self.dst_rank)
+        )
+
+    @property
+    def _exposes(self) -> bool:
+        """Does my dataset sit behind the window for the other side?"""
+        if self.variant == "origin":
+            return self.is_target
+        return self.is_source
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self):
+        """Create the window (collective), open the lock epochs, and issue
+        every one-sided operation of my schedule."""
+        if self._started:
+            raise RuntimeError("session already started")
+        self._started = True
+        self._mark_started()
+        exposure = None
+        if self._exposes:
+            exposure = _DatasetExposure(
+                self.dst_dataset if self.variant == "origin" else self.src_dataset,
+                self.names,
+            )
+        self._win = yield from self.ctx.win_create(exposure, comm=self.comm)
+        self._op_events = []     # completion events of my puts/gets
+        self._pending_gets = []  # (lo, hi, event) of gets awaiting insert
+        self._locked = []        # peers whose epoch is still open
+        self._notify_event = None
+
+        if self._exposes:
             self._notify_event = self._win.notification_event(
-                self.ctx.gid, threshold=expected
+                self.ctx.gid, threshold=self._expected_notifications()
             )
 
-        if self.is_source:
-            for tr in self.plan.sends_for(self.src_rank):
-                if self.is_target and tr.dst == self.dst_rank:
-                    yield from self._do_local_copy()
-                    continue
-                payloads = self.src_dataset.extract(tr.lo, tr.hi, self.names)
-                nbytes = self.src_dataset.range_nbytes(tr.lo, tr.hi, self.names)
+        if self.is_source and self.is_target:
+            yield from self._do_local_copy()
+
+        if not self._drives:
+            return
+
+        schedule = list(self._schedule())
+
+        # Open one shared epoch per distinct peer, concurrently: the lock
+        # requests overlap their control-message round trips.
+        t0 = self.ctx.now
+        peers = sorted({peer for peer, _lo, _hi in schedule})
+        grants = []
+        for peer in peers:
+            ev = yield from self.ctx.win_ilock(self._win, peer)
+            grants.append(ev)
+        if grants:
+            yield from self.ctx._polling_block(AllOf(grants))
+            self._locked = list(peers)
+        self._emit_phase_span("lock", t0)
+
+        t0 = self.ctx.now
+        if self.variant == "origin":
+            for dst, lo, hi in schedule:
+                payloads = self.src_dataset.extract(lo, hi, self.names)
+                nbytes = self.src_dataset.range_nbytes(lo, hi, self.names)
                 self._emit_transfer("put", nbytes)
                 ev = yield from self.ctx.win_put(
-                    self._win, tr.dst, (tr.lo, tr.hi, payloads),
+                    self._win, dst, (lo, hi, payloads),
                     nbytes=nbytes, label=f"{self.label}:put",
                 )
-                self._put_events.append(ev)
+                self._op_events.append(ev)
+            self._emit_phase_span("put", t0)
+        else:
+            for src, lo, hi in schedule:
+                ev = yield from self.ctx.win_iget(
+                    self._win, src, lo, hi - lo,
+                    label=f"{self.label}:get",
+                )
+                self._op_events.append(ev)
+                self._pending_gets.append((lo, hi, ev))
+            self._emit_phase_span("get", t0)
+
+    def _insert_landed_gets(self) -> None:
+        """Move completed gets into the destination dataset.
+
+        Byte accounting happens here, not at issue time: the chunk size is
+        priced by the exposure (see :meth:`_DatasetExposure.read`) and only
+        becomes known to the requesting side when the data lands."""
+        still = []
+        for lo, hi, ev in self._pending_gets:
+            if ev.triggered:
+                payloads, nbytes = ev.value
+                self._emit_transfer("get", nbytes)
+                self.dst_dataset.insert(lo, hi, payloads, self.names)
+            else:
+                still.append((lo, hi, ev))
+        self._pending_gets = still
 
     def _locally_done(self) -> bool:
-        puts_done = all(ev.triggered for ev in self._put_events)
-        recvd = self._notify_event is None or self._notify_event.triggered
-        return puts_done and recvd
+        ops_done = all(ev.triggered for ev in self._op_events)
+        notified = self._notify_event is None or self._notify_event.triggered
+        return ops_done and notified
+
+    def _close_epochs(self):
+        """Unlock every open epoch (flushes; cheap once the ops drained)."""
+        for peer in self._locked:
+            yield from self.ctx.win_unlock(self._win, peer)
+        self._locked = []
 
     def finish(self):
-        """Block until my puts drained and my incoming chunks landed."""
+        """Block until my ops flushed, my epochs closed, and — when I
+        expose data — the notification counter reached its threshold."""
         if not self._started:
             raise RuntimeError("finish() before start()")
-        waits = [ev for ev in self._put_events if ev.pending]
+        t0 = self.ctx.now
+        yield from self._close_epochs()
         if self._notify_event is not None and self._notify_event.pending:
-            waits.append(self._notify_event)
-        if waits:
-            yield from self.ctx._polling_block(AllOf(waits))
+            yield from self.ctx._polling_block(AllOf([self._notify_event]))
+        self._insert_landed_gets()
+        self._emit_phase_span("drain", t0)
         self._finished = True
         self._mark_finished()
 
     def test(self):
-        """One progress window; RMA needs no handshake pumping, so this is
-        just a completion check (the defining advantage of the method)."""
+        """One progress window plus a completion check.  RMA needs no
+        handshake pumping of its own — the progress tick is what lets
+        deferred one-sided landings drain on non-RDMA fabrics — so the
+        checkpoints stay as cheap as the method promises."""
         if not self._started:
             raise RuntimeError("test() before start()")
         if self._finished:
             return True
         yield from self.ctx.progress_tick()
-        if self._locally_done():
+        for ev in self._op_events:
+            if ev.failed:
+                ev.value  # raises CommFailedError (A/T strategies learn here)
+        self._insert_landed_gets()
+        if self._locked and all(ev.triggered for ev in self._op_events):
+            # Everything I drove completed: the closing flushes are empty,
+            # so the unlocks cannot block this checkpoint.
+            yield from self._close_epochs()
+        if self._locally_done() and not self._locked:
             self._finished = True
             self._mark_finished()
         self._emit_test(self._finished)

@@ -38,6 +38,8 @@ SAN_RULES: dict[str, str] = {
               "redistribution self-copy was modified during the copy window",
     "SAN008": "deadlock: rank blocked forever on a peer (see the wait-for "
               "graph in the finding message)",
+    "SAN009": "RMA epoch leak: a passive-target lock epoch (win_lock) was "
+              "still open when its origin rank finalized",
 }
 
 #: static rules — detected by ``python -m repro.sanitize.lint`` over source.

@@ -25,7 +25,15 @@ SAN005  operation issued on an aborted communicator
 SAN006  inconsistent Alltoallv send/recv pairings across members
 SAN007  self-``memcpy`` source range modified during the copy window
 SAN008  simulator deadlock (wait-for-graph explanation)
+SAN009  passive-target lock epoch still open at origin finalize
 ======  ==============================================================
+
+For one-sided traffic the buffer-race rule is **epoch-aware**: a put
+issued inside a ``win_lock`` epoch holds its origin-buffer fingerprint
+until the epoch is flushed (``win_flush`` / ``win_flush_local`` /
+``win_unlock``) — the strict MPI reuse rule — rather than only until the
+operation's own completion event.  The simulation itself is forgiving
+(puts snapshot payloads at issue), so these stay pure observations.
 
 All checks are *observations*: the sanitizer never changes simulation
 behaviour, it only records :class:`~repro.sanitize.findings.Finding`
@@ -137,6 +145,12 @@ class Sanitizer:
         self._a2av: dict[tuple[int, int], dict[int, tuple]] = {}
         #: finalized gids (suppresses duplicate finalize scans).
         self._finalized: set[int] = set()
+        #: (win_id, origin_gid, target_gid) -> (ctx_id, lock-issue time) of
+        #: every not-yet-unlocked passive-target epoch (SAN009 at finalize).
+        self._epoch_open: dict[tuple[int, int, int], tuple[int, float]] = {}
+        #: (win_id, origin_gid, target_gid) -> puts issued inside the open
+        #: epoch; fingerprints are verified when the epoch is flushed.
+        self._epoch_puts: dict[tuple[int, int, int], list[_OpenOp]] = {}
 
     # ------------------------------------------------------------- lifecycle
     def attach(self, world) -> "Sanitizer":
@@ -259,13 +273,73 @@ class Sanitizer:
         peer = comm.peer_gid(source) if source >= 0 else None
         self._register("recv", ctx.gid, comm.ctx_id, tag, peer, None, req.done)
 
-    def on_win_put(self, ctx, comm, target_rank: int, payload, done) -> None:
-        """Hooked from :meth:`RankCtx.win_put` once the flow is launched."""
+    def on_win_put(self, ctx, win, target_rank: int, payload, done) -> None:
+        """Hooked from :meth:`RankCtx.win_put` once the flow is launched.
+
+        Outside an epoch (fence-synchronised use) the origin buffer is
+        checked at the put's own completion, like an isend.  Inside a
+        ``win_lock`` epoch the strict rule applies: the fingerprint is held
+        until the epoch is flushed (:meth:`on_win_flush`)."""
+        comm = win.comm
         self._check_aborted(ctx, comm, "win_put")
-        self._register(
-            "put", ctx.gid, comm.ctx_id, None, comm.peer_gid(target_rank),
-            payload, done,
+        dst_gid = comm.peer_gid(target_rank)
+        if win.epoch_mode(ctx.gid, dst_gid) is None:
+            self._register(
+                "put", ctx.gid, comm.ctx_id, None, dst_gid, payload, done,
+            )
+            return
+        fp = fingerprint_payload(payload)
+        if fp is None:
+            return
+        key = (win.win_id, ctx.gid, dst_gid)
+        self._epoch_puts.setdefault(key, []).append(
+            _OpenOp("put", ctx.gid, comm.ctx_id, None, dst_gid,
+                    payload, fp, self._now())
         )
+
+    # ------------------------------------------------- passive-target epochs
+    def on_win_lock(self, ctx, win, target_rank: int, exclusive: bool) -> None:
+        """Hooked from :meth:`RankCtx.win_ilock` at lock-issue time."""
+        comm = win.comm
+        self._check_aborted(ctx, comm, "win_lock")
+        dst_gid = comm.peer_gid(target_rank)
+        self._epoch_open[(win.win_id, ctx.gid, dst_gid)] = (
+            comm.ctx_id, self._now(),
+        )
+
+    def on_win_flush(self, ctx, win, target_rank: Optional[int],
+                     local_only: bool = False) -> None:
+        """Hooked after a flush wait: the epoch's put buffers become legal
+        to reuse exactly now — verify none was touched while held
+        (epoch-aware SAN001).  ``MPI_Win_flush_local`` also completes put
+        origin buffers, so both variants release the held fingerprints."""
+        dst_gid = (
+            win.comm.peer_gid(target_rank) if target_rank is not None else None
+        )
+        now = self._now()
+        for key in sorted(self._epoch_puts):
+            win_id, origin, target = key
+            if win_id != win.win_id or origin != ctx.gid:
+                continue
+            if dst_gid is not None and target != dst_gid:
+                continue
+            for op in self._epoch_puts.pop(key):
+                if fingerprint_payload(op.payload) != op.fp:
+                    self._emit(
+                        "SAN001",
+                        f"put buffer to peer gid={op.peer} modified inside "
+                        f"a lock epoch before it was flushed "
+                        f"(posted at t={op.t0:.6f})",
+                        rank=op.gid, ctx=op.ctx, t=now,
+                        detail={"peer": op.peer, "kind": "put",
+                                "win": win_id, "epoch": True},
+                    )
+
+    def on_win_unlock(self, ctx, win, target_rank: int) -> None:
+        """Hooked from :meth:`RankCtx.win_unlock` after the closing flush."""
+        dst_gid = win.comm.peer_gid(target_rank)
+        self._epoch_open.pop((win.win_id, ctx.gid, dst_gid), None)
+        self._epoch_puts.pop((win.win_id, ctx.gid, dst_gid), None)
 
     def on_data_read(self, req) -> None:
         """Hooked from the ``Request.data`` property (SAN002)."""
@@ -418,6 +492,23 @@ class Sanitizer:
                 f"{peer} (posted at t={op.t0:.6f})",
                 rank=gid, ctx=op.ctx, tag=op.tag, t=now,
                 detail={"kind": op.kind, "peer": op.peer},
+            )
+        # SAN009: passive-target epochs this rank opened and never unlocked.
+        for key in sorted(self._epoch_open):
+            win_id, origin, target = key
+            if origin != gid:
+                continue
+            ctx_id, t0 = self._epoch_open[key]
+            if ctx_id in aborted or target in dead:
+                continue  # excused: failure layer owns these
+            del self._epoch_open[key]
+            self._epoch_puts.pop(key, None)
+            self._emit(
+                "SAN009",
+                f"lock epoch to target gid={target} on window {win_id} "
+                f"never unlocked (locked at t={t0:.6f})",
+                rank=gid, ctx=ctx_id, t=now,
+                detail={"win": win_id, "target": target},
             )
         # SAN004: traffic that physically arrived here but never matched.
         def excused(msg) -> bool:

@@ -655,13 +655,25 @@ class RankCtx:
         win = yield from self._polling_block(WaitEvent(op.event))
         return win
 
+    def _rma_count(self, kind: str) -> None:
+        m = self.world.metrics
+        if m is not None:
+            m.counter("rma.ops", kind=kind).inc()
+
     def win_put(self, win, target_rank: int, payload: Any,
                 nbytes: Optional[int] = None, label: str = ""):
-        """One-sided put: ships ``payload`` to the target's exposure with no
-        target-side MPI call.  Returns the completion event (tracked by the
-        window for fences)."""
+        """One-sided put: ships ``payload`` to the target's exposure.
+
+        Outside a lock epoch (active-target use, synchronised by fences)
+        the put lands with no target-side MPI call.  Inside a passive-
+        target epoch the rendezvous-progress rule applies: payloads above
+        the fabric's eager threshold on a non-RDMA fabric only land while
+        the target is inside an MPI call.  Returns the completion event
+        (tracked by the window for fences and epoch flushes)."""
         dst_gid = win.comm.peer_gid(target_rank)
         world = self.world
+        epoch = win.epoch_mode(self.gid, dst_gid)
+        self._rma_count("put")
         done = self.sim.event(name=f"put@{win.win_id}->{target_rank}")
         if dst_gid in world.dead_gids:
             # One-sided op against a dead target: complete in error without
@@ -672,13 +684,16 @@ class RankCtx:
                 )
             )
             win._track(done)
+            if epoch is not None:
+                win._track_epoch_op(self.gid, dst_gid, "put", done)
             return done
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         spec = self.world.channel_spec(self.gid, dst_gid)
         if spec.cpu_overhead > 0:
             yield Compute(spec.cpu_overhead)
         src_node = self.node
-        dst_node = self.world.endpoints[dst_gid].node
+        dst_ep = self.world.endpoints[dst_gid]
+        dst_node = dst_ep.node
         if label:
             self.world.bytes_by_label[label] = (
                 self.world.bytes_by_label.get(label, 0.0) + size
@@ -688,6 +703,11 @@ class RankCtx:
         )
         snapshot = copy_payload(payload)
         exposure = win.exposures.get(dst_gid)
+        # Software-agent RMA: a rendezvous-sized payload inside a passive
+        # epoch needs the target inside MPI before it can land.
+        deferred = (
+            epoch is not None and not spec.rdma and size > spec.eager_threshold
+        )
 
         def land(_ev) -> None:
             def apply() -> None:
@@ -706,45 +726,269 @@ class RankCtx:
                 win._notify_put(dst_gid)
                 done.trigger(None)
 
-            # The target-side copy still costs target CPU on CPU-bound
-            # fabrics (RDMA fabrics make it negligible via copy_rate).
-            if spec.copy_rate > 0 and size > 0:
-                dst_node.submit(size / spec.copy_rate, apply,
-                                label=f"rma-copy:{label or size}")
+            def begin() -> None:
+                # The target-side copy still costs target CPU on CPU-bound
+                # fabrics (RDMA fabrics make it negligible via copy_rate).
+                if spec.copy_rate > 0 and size > 0:
+                    dst_node.submit(size / spec.copy_rate, apply,
+                                    label=f"rma-copy:{label or size}")
+                else:
+                    apply()
+
+            if deferred and not dst_ep.progress_active:
+                dst_ep.pending_rma.append(begin)
+                m = world.metrics
+                if m is not None:
+                    m.counter("rma.deferred_landings").inc()
             else:
-                apply()
+                begin()
 
         san = world.sanitizer
         if san is not None:
-            san.on_win_put(self, win.comm, target_rank, payload, done)
+            san.on_win_put(self, win, target_rank, payload, done)
         flow_done.add_callback(land)
         win._track(done)
+        if epoch is not None:
+            win._track_epoch_op(self.gid, dst_gid, "put", done)
         return done
 
-    def win_get(self, win, target_rank: int, offset: int, count: int,
-                item_nbytes: int = 8):
-        """One-sided get: request latency out, data flow back; reads the
-        target's exposure at response time.  Blocking (polls)."""
+    def win_iget(self, win, target_rank: int, offset: int, count: int,
+                 item_nbytes: int = 8, label: str = ""):
+        """Non-blocking one-sided get: request latency out, data flow back.
+
+        Returns the completion event; it triggers with the data read from
+        the target's exposure at response time.  Inside a passive-target
+        epoch the response obeys the rendezvous-progress rule (the *data
+        holder* must be inside MPI for rendezvous-sized responses on
+        non-RDMA fabrics) — the target-driven mirror of ``win_put``."""
         dst_gid = win.comm.peer_gid(target_rank)
-        dst_node = self.world.endpoints[dst_gid].node
+        world = self.world
+        dst_ep = self.world.endpoints[dst_gid]
+        dst_node = dst_ep.node
         exposure = win.exposures.get(dst_gid)
         if exposure is None:
             raise ValueError(f"rank {target_rank} exposes nothing in {win!r}")
+        epoch = win.epoch_mode(self.gid, dst_gid)
+        self._rma_count("get")
         done = self.sim.event(name=f"get@{win.win_id}<-{target_rank}")
+        if dst_gid in world.dead_gids:
+            done.fail(
+                CommFailedError(
+                    f"win_get from dead rank {target_rank}", dead_gids=[dst_gid]
+                )
+            )
+            win._track(done)
+            if epoch is not None:
+                win._track_epoch_op(self.gid, dst_gid, "get", done)
+            return done
+        spec = self.world.channel_spec(self.gid, dst_gid)
+        if spec.cpu_overhead > 0:
+            yield Compute(spec.cpu_overhead)
+        if hasattr(exposure, "read_nbytes"):
+            size = exposure.read_nbytes(offset, count)
+        else:
+            size = count * item_nbytes
+        deferred = (
+            epoch is not None and not spec.rdma and size > spec.eager_threshold
+        )
 
         def respond(_ev) -> None:
-            data = exposure.read(offset, count)
-            back = self.machine.transfer(
-                dst_node, self.node, count * item_nbytes,
-                label=f"rma-get:{count * item_nbytes}",
-            )
-            back.add_callback(lambda _e: done.trigger(data))
+            def serve() -> None:
+                if not done.pending:
+                    return
+                if dst_gid in world.dead_gids:
+                    done.fail(
+                        CommFailedError(
+                            f"win_get target rank {target_rank} died in flight",
+                            dead_gids=[dst_gid],
+                        )
+                    )
+                    return
+                data = exposure.read(offset, count)
+                if label:
+                    world.bytes_by_label[label] = (
+                        world.bytes_by_label.get(label, 0.0) + size
+                    )
+                # One op observed at the exposer: target-driven sessions
+                # use this to learn their data was fully served.
+                win._notify_put(dst_gid)
+                back = self.machine.transfer(
+                    dst_node, self.node, size, label=f"rma-get:{label or size}"
+                )
+
+                def landed(_e) -> None:
+                    if done.pending:
+                        done.trigger(data)
+
+                back.add_callback(landed)
+
+            if deferred and not dst_ep.progress_active:
+                dst_ep.pending_rma.append(serve)
+                m = world.metrics
+                if m is not None:
+                    m.counter("rma.deferred_landings").inc()
+            else:
+                serve()
 
         req_flow = self.machine.transfer(self.node, dst_node, 0, label="rma-get-req")
         req_flow.add_callback(respond)
         win._track(done)
+        if epoch is not None:
+            win._track_epoch_op(self.gid, dst_gid, "get", done)
+        return done
+
+    def win_get(self, win, target_rank: int, offset: int, count: int,
+                item_nbytes: int = 8, label: str = ""):
+        """Blocking one-sided get (``win_iget`` + polling wait)."""
+        done = yield from self.win_iget(
+            win, target_rank, offset, count, item_nbytes, label
+        )
         data = yield from self._polling_block(WaitEvent(done))
         return data
+
+    # ------------------------------------------------- passive-target epochs
+    def win_ilock(self, win, target_rank: int, exclusive: bool = False):
+        """Begin acquiring a passive-target lock (``MPI_Win_lock`` shape).
+
+        Returns the grant event; the epoch is open once it triggers.  The
+        request travels to the target's lock word (one control-message
+        latency), queues FIFO behind incompatible holders, and the grant
+        travels back — no target-side MPI call is needed to grant."""
+        from .rma import LOCK_EXCLUSIVE, LOCK_SHARED
+
+        dst_gid = win.comm.peer_gid(target_rank)
+        world = self.world
+        if win.epoch_mode(self.gid, dst_gid) is not None:
+            raise ValueError(
+                f"win_lock: an epoch to rank {target_rank} is already open"
+            )
+        self._rma_count("lock")
+        san = world.sanitizer
+        if san is not None:
+            san.on_win_lock(self, win, target_rank, exclusive)
+        granted = self.sim.event(name=f"lock@{win.win_id}->{target_rank}")
+        if dst_gid in world.dead_gids:
+            granted.fail(
+                CommFailedError(
+                    f"win_lock to dead rank {target_rank}", dead_gids=[dst_gid]
+                )
+            )
+            return granted
+        spec = self.world.channel_spec(self.gid, dst_gid)
+        if spec.cpu_overhead > 0:
+            yield Compute(spec.cpu_overhead)
+        mode = LOCK_EXCLUSIVE if exclusive else LOCK_SHARED
+        origin_node = self.node
+        dst_node = self.world.endpoints[dst_gid].node
+        t0 = self.sim.now
+
+        def arrived(_ev) -> None:
+            def grant() -> None:
+                back = self.machine.transfer(
+                    dst_node, origin_node, 0, label="rma-lock-grant"
+                )
+
+                def opened(_e) -> None:
+                    if not granted.pending:
+                        return
+                    if dst_gid in world.dead_gids:
+                        granted.fail(
+                            CommFailedError(
+                                f"win_lock target rank {target_rank} died",
+                                dead_gids=[dst_gid],
+                            )
+                        )
+                        return
+                    win._epoch_opened(self.gid, dst_gid, mode, self.sim.now)
+                    m = world.metrics
+                    if m is not None:
+                        m.timer("rma.lock_wait_seconds", mode=mode).record(
+                            t0, self.sim.now, label=f"win{win.win_id}"
+                        )
+                    granted.trigger(None)
+
+                back.add_callback(opened)
+
+            win.lock_state(dst_gid).request(self.gid, exclusive, grant)
+
+        req_flow = self.machine.transfer(
+            origin_node, dst_node, 0, label="rma-lock"
+        )
+        req_flow.add_callback(arrived)
+        return granted
+
+    def win_lock(self, win, target_rank: int, exclusive: bool = False):
+        """Blocking passive-target lock: open an access epoch to one rank."""
+        granted = yield from self.win_ilock(win, target_rank, exclusive)
+        yield from self._polling_block(WaitEvent(granted))
+        return granted
+
+    def win_flush(self, win, target_rank: Optional[int] = None):
+        """Wait until my epoch's operations completed **at the target(s)**
+        (``MPI_Win_flush`` / ``MPI_Win_flush_all``).  The epoch stays open."""
+        yield from self._win_flush(win, target_rank, local_only=False)
+
+    def win_flush_local(self, win, target_rank: Optional[int] = None):
+        """Wait until my epoch's operations completed **locally**
+        (``MPI_Win_flush_local``): gets have delivered their data; puts are
+        locally complete at issue time (the payload is snapshotted), though
+        the *strict* MPI reuse rule is still checked by the sanitizer."""
+        yield from self._win_flush(win, target_rank, local_only=True)
+
+    def _win_flush(self, win, target_rank, local_only: bool):
+        dst_gid = None
+        if target_rank is not None:
+            dst_gid = win.comm.peer_gid(target_rank)
+            if win.epoch_mode(self.gid, dst_gid) is None:
+                raise ValueError(
+                    f"win_flush: no epoch open to rank {target_rank}"
+                )
+        elif not win.open_epochs(self.gid):
+            raise ValueError("win_flush: no epoch open on this window")
+        self._rma_count("flush_local" if local_only else "flush")
+        pending = win.epoch_pending(self.gid, dst_gid, local_only=local_only)
+        if pending:
+            yield from self._polling_block(AllOf(pending))
+        san = self.world.sanitizer
+        if san is not None:
+            # Epoch-aware SAN001: the origin buffers of this epoch's puts
+            # become reusable exactly now — verify they were not touched.
+            san.on_win_flush(self, win, target_rank, local_only=local_only)
+
+    def win_unlock(self, win, target_rank: int):
+        """Close the passive-target epoch (``MPI_Win_unlock``): flush every
+        operation of the epoch, then release the target's lock word."""
+        dst_gid = win.comm.peer_gid(target_rank)
+        mode = win.epoch_mode(self.gid, dst_gid)
+        if mode is None:
+            raise ValueError(
+                f"win_unlock: no epoch open to rank {target_rank}"
+            )
+        yield from self.win_flush(win, target_rank)
+        self._rma_count("unlock")
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_win_unlock(self, win, target_rank)
+        m = self.world.metrics
+        if m is not None:
+            t0 = win.epoch_t0(self.gid, dst_gid)
+            m.timer("rma.epoch_seconds", mode=mode).record(
+                t0, self.sim.now, label=f"win{win.win_id}"
+            )
+        win._epoch_closed(self.gid, dst_gid)
+        spec = self.world.channel_spec(self.gid, dst_gid)
+        if spec.cpu_overhead > 0:
+            yield Compute(spec.cpu_overhead)
+        if dst_gid in self.world.dead_gids:
+            return
+        dst_node = self.world.endpoints[dst_gid].node
+        release = self.machine.transfer(
+            self.node, dst_node, 0, label="rma-unlock"
+        )
+        gid = self.gid
+        release.add_callback(
+            lambda _e: win.lock_state(dst_gid).release(gid)
+        )
 
     def win_fence(self, win):
         """Collective fence: every member waits until all one-sided

@@ -101,6 +101,9 @@ class Endpoint:  # repro: noqa[REP005] - one per rank (not per message); queues 
         self.pending_rts: list[Message] = []
         #: (sender side) messages whose CTS arrived while we were outside MPI.
         self.pending_cts: list[Message] = []
+        #: passive-target RMA landings deferred until this rank enters MPI
+        #: (large payloads on non-RDMA fabrics; see ``RankCtx.win_put``).
+        self.pending_rma: list = []
         self.progress = 0
         #: set when the process finalized; stray traffic is then an error.
         self.closed = False
@@ -134,6 +137,9 @@ class Endpoint:  # repro: noqa[REP005] - one per rank (not per message); queues 
         while self.pending_cts:
             msg = self.pending_cts.pop(0)
             self.world._start_payload(msg)
+        # Passive-target RMA: landings waiting for us to enter MPI.
+        while self.pending_rma:
+            self.pending_rma.pop(0)()
         # Receiver side: RTSs that can now be matched against posted recvs.
         for msg in list(self.pending_rts):
             req = self._find_posted(msg)

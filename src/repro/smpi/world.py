@@ -337,6 +337,21 @@ class MpiWorld:
             )
         if participants is not None:
             op.participants.update(participants)
+            # A participant may have died *before* the first survivor reached
+            # this rendezvous (the op record did not exist yet when
+            # mark_ranks_dead swept pending ops) — fail it right here so the
+            # survivors raise instead of waiting forever.  The record stays
+            # registered: later arrivals must observe the same failed event,
+            # not re-create a fresh rendezvous nobody can complete.
+            implicated = sorted(g for g in op.participants if g in self.dead_gids)
+            if implicated and op.event.pending:
+                op.event.fail(
+                    CommFailedError(
+                        f"collective {key} aborted — participant died "
+                        f"before the rendezvous",
+                        dead_gids=implicated,
+                    )
+                )
         return op
 
     def finish_op(self, key: str) -> None:

@@ -163,8 +163,24 @@ def test_predict_reconfiguration_method_validation():
     plan = RedistributionPlan.block(100, 2, 2)
     with pytest.raises(ValueError):
         predict_reconfiguration(
-            plan, 8.0, ETHERNET_10G, SpawnModel(), 2, method="rma"
+            plan, 8.0, ETHERNET_10G, SpawnModel(), 2, method="bogus"
         )
+
+
+def test_predict_rma_cheaper_control_than_p2p():
+    """Same bandwidth floor, but no size round and no per-chunk rendezvous:
+    the RMA closed form undercuts P2P's on every plan."""
+    from repro.analysis.models import (
+        predict_p2p_redistribution,
+        predict_rma_redistribution,
+    )
+
+    plan = RedistributionPlan.block(100_000, 8, 4)
+    rma = predict_rma_redistribution(plan, 500.0, ETHERNET_10G)
+    p2p = predict_p2p_redistribution(plan, 500.0, ETHERNET_10G)
+    assert 0 < rma < p2p
+    empty = RedistributionPlan.block(100, 2, 2)  # identity: nothing moves
+    assert predict_rma_redistribution(empty, 8.0, ETHERNET_10G) == 0.0
 
 
 def test_baseline_vs_merge_prediction_matches_paper_ordering():

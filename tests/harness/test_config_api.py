@@ -1,6 +1,6 @@
-"""Config-object API: RunSpec/RunResult carry ReconfigConfig, the string
-``config_key`` survives only as a deprecated compatibility spelling, and
-sweeps aggregate metrics deterministically."""
+"""Config-object API: RunSpec/RunResult carry ReconfigConfig, the old
+``config_key`` kwarg/property is gone (only the CSV column keeps the
+name), and sweeps aggregate metrics deterministically."""
 
 import json
 import pickle
@@ -27,22 +27,22 @@ def test_runspec_parses_config_strings(text):
     assert spec.config == CFG
 
 
-def test_config_key_property_is_deprecated():
-    spec = RunSpec(2, 4, CFG, "ethernet", "tiny", rep=0)
-    with pytest.warns(DeprecationWarning, match="config_key"):
-        assert spec.config_key == "merge-col-s"
-
-
-def test_config_key_kwarg_is_deprecated():
-    with pytest.warns(DeprecationWarning, match="config_key"):
-        spec = RunSpec(2, 4, fabric="ethernet", scale="tiny",
-                       config_key="merge-col-s")
-    assert spec.config == CFG
-
-
-def test_config_rejects_both_and_neither():
+def test_config_key_surface_is_gone():
+    """Migration happened: the kwarg and the property were removed.  Spell
+    the string ``spec.config.key``; only the CSV column keeps the name."""
     with pytest.raises(TypeError):
-        RunSpec(2, 4, CFG, "ethernet", "tiny", config_key="merge-col-s")
+        RunSpec(2, 4, fabric="ethernet", scale="tiny",
+                config_key="merge-col-s")
+    with pytest.raises(TypeError):
+        RunResult(2, 4, fabric="ethernet", scale="tiny",
+                  config_key="merge-col-s")
+    spec = RunSpec(2, 4, CFG, "ethernet", "tiny", rep=0)
+    with pytest.raises(AttributeError):
+        spec.config_key
+    assert spec.config.key == "merge-col-s"
+
+
+def test_config_required():
     with pytest.raises(TypeError):
         RunSpec(2, 4, fabric="ethernet", scale="tiny")
 

@@ -27,6 +27,7 @@ def mini_sweep():
         pairs=pairs_for(EXPERIMENTS["fig2"], "tiny"),
         config_keys=[
             "merge-col-s", "baseline-col-s", "merge-p2p-s", "baseline-p2p-s",
+            "merge-rma-s", "baseline-rma-s",
             "merge-col-a", "merge-col-t",
         ],
         fabrics=["ethernet"],
@@ -49,10 +50,10 @@ def test_reps_differ():
 
 
 def test_sweep_shape(mini_sweep):
-    assert len(mini_sweep) == 4 * 6 * 1 * 2
+    assert len(mini_sweep) == 4 * 8 * 1 * 2
     assert (8, 4) in mini_sweep.pairs() and (4, 8) in mini_sweep.pairs()
     assert mini_sweep.fabrics() == ["ethernet"]
-    assert len(mini_sweep.config_keys()) == 6
+    assert len(mini_sweep.config_keys()) == 8
 
 
 def test_times_query(mini_sweep):
@@ -92,7 +93,9 @@ def test_async_sync_mapping():
     mapping = async_sync_pairs()
     assert mapping["merge-col-a"] == "merge-col-s"
     assert mapping["baseline-p2p-t"] == "baseline-p2p-s"
-    assert len(mapping) == 8
+    assert mapping["merge-rma-a"] == "merge-rma-s"
+    assert mapping["baseline-rma-t"] == "baseline-rma-s"
+    assert len(mapping) == 12
 
 
 def test_experiment_registry_covers_every_figure():
@@ -108,7 +111,8 @@ def test_build_times_figure(mini_sweep):
     assert fig.exp_id == "fig2"
     assert fig.x_values == [2, 4]
     assert set(fig.series) == {
-        "Merge COLS", "Baseline COLS", "Merge P2PS", "Baseline P2PS"
+        "Merge COLS", "Baseline COLS", "Merge P2PS", "Baseline P2PS",
+        "Merge RMAS", "Baseline RMAS",
     }
     # The paper's central sync finding: Merge beats Baseline.
     for x_idx in range(2):

@@ -178,8 +178,20 @@ def test_config_parsing_and_names():
     assert ReconfigConfig.parse(c2.key) == c2
     with pytest.raises(ValueError):
         ReconfigConfig.parse("bogus")
-    assert len(ALL_CONFIGS) == 12
-    assert len({c.key for c in ALL_CONFIGS}) == 12
+    c3 = ReconfigConfig.parse("Merge RMAT")
+    assert c3.key == "merge-rma-t"
+    assert len(ALL_CONFIGS) == 18
+    assert len({c.key for c in ALL_CONFIGS}) == 18
+
+
+def test_all_18_keys_and_names_round_trip():
+    """Every cell of the matrix parses back from both spellings, in any
+    case and with any separator convention."""
+    for c in ALL_CONFIGS:
+        assert ReconfigConfig.parse(c.key) == c
+        assert ReconfigConfig.parse(c.name) == c
+        assert ReconfigConfig.parse(c.key.upper().replace("-", "_")) == c
+    assert sum(c.redist.value == "rma" for c in ALL_CONFIGS) == 6
 
 
 def test_rms_scripting():

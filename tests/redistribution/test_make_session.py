@@ -113,14 +113,18 @@ def test_spawn_method_parse(text, want):
     "parse,match",
     [
         (RedistMethod.parse,
-         r"unknown redistribution method 'bogus'; valid choices: P2P, COL, RMA"),
+         r"unknown redistribution method 'bogus'; valid choices: P2P, COL, "
+         r"RMA \(aliases: point-to-point, collective, one-sided\)"),
         (Strategy.parse,
-         r"unknown strategy 'bogus'; valid choices: S, A, T"),
+         r"unknown strategy 'bogus'; valid choices: S, A, T "
+         r"\(aliases: sync, async, non-blocking, thread\)"),
         (SpawnMethod.parse,
-         r"unknown spawn method 'bogus'; valid choices: Baseline, Merge"),
+         r"unknown spawn method 'bogus'; valid choices: Baseline, Merge$"),
     ],
 )
 def test_parse_errors_are_uniform(parse, match):
+    """Golden strings: every axis fails with the same vocabulary, and the
+    axes with long-form aliases list them in a uniform trailing clause."""
     with pytest.raises(ValueError, match=match):
         parse("bogus")
 

@@ -1,7 +1,7 @@
 """Sanitizer smoke over every reconfiguration strategy.
 
 The production claim behind ``--sanitize``: the repo's own redistribution
-stack is hazard-free.  Running all 12 configurations under an attached
+stack is hazard-free.  Running all 18 configurations under an attached
 sanitizer must produce zero findings — and because the sanitizer is an
 observer, it must not perturb the simulated results either.
 """
@@ -15,10 +15,10 @@ from repro.sanitize import Sanitizer
 KEYS = [c.key for c in ALL_CONFIGS]
 
 
-def test_all_12_configs_sanitize_clean():
+def test_all_18_configs_sanitize_clean():
     """One shrink + one grow pair across every configuration: no findings
     (run_sweep raises SanitizerError otherwise)."""
-    assert len(KEYS) == 12
+    assert len(KEYS) == 18
     rs = run_sweep(
         [(4, 2), (2, 4)], KEYS, ["ethernet"],
         scale="tiny", repetitions=1, sanitize=True,
