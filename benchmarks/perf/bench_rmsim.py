@@ -1,0 +1,150 @@
+"""Datacenter-scale rmsim benchmark -> BENCH_rmsim.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_rmsim.py \
+        [--quick] [--out PATH] [--assert-identical] \
+        [--assert-max-wall SEC] [--assert-events-floor N]
+
+Replays a seeded Poisson+diurnal trace through the analytic
+:class:`~repro.rmsim.scheduler.TraceScheduler` under the
+malleability-aware policy — full mode is the acceptance workload: 1000
+nodes x 16 cores, 10,000 jobs.  The run executes **twice** and the two
+canonical summary JSON documents are compared byte-for-byte, which pins
+the simulator's determinism contract alongside its throughput:
+
+* ``rmsim_events_per_s`` — scheduler events (arrivals, starts, resize
+  decisions/commits, completions) per wall-clock second, best of the two
+  runs.  Gated in ``check_regression.py``.
+* ``rmsim_run_wall_s``   — wall clock of one run (reported, not gated —
+  absolute wall time is runner-dependent).
+* ``rmsim_identical``    — whether the repeat run was byte-identical.
+
+``--quick`` shrinks the workload ~10x for CI smoke runs (same metric
+keys; events/s is a throughput, so quick and full land in the same
+range).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+if str(REPO / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.rmsim_summary import schedule_summary, summary_json  # noqa: E402
+from repro.rmsim import (  # noqa: E402
+    TraceConfig,
+    TraceScheduler,
+    generate_trace,
+    policy_by_name,
+)
+
+BASELINE = HERE / "baseline_pre_pr.json"
+
+
+def bench_rmsim(nodes: int, cores_per_node: int, n_jobs: int, seed: int):
+    """Run the trace twice; return (events/s best, wall s, identical, events)."""
+    total_slots = nodes * cores_per_node
+    cfg = TraceConfig.sized(total_slots, n_jobs, seed=seed)
+    trace = generate_trace(cfg)
+    summaries = []
+    walls = []
+    n_events = 0
+    for _ in range(2):
+        sched = TraceScheduler(
+            total_slots,
+            trace.jobs,
+            policy=policy_by_name("malleable"),
+            cores_per_node=cores_per_node,
+        )
+        t0 = time.perf_counter()
+        result = sched.run()
+        walls.append(time.perf_counter() - t0)
+        summaries.append(summary_json(schedule_summary(result)))
+        n_events = result.n_events
+    identical = summaries[0] == summaries[1]
+    best_wall = min(walls)
+    return n_events / best_wall, best_wall, identical, n_events
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="~10x smaller workload (CI smoke)")
+    parser.add_argument("--out", default=str(HERE / "BENCH_rmsim.json"))
+    parser.add_argument(
+        "--assert-identical", action="store_true",
+        help="fail unless the repeat run is byte-identical",
+    )
+    parser.add_argument(
+        "--assert-max-wall", type=float, default=None, metavar="SEC",
+        help="fail when one run exceeds SEC wall-clock seconds",
+    )
+    parser.add_argument(
+        "--assert-events-floor", type=float, default=None, metavar="N",
+        help="fail when throughput drops below N scheduler events/s",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        nodes, cores, jobs = 64, 16, 1_000
+    else:
+        nodes, cores, jobs = 1_000, 16, 10_000
+    events_per_s, wall, identical, n_events = bench_rmsim(
+        nodes, cores, jobs, seed=7
+    )
+
+    out = {
+        "recorded_at": time.strftime("%Y-%m-%d"),
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "rmsim_nodes": nodes,
+        "rmsim_jobs": jobs,
+        "rmsim_n_events": n_events,
+        "rmsim_events_per_s": round(events_per_s, 1),
+        "rmsim_run_wall_s": round(wall, 3),
+        "rmsim_identical": identical,
+    }
+    if BASELINE.exists() and not args.quick:
+        base = json.loads(BASELINE.read_text())
+        if isinstance(base.get("rmsim_events_per_s"), (int, float)):
+            out["speedup_vs_pre_pr"] = round(
+                events_per_s / base["rmsim_events_per_s"], 3
+            )
+
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(json.dumps(out, indent=2))
+    print(f"wrote {args.out}")
+
+    failures = []
+    if args.assert_identical and not identical:
+        failures.append("repeat run was NOT byte-identical")
+    if args.assert_max_wall is not None and wall > args.assert_max_wall:
+        failures.append(
+            f"wall {wall:.1f}s exceeds limit {args.assert_max_wall:.1f}s"
+        )
+    if (
+        args.assert_events_floor is not None
+        and events_per_s < args.assert_events_floor
+    ):
+        failures.append(
+            f"{events_per_s:.0f} events/s below floor "
+            f"{args.assert_events_floor:.0f}"
+        )
+    for f in failures:
+        print(f"ASSERTION FAILED: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

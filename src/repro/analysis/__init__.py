@@ -17,6 +17,7 @@ from .models import (
     predict_reconfiguration,
     predict_spawn,
 )
+from .rmsim_summary import schedule_summary, summary_json
 from .selection import dominance_count, preferred_map
 from .stats import (
     GroupComparison,
@@ -53,4 +54,6 @@ __all__ = [
     "line_chart",
     "method_grid",
     "metrics_summary",
+    "schedule_summary",
+    "summary_json",
 ]

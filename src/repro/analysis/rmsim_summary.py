@@ -1,0 +1,104 @@
+"""Schedule-level summaries for the trace-driven RMS simulation.
+
+Turns one :class:`~repro.rmsim.scheduler.ScheduleResult` into the
+makespan / utilization / energy / queueing statistics the datacenter
+study reports — the system-level counterpart of the per-run metrics in
+:mod:`repro.analysis.obs_summary`.
+
+The JSON emission is canonical (sorted keys, 2-space indent, trailing
+newline) and every input is deterministic under a fixed seed, so two runs
+of the same trace + policy produce **byte-identical** summaries — the
+property the ``rmsim-smoke`` CI job compares with ``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rmsim.scheduler import ScheduleResult
+
+__all__ = ["schedule_summary", "summary_json"]
+
+#: bounded-slowdown runtime floor, seconds (Feitelson's tau: very short
+#: jobs would otherwise report astronomical slowdowns).
+SLOWDOWN_TAU = 10.0
+
+
+def _percentile(sorted_vals: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values (q in [0, 1])."""
+    if not sorted_vals:
+        return 0.0
+    pos = q * (len(sorted_vals) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(sorted_vals[lo])
+    frac = pos - lo
+    return float(sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac)
+
+
+def _dist(values: list[float]) -> dict:
+    """mean/p50/p95/max of a sample (all 0.0 when empty)."""
+    vals = sorted(values)
+    return {
+        "mean": round(sum(vals) / len(vals), 6) if vals else 0.0,
+        "p50": round(_percentile(vals, 0.50), 6),
+        "p95": round(_percentile(vals, 0.95), 6),
+        "max": round(vals[-1], 6) if vals else 0.0,
+    }
+
+
+def schedule_summary(
+    result: "ScheduleResult",
+    watts_per_core: float = 10.0,
+    idle_power_fraction: float = 0.4,
+) -> dict:
+    """Summarise one schedule as a plain dict (see :func:`summary_json`).
+
+    Energy uses a two-level core model: an allocated core draws
+    ``watts_per_core``; an idle one draws ``idle_power_fraction`` of that.
+    That is the knob the malleability study turns — shrinking parks cores
+    at idle power, so cost-aware policies should show up directly in
+    ``energy_j``.
+    """
+    completed = result.completed  # name-sorted, finished jobs only
+    waits = [r.waiting_time for r in completed]
+    turnarounds = [r.turnaround for r in completed]
+    slowdowns = [
+        max(r.turnaround / max(r.finished_at - r.started_at, SLOWDOWN_TAU), 1.0)
+        for r in completed
+    ]
+    makespan = result.makespan
+    total_coreseconds = makespan * result.total_slots
+    busy = result.busy_coreseconds
+    idle = max(total_coreseconds - busy, 0.0)
+    energy_j = watts_per_core * (busy + idle_power_fraction * idle)
+    return {
+        "policy": result.policy,
+        "total_slots": result.total_slots,
+        "n_jobs": len(result.records),
+        "n_completed": result.n_completed,
+        "makespan_s": round(makespan, 6),
+        "utilization": round(result.utilization, 6),
+        "busy_coreseconds": round(busy, 6),
+        "energy_j": round(energy_j, 6),
+        "throughput_jobs_per_hour": round(
+            result.n_completed / makespan * 3600.0, 6
+        )
+        if makespan
+        else 0.0,
+        "n_events": result.n_events,
+        "n_grows": result.n_grows,
+        "n_shrinks": result.n_shrinks,
+        "waiting_s": _dist(waits),
+        "turnaround_s": _dist(turnarounds),
+        "bounded_slowdown": _dist(slowdowns),
+    }
+
+
+def summary_json(summary: dict) -> str:
+    """Canonical JSON for a summary dict (sorted keys, trailing newline)."""
+    return json.dumps(summary, sort_keys=True, indent=2) + "\n"

@@ -225,6 +225,77 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_rmsim(args) -> int:
+    """Trace-driven datacenter RMS simulation (docs/rmsim.md)."""
+    from ..analysis.rmsim_summary import schedule_summary, summary_json
+    from ..cluster.fabrics import fabric_by_name
+    from ..rmsim import (
+        TraceConfig,
+        TraceScheduler,
+        WorkloadTrace,
+        generate_trace,
+        policy_by_name,
+    )
+
+    total_slots = args.nodes * args.cores_per_node
+    if args.trace:
+        trace = WorkloadTrace.load(args.trace)
+    else:
+        cfg = TraceConfig.sized(
+            total_slots, args.jobs, seed=args.seed, load=args.load
+        )
+        trace = generate_trace(cfg)
+    if args.save_trace:
+        trace.save(args.save_trace)
+    registry = None
+    if args.metrics_out:
+        from ..obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    sched = TraceScheduler(
+        total_slots,
+        trace.jobs,
+        policy=policy_by_name(args.policy),
+        fabric=fabric_by_name(args.fabric),
+        cores_per_node=args.cores_per_node,
+        registry=registry,
+    )
+    result = sched.run()
+    summary = schedule_summary(result)
+    summary["trace"] = {
+        "n_jobs": len(trace.jobs),
+        "source": args.trace or "generated",
+        "seed": trace.meta.get("config", {}).get("seed"),
+    }
+    text = summary_json(summary)
+    if args.out:
+        Path(args.out).write_text(text)
+    if registry is not None:
+        from ..obs.export import write_metrics_json
+
+        write_metrics_json(
+            registry,
+            args.metrics_out,
+            meta={"tool": "repro-harness rmsim", "policy": args.policy},
+        )
+    w = summary["waiting_s"]
+    print(
+        f"{args.policy} on {args.nodes}x{args.cores_per_node} cores, "
+        f"{summary['n_completed']}/{summary['n_jobs']} jobs:"
+    )
+    print(f"  makespan      : {summary['makespan_s']:12.1f} s")
+    print(f"  utilization   : {summary['utilization']:12.3f}")
+    print(f"  energy        : {summary['energy_j'] / 3.6e6:12.3f} kWh")
+    print(f"  wait mean/p95 : {w['mean']:8.1f} / {w['p95']:.1f} s")
+    print(
+        f"  events        : {summary['n_events']:8d}  "
+        f"(grows {summary['n_grows']}, shrinks {summary['n_shrinks']})"
+    )
+    if args.out:
+        print(f"  summary JSON  : {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-harness",
@@ -336,6 +407,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_md.add_argument("--scale", choices=sorted(SCALES), default="small")
     p_md.add_argument("--out", default=None)
     p_md.set_defaults(fn=cmd_experiments_md)
+
+    p_rms = sub.add_parser(
+        "rmsim",
+        help="trace-driven datacenter RMS simulation (docs/rmsim.md)",
+    )
+    p_rms.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay a saved trace JSON (default: generate one from "
+        "--jobs/--seed/--load)",
+    )
+    p_rms.add_argument("--nodes", type=int, default=64,
+                       help="cluster nodes (default: 64)")
+    p_rms.add_argument("--cores-per-node", type=int, default=16)
+    p_rms.add_argument("--jobs", type=int, default=200,
+                       help="jobs to generate when no --trace is given")
+    p_rms.add_argument("--seed", type=int, default=0)
+    p_rms.add_argument(
+        "--load", type=float, default=0.85,
+        help="target offered load of the generated trace (default: 0.85)",
+    )
+    p_rms.add_argument(
+        "--policy", choices=["fifo", "priority", "easy", "malleable"],
+        default="malleable",
+    )
+    p_rms.add_argument("--fabric", choices=["ethernet", "infiniband"],
+                       default="ethernet")
+    p_rms.add_argument(
+        "--save-trace", default=None, metavar="PATH",
+        help="write the (generated or loaded) trace JSON here",
+    )
+    p_rms.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the canonical summary JSON here (byte-identical "
+        "across repeat runs of the same trace + policy)",
+    )
+    p_rms.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="also write the rmsim.* obs metrics registry as metrics.json",
+    )
+    p_rms.set_defaults(fn=cmd_rmsim)
 
     p_pred = sub.add_parser(
         "predict",

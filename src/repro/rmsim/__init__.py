@@ -4,17 +4,40 @@
 also be included.  Thus, it will be possible to study how malleability
 affects the real makespan of a system."
 
-This package does that study on the simulated substrate: a slot scheduler
-(:class:`MalleableScheduler`) runs workloads of rigid and malleable jobs,
-posting live reconfiguration decisions (:class:`DecisionBoard` /
-:class:`DynamicRMS`) that the paper's malleability engine executes at full
-cost.  See ``examples/makespan_study.py`` and
-``benchmarks/test_ablation_makespan.py``.
+This package does that study on the simulated substrate, in two lanes:
+
+* **full fidelity** — a slot scheduler (:class:`MalleableScheduler`) runs
+  workloads of rigid and malleable jobs, posting live reconfiguration
+  decisions (:class:`DecisionBoard` / :class:`DynamicRMS`) that the
+  paper's malleability engine executes at full cost.  See
+  ``examples/makespan_study.py`` and
+  ``benchmarks/test_ablation_makespan.py``.
+* **datacenter trace** — :class:`TraceScheduler` replays seeded workload
+  traces (:mod:`repro.rmsim.traces`) of 10^4 jobs over 10^3 nodes under
+  pluggable policies (:mod:`repro.rmsim.policies`), modelling job progress
+  analytically and reconfiguration stalls with the paper's cost model.
+  See ``docs/rmsim.md`` and ``repro-harness rmsim``.
 """
 
 from .board import DecisionBoard, DynamicRMS
 from .jobs import JobRecord, JobSpec
-from .scheduler import MalleableScheduler, ScheduleResult, SlotPool
+from .policies import (
+    POLICIES,
+    EasyBackfillPolicy,
+    FifoPolicy,
+    MalleableAwarePolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+    policy_by_name,
+)
+from .scheduler import (
+    MalleableScheduler,
+    ScheduleResult,
+    SlotPool,
+    TraceScheduler,
+    arrival_order,
+)
+from .traces import TraceConfig, WorkloadTrace, generate_trace
 
 __all__ = [
     "DecisionBoard",
@@ -24,4 +47,16 @@ __all__ = [
     "SlotPool",
     "MalleableScheduler",
     "ScheduleResult",
+    "TraceScheduler",
+    "arrival_order",
+    "TraceConfig",
+    "WorkloadTrace",
+    "generate_trace",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "EasyBackfillPolicy",
+    "MalleableAwarePolicy",
+    "POLICIES",
+    "policy_by_name",
 ]

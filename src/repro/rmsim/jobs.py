@@ -33,6 +33,12 @@ class JobSpec:
     data_bytes: float = 50e6
     config: ReconfigConfig = ReconfigConfig.parse("merge-col-a")
     n_rows: int = 10_000
+    #: queue priority; larger runs first under priority-aware policies.
+    priority: int = 0
+    #: Amdahl serial fraction of one iteration: the per-iteration wall time
+    #: at ``p`` processes is ``work_per_iteration * (f + (1 - f) / p)``.
+    #: 0.0 keeps the historical perfectly-parallel model.
+    serial_fraction: float = 0.0
 
     def __post_init__(self):
         if self.arrival_time < 0:
@@ -43,6 +49,19 @@ class JobSpec:
             raise ValueError("iterations must be >= 1")
         if self.work_per_iteration <= 0:
             raise ValueError("work_per_iteration must be > 0")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError("serial_fraction must be in [0, 1)")
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0")
+
+    def iteration_time(self, procs: int) -> float:
+        """Wall time of one iteration at ``procs`` processes (Amdahl)."""
+        f = self.serial_fraction
+        return self.work_per_iteration * (f + (1.0 - f) / procs)
+
+    def runtime(self, procs: int) -> float:
+        """Wall time of the whole job run rigidly at ``procs`` processes."""
+        return self.iterations * self.iteration_time(procs)
 
     @property
     def malleable(self) -> bool:

@@ -20,20 +20,44 @@ period like a real RMS main loop.
 
 from __future__ import annotations
 
+import bisect
+import heapq
+import itertools
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..cluster.fabrics import ETHERNET_10G, FabricSpec
 from ..cluster.machine import Machine
 from ..malleability.manager import run_malleable
 from ..malleability.stats import RunStats
-from ..simulate.primitives import Timeout
+from ..obs.registry import MetricsRegistry
+from ..simulate.core import Simulator
+from ..simulate.primitives import Passivate, Timeout
 from ..smpi.spawn import SpawnModel
 from ..smpi.world import MpiWorld
 from ..synthetic.application import SyntheticApp
 from .board import DecisionBoard, DynamicRMS
 from .jobs import JobRecord, JobSpec
+from .policies import FifoPolicy, SchedulingPolicy, reconfiguration_cost
 
-__all__ = ["SlotPool", "MalleableScheduler", "ScheduleResult"]
+__all__ = [
+    "SlotPool",
+    "MalleableScheduler",
+    "ScheduleResult",
+    "TraceScheduler",
+    "arrival_order",
+]
+
+
+def arrival_order(spec: JobSpec) -> tuple[float, str]:
+    """The scheduler's total order over submitted jobs.
+
+    ``(arrival_time, name)`` — job names are unique within a workload, so
+    identical-arrival traces enqueue identically across runs and hosts.
+    Every queue/admission path in this module sorts with this key.
+    """
+    return (spec.arrival_time, spec.name)
 
 
 class SlotPool:
@@ -60,22 +84,31 @@ class SlotPool:
         return None
 
     def release(self, base: int, k: int) -> None:
-        """Free [base, base+k) and merge adjacent ranges."""
+        """Free [base, base+k) and merge adjacent ranges.
+
+        Validation happens *before* any mutation: a detected double free
+        raises :class:`ValueError` and leaves the free list exactly as it
+        was, so the pool stays usable after a rejected release.  (The
+        historical implementation appended and sorted first, leaving
+        ``_free`` holding overlapping ranges on the error path.)
+        """
         if k == 0:
             return
-        self._free.append((base, base + k))
-        self._free.sort()
-        merged: list[tuple[int, int]] = []
-        for lo, hi in self._free:
-            if merged and lo <= merged[-1][1]:
-                if lo < merged[-1][1]:
-                    raise ValueError(
-                        f"double free: [{lo},{hi}) overlaps {merged[-1]}"
-                    )
-                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
-            else:
-                merged.append((lo, hi))
-        self._free = merged
+        # _free is kept sorted and non-overlapping, so the new range can
+        # only overlap its immediate neighbours in sort order; the check
+        # runs before any mutation.
+        self._check_free_ok(base, k)
+        lo, hi = base, base + k
+        i = bisect.bisect_left(self._free, (lo, hi))
+        # Validated: splice in, merging with touching neighbours.
+        if i > 0 and self._free[i - 1][1] == lo:
+            i -= 1
+            lo = self._free[i][0]
+            self._free.pop(i)
+        if i < len(self._free) and self._free[i][0] == hi:
+            hi = self._free[i][1]
+            self._free.pop(i)
+        self._free.insert(i, (lo, hi))
 
     def extension_room(self, base: int, current: int) -> int:
         """Free slots contiguously to the right of [base, base+current)."""
@@ -118,15 +151,45 @@ class SlotPool:
         return out
 
     def release_slots(self, slots: Sequence[int]) -> None:
-        """Free an arbitrary slot list (grouped into runs)."""
+        """Free an arbitrary slot list (grouped into runs).
+
+        A duplicate slot id in one call is rejected up front — silently
+        merging it would leak the double-counted slot, and detecting it
+        mid-release would leave the earlier runs already freed.
+        """
         slots = sorted(slots)
+        for a, b in zip(slots, slots[1:]):
+            if a == b:
+                raise ValueError(f"duplicate slot id {a} in release_slots")
+        runs: list[tuple[int, int]] = []
         i = 0
         while i < len(slots):
             j = i
             while j + 1 < len(slots) and slots[j + 1] == slots[j] + 1:
                 j += 1
-            self.release(slots[i], j - i + 1)
+            runs.append((slots[i], j - i + 1))
             i = j + 1
+        # Validate every run before freeing the first, so a double free in
+        # a later run cannot leave the earlier ones already released.
+        for base, k in runs:
+            self._check_free_ok(base, k)
+        for base, k in runs:
+            self.release(base, k)
+
+    def _check_free_ok(self, base: int, k: int) -> None:
+        """Raise if freeing [base, base+k) would double-free; no mutation."""
+        if k < 0 or base < 0 or base + k > self.total:
+            raise ValueError(f"release out of range: [{base},{base + k})")
+        lo, hi = base, base + k
+        i = bisect.bisect_left(self._free, (lo, hi))
+        if i > 0 and self._free[i - 1][1] > lo:
+            raise ValueError(
+                f"double free: [{lo},{hi}) overlaps {self._free[i - 1]}"
+            )
+        if i < len(self._free) and self._free[i][0] < hi:
+            raise ValueError(
+                f"double free: [{lo},{hi}) overlaps {self._free[i]}"
+            )
 
     @property
     def free_slots(self) -> int:
@@ -135,21 +198,53 @@ class SlotPool:
 
 @dataclass
 class ScheduleResult:
-    """Outcome of one workload run."""
+    """Outcome of one workload run.
+
+    The mean statistics are taken over *completed* jobs only (a record that
+    never started has no waiting time, and folding it in used to raise
+    ``RuntimeError`` — or silently skew the mean).  An empty workload, or
+    one where nothing completed, yields 0.0 rather than dividing by zero.
+    """
 
     records: dict[str, JobRecord]
     makespan: float
     utilization: float
+    #: slots in the machine the schedule ran on (0 = unknown/legacy).
+    total_slots: int = 0
+    #: allocated core-seconds summed over all jobs.
+    busy_coreseconds: float = 0.0
+    #: scheduler events processed (arrivals/starts/completions/decisions).
+    n_events: int = 0
+    #: scheduling policy that produced the run.
+    policy: str = ""
+    #: (time, free_slots_before -> after) resize commits, per direction.
+    n_grows: int = 0
+    n_shrinks: int = 0
+
+    @property
+    def completed(self) -> list[JobRecord]:
+        """Records of jobs that ran to completion, in name order."""
+        return [
+            self.records[name]
+            for name in sorted(self.records)
+            if self.records[name].finished_at is not None
+        ]
+
+    @property
+    def n_completed(self) -> int:
+        return sum(
+            1 for r in self.records.values() if r.finished_at is not None
+        )
 
     @property
     def mean_waiting_time(self) -> float:
-        waits = [r.waiting_time for r in self.records.values()]
-        return sum(waits) / len(waits)
+        waits = [r.waiting_time for r in self.completed]
+        return sum(waits) / len(waits) if waits else 0.0
 
     @property
     def mean_turnaround(self) -> float:
-        vals = [r.turnaround for r in self.records.values()]
-        return sum(vals) / len(vals)
+        vals = [r.turnaround for r in self.completed]
+        return sum(vals) / len(vals) if vals else 0.0
 
 
 class _RunningJob:
@@ -185,7 +280,12 @@ class MalleableScheduler:
             raise ValueError("job names must be unique")
         self.machine = machine
         self.sim = machine.sim
-        self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
+        # Total order: (arrival_time, name).  Sorting by arrival_time alone
+        # left identical-arrival traces at the mercy of the caller's list
+        # order, so the same trace could schedule differently across runs
+        # and hosts.  Names are unique (checked above), so this ordering is
+        # deterministic for any input permutation.
+        self.jobs = sorted(jobs, key=arrival_order)
         self.spawn_model = spawn_model or SpawnModel(
             base=0.02, per_process=0.002, per_node=0.005
         )
@@ -209,11 +309,16 @@ class MalleableScheduler:
         if any(f is None for f in finished):
             unfinished = [n for n, r in self.records.items() if r.finished_at is None]
             raise RuntimeError(f"jobs never finished: {unfinished}")
-        makespan = max(finished)
+        makespan = max(finished) if finished else 0.0
         busy = sum(n.busy_coreseconds for n in self.machine.nodes)
         utilization = busy / (makespan * self.machine.total_cores) if makespan else 0.0
         return ScheduleResult(
-            records=dict(self.records), makespan=makespan, utilization=utilization
+            records=dict(self.records),
+            makespan=makespan,
+            utilization=utilization,
+            total_slots=self.machine.total_cores,
+            busy_coreseconds=busy,
+            policy="fifo-tick",
         )
 
     def _daemon(self):
@@ -357,3 +462,532 @@ class MalleableScheduler:
         spec = rj.record.spec
         remaining = spec.iterations - (rj.stats.latest_checked_iteration + 1)
         return remaining > DecisionBoard.SAFETY_MARGIN + 3
+
+
+# ---------------------------------------------------------------------------
+# Trace-driven datacenter lane
+# ---------------------------------------------------------------------------
+
+#: lifecycle states of a job inside :class:`TraceScheduler`.
+_QUEUED, _RUNNING, _RECONF, _DONE = 0, 1, 2, 3
+
+
+class _TraceJob:
+    """Mutable per-job state of the analytic lane (progress, slots, busy)."""
+
+    __slots__ = (
+        "spec",
+        "record",
+        "state",
+        "procs",
+        "pool_procs",
+        "pending_procs",
+        "slots",
+        "it_time",
+        "rem_iters",
+        "synced_at",
+        "proj_finish",
+        "finish_handle",
+        "fin_epoch",
+        "alloc_since",
+        "busy",
+    )
+
+    def __init__(self, spec: JobSpec, record: JobRecord):
+        self.spec = spec
+        self.record = record
+        self.state = _QUEUED
+        #: active compute width (the Amdahl speed the job runs at).
+        self.procs = 0
+        #: slots currently held in the pool (a growing job holds its new
+        #: slots from the decision on; a shrinking one frees at commit).
+        self.pool_procs = 0
+        self.pending_procs = 0
+        self.slots: list[int] = []
+        self.it_time = 0.0
+        #: iterations left *as of* ``synced_at`` (progress is integrated
+        #: lazily — only at decision points, never per iteration).
+        self.rem_iters = 0.0
+        self.synced_at = 0.0
+        self.proj_finish = math.inf
+        self.finish_handle = None
+        #: bumped whenever the projected finish is invalidated; stale
+        #: entries in the scheduler's finish heap are skipped lazily.
+        self.fin_epoch = 0
+        self.alloc_since = 0.0
+        #: allocated core-seconds accumulated so far.
+        self.busy = 0.0
+
+
+class TraceScheduler:
+    """Datacenter-scale trace lane: 10^3 nodes / 10^4 jobs in seconds.
+
+    The full-fidelity :class:`MalleableScheduler` runs every rank of every
+    job through the simulated MPI machinery — perfect for tens of jobs,
+    hopeless for a datacenter trace.  This lane keeps the *scheduling*
+    physics and replaces per-rank execution with the analytic model:
+
+    * a job's iteration time follows Amdahl's law at its current width
+      (:meth:`~repro.rmsim.jobs.JobSpec.iteration_time`);
+    * a reconfiguration fires after the decision's safety-margin
+      iterations, stalls the job for the paper's predicted spawn +
+      redistribution cost (:func:`~repro.rmsim.policies.reconfiguration_cost`,
+      memoised), then resumes at the new width — the same
+      decide → margin → stall → resume shape the full engine produces;
+    * progress is integrated lazily at decision points, so simulated cost
+      is O(events), not O(iterations).
+
+    **Batched main loop.**  All trace arrivals enter the event heap in one
+    :meth:`~repro.simulate.core.Simulator.schedule_batch` call, and the
+    daemon is event-driven rather than tick-polling: every arrival /
+    completion / commit callback wakes it at most once per timestamp
+    (same-time events coalesce into one pass), and each pass drains its
+    event buffers in batch before consulting the policy.  With a fixed
+    trace and policy the run is fully deterministic — byte-identical
+    summaries across repeats and hosts (see ``docs/rmsim.md``).
+
+    The policy object (see :mod:`repro.rmsim.policies`) decides queue
+    order, starts, and resizes through this class's verbs: :meth:`start`,
+    :meth:`request_resize`, :meth:`reservation_for`, :meth:`resize_cost`.
+    """
+
+    def __init__(
+        self,
+        total_slots: int,
+        jobs: Sequence[JobSpec],
+        policy: Optional[SchedulingPolicy] = None,
+        fabric: FabricSpec = ETHERNET_10G,
+        spawn_model: Optional[SpawnModel] = None,
+        cores_per_node: int = 16,
+        registry: Optional[MetricsRegistry] = None,
+        sim: Optional[Simulator] = None,
+    ):
+        names = [j.name for j in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique")
+        too_big = [j.name for j in jobs if j.min_procs > total_slots]
+        if too_big:
+            raise ValueError(
+                f"jobs can never start on {total_slots} slots: {too_big[:5]}"
+            )
+        self.total_slots = total_slots
+        self.policy = policy or FifoPolicy()
+        self.fabric = fabric
+        self.spawn_model = spawn_model or SpawnModel(
+            base=0.02, per_process=0.002, per_node=0.005
+        )
+        self.cores_per_node = cores_per_node
+        self.registry = registry
+        self.sim = sim or Simulator()
+        self.pool = SlotPool(total_slots)
+        self.jobs = sorted(jobs, key=arrival_order)
+        self._tjobs: dict[str, _TraceJob] = {
+            j.name: _TraceJob(j, JobRecord(spec=j)) for j in self.jobs
+        }
+        self.queue: list[_TraceJob] = []
+        self.running: dict[str, _TraceJob] = {}
+        #: running malleable jobs above their minimum / below their maximum
+        #: width — the policies' resize candidate sets.  Kept incrementally
+        #: so an all-shrunk (or all-grown) steady state costs O(1) per pass.
+        self._wide: dict[str, _TraceJob] = {}
+        self._narrow: dict[str, _TraceJob] = {}
+        self._arrival_ptr = 0
+        self._finished_buf: list[_TraceJob] = []
+        self._commit_buf: list[_TraceJob] = []
+        self._staged: list[tuple[float, object]] = []
+        self._staged_jobs: list[_TraceJob] = []
+        #: projected-finish heap for EASY reservations: (t, seq, job, epoch).
+        self._fin_heap: list[tuple[float, int, _TraceJob, int]] = []
+        self._fin_seq = itertools.count()
+        self._proc = None
+        self._woke = False
+        self._done = 0
+        self.n_events = 0
+        self.n_starts = 0
+        self.n_backfills = 0
+        self.n_grows = 0
+        self.n_shrinks = 0
+        self.busy_total = 0.0
+        if registry is not None:
+            self._m = {
+                "arrived": registry.counter("rmsim.jobs.arrived"),
+                "started": registry.counter("rmsim.jobs.started"),
+                "backfilled": registry.counter("rmsim.jobs.backfilled"),
+                "completed": registry.counter("rmsim.jobs.completed"),
+                "grow": registry.counter("rmsim.resizes", direction="grow"),
+                "shrink": registry.counter("rmsim.resizes", direction="shrink"),
+                "wait": registry.histogram("rmsim.job.wait_s"),
+                "turnaround": registry.histogram("rmsim.job.turnaround_s"),
+                "resize_cost": registry.histogram("rmsim.resize.cost_s"),
+                "queue_depth": registry.gauge("rmsim.queue.depth"),
+                "free_slots": registry.gauge("rmsim.slots.free"),
+            }
+        else:
+            self._m = None
+
+    # ------------------------------------------------------------ properties
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def free_slots(self) -> int:
+        return self.pool.free_slots
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> ScheduleResult:
+        """Execute the whole trace; returns the schedule metrics."""
+        if self._proc is not None:
+            raise RuntimeError("run() may only be called once")
+        self._proc = self.sim.spawn(self._daemon(), name="rms-daemon")
+        if self.jobs:
+            # The batch-wakeup lane: all trace arrivals enter the heap in
+            # one O(N + K) heapify instead of K pushes.
+            self.sim.schedule_batch(
+                (spec.arrival_time, self._wake) for spec in self.jobs
+            )
+        self.sim.run()
+        unfinished = [
+            name
+            for name, j in self._tjobs.items()
+            if j.record.finished_at is None
+        ]
+        if unfinished:  # pragma: no cover - the daemon only exits when done
+            raise RuntimeError(f"jobs never finished: {unfinished[:5]}")
+        records = {name: j.record for name, j in self._tjobs.items()}
+        finished = [r.finished_at for r in records.values()]
+        makespan = max(finished) if finished else 0.0
+        util = (
+            self.busy_total / (makespan * self.total_slots) if makespan else 0.0
+        )
+        return ScheduleResult(
+            records=records,
+            makespan=makespan,
+            utilization=util,
+            total_slots=self.total_slots,
+            busy_coreseconds=self.busy_total,
+            n_events=self.n_events,
+            policy=self.policy.name,
+            n_grows=self.n_grows,
+            n_shrinks=self.n_shrinks,
+        )
+
+    # ---------------------------------------------------------------- daemon
+    def _daemon(self):
+        """Event-driven RMS main loop: wake, drain buffers, consult policy."""
+        n_jobs = len(self.jobs)
+        while True:
+            self._woke = False
+            self._pass()
+            if self._done >= n_jobs:
+                return "rms-done"
+            yield Passivate("rms-idle")
+
+    def _wake(self) -> None:
+        # Coalesce same-timestamp callbacks into one daemon pass: the first
+        # one queues the resume, the rest just land in the event buffers.
+        if not self._woke:
+            self._woke = True
+            self.sim.resume(self._proc)
+
+    def _pass(self) -> None:
+        now = self.sim.now
+        # ---- batch 1: admissions (arrival events up to the current time)
+        jobs = self.jobs
+        ptr = self._arrival_ptr
+        n = len(jobs)
+        while ptr < n and jobs[ptr].arrival_time <= now:
+            self._enqueue(self._tjobs[jobs[ptr].name])
+            ptr += 1
+        arrived = ptr - self._arrival_ptr
+        self._arrival_ptr = ptr
+        self.n_events += arrived
+        # ---- batch 2: reconfiguration commits
+        if self._commit_buf:
+            buf, self._commit_buf = self._commit_buf, []
+            for job in buf:
+                self._commit_resize(job, now)
+        # ---- batch 3: completions
+        if self._finished_buf:
+            buf, self._finished_buf = self._finished_buf, []
+            for job in buf:
+                self._finish(job, now)
+        # ---- policy: starts, then (with finish timers live) resizes
+        self.policy.schedule(self)
+        self._flush_staged()
+        self.policy.resize(self)
+        self._flush_staged()
+        m = self._m
+        if m is not None:
+            if arrived:
+                m["arrived"].inc(arrived)
+            m["queue_depth"].set(float(len(self.queue)), t=now)
+            m["free_slots"].set(float(self.pool.free_slots), t=now)
+
+    def _flush_staged(self) -> None:
+        """Schedule the pass's finish timers in one heap batch."""
+        if not self._staged:
+            return
+        handles = self.sim.schedule_batch(self._staged)
+        for job, handle in zip(self._staged_jobs, handles):
+            job.finish_handle = handle
+        self._staged.clear()
+        self._staged_jobs.clear()
+
+    # ------------------------------------------------------------- lifecycle
+    def _enqueue(self, job: _TraceJob) -> None:
+        key = self.policy.sort_key
+        bisect.insort(self.queue, job, key=lambda j: key(j.spec))
+
+    def start(self, job: _TraceJob, width: int, backfilled: bool = False) -> bool:
+        """Launch a queued job at ``width`` slots.  Returns False when the
+        pool cannot supply the slots (the policy should stop trying)."""
+        spec = job.spec
+        if job.state != _QUEUED:
+            raise ValueError(f"job {spec.name} is not queued")
+        if not spec.min_procs <= width <= spec.max_procs:
+            raise ValueError(
+                f"width {width} outside [{spec.min_procs}, {spec.max_procs}]"
+            )
+        slots = self.pool.allocate_scattered(width)
+        if slots is None:
+            return False
+        now = self.sim.now
+        self.queue.remove(job)
+        job.state = _RUNNING
+        job.slots = slots
+        job.procs = width
+        job.pool_procs = width
+        job.it_time = spec.iteration_time(width)
+        job.rem_iters = float(spec.iterations)
+        job.synced_at = now
+        job.alloc_since = now
+        rec = job.record
+        rec.started_at = now
+        rec.base = slots[0]
+        rec.procs = width
+        rec.size_history.append((now, width))
+        self.running[spec.name] = job
+        self._update_width_sets(job)
+        finish = now + job.rem_iters * job.it_time
+        job.proj_finish = finish
+        heapq.heappush(
+            self._fin_heap, (finish, next(self._fin_seq), job, job.fin_epoch)
+        )
+        self._staged.append((finish, lambda j=job: self._on_finish(j)))
+        self._staged_jobs.append(job)
+        self.n_events += 1
+        self.n_starts += 1
+        if backfilled:
+            self.n_backfills += 1
+        if self._m is not None:
+            self._m["started"].inc()
+            if backfilled:
+                self._m["backfilled"].inc()
+        return True
+
+    def _on_finish(self, job: _TraceJob) -> None:
+        self._finished_buf.append(job)
+        self._wake()
+
+    def _on_commit(self, job: _TraceJob) -> None:
+        self._commit_buf.append(job)
+        self._wake()
+
+    def _finish(self, job: _TraceJob, now: float) -> None:
+        self._account(job, now)
+        job.state = _DONE
+        job.fin_epoch += 1
+        job.finish_handle = None
+        self.pool.release_slots(job.slots)
+        job.slots = []
+        job.pool_procs = 0
+        rec = job.record
+        rec.finished_at = now
+        del self.running[job.spec.name]
+        self._update_width_sets(job)
+        self.busy_total += job.busy
+        self._done += 1
+        self.n_events += 1
+        if self._m is not None:
+            self._m["completed"].inc()
+            self._m["wait"].observe(rec.waiting_time)
+            self._m["turnaround"].observe(rec.turnaround)
+
+    # --------------------------------------------------------------- resizes
+    def can_resize(self, job: _TraceJob) -> bool:
+        """True when a resize decision may still fire safely: the job is
+        running (one reconfiguration in flight at a time), malleable, and
+        has enough iterations left for the safety margin plus a useful
+        remainder — the same guard the full-fidelity scheduler applies."""
+        if job.state != _RUNNING or not job.spec.malleable:
+            return False
+        rem = self._rem_iters_at(job, self.sim.now)
+        return rem > DecisionBoard.SAFETY_MARGIN + 3
+
+    def resize_cost(self, job: _TraceJob, new_procs: int) -> float:
+        """Predicted stall of resizing ``job`` to ``new_procs`` (memoised)."""
+        spec = job.spec
+        return reconfiguration_cost(
+            spec.n_rows,
+            spec.data_bytes / spec.n_rows,
+            job.procs,
+            new_procs,
+            spec.config,
+            self.fabric,
+            self.spawn_model,
+            self.cores_per_node,
+        )
+
+    def est_remaining(self, job: _TraceJob) -> float:
+        """Projected seconds until the job finishes at its current plan."""
+        return job.proj_finish - self.sim.now
+
+    def time_saved(self, job: _TraceJob, new_procs: int) -> float:
+        """Projected runtime reduction of finishing at ``new_procs`` instead
+        of the current width (negative for a shrink)."""
+        rem = self._rem_iters_at(job, self.sim.now)
+        return rem * (job.it_time - job.spec.iteration_time(new_procs))
+
+    def shrink_candidates(self) -> list[_TraceJob]:
+        """Running malleable jobs above their minimum width (insertion
+        order — deterministic, since the event order is)."""
+        return list(self._wide.values())
+
+    def grow_candidates(self) -> list[_TraceJob]:
+        """Running malleable jobs below their maximum width."""
+        return list(self._narrow.values())
+
+    def request_resize(self, job: _TraceJob, target: int) -> bool:
+        """Post a resize decision: the job runs its safety-margin
+        iterations at the old width, stalls for the predicted
+        reconfiguration cost, then resumes at ``target``.
+
+        A grow claims its new slots *now* (they are committed to the job
+        and billed from this moment, exactly like the full engine); a
+        shrink frees its tail only when the redistribution commits.
+        """
+        spec = job.spec
+        if not self.can_resize(job) or target == job.procs:
+            return False
+        if not spec.min_procs <= target <= spec.max_procs:
+            raise ValueError(
+                f"target {target} outside [{spec.min_procs}, {spec.max_procs}]"
+            )
+        now = self.sim.now
+        if target > job.pool_procs:
+            extra = self.pool.allocate_scattered(target - job.pool_procs)
+            if extra is None:
+                return False
+            self._account(job, now)
+            job.slots.extend(extra)
+            job.pool_procs = target
+        # Sync progress, then freeze it: the job completes the fractional
+        # iteration in flight plus the safety margin at the old speed, then
+        # stalls for the predicted cost until the commit callback.
+        rem_now = self._rem_iters_at(job, now)
+        margin = rem_now - math.floor(rem_now) + DecisionBoard.SAFETY_MARGIN
+        cost = self.resize_cost(job, target)
+        t_commit = now + margin * job.it_time + cost
+        job.rem_iters = rem_now - margin
+        job.synced_at = t_commit
+        job.state = _RECONF
+        job.pending_procs = target
+        if job.finish_handle is not None:
+            job.finish_handle.cancelled = True
+            job.finish_handle = None
+        job.proj_finish = t_commit + job.rem_iters * spec.iteration_time(target)
+        job.fin_epoch += 1
+        heapq.heappush(
+            self._fin_heap,
+            (job.proj_finish, next(self._fin_seq), job, job.fin_epoch),
+        )
+        self._update_width_sets(job)
+        self.sim.schedule_at(t_commit, lambda j=job: self._on_commit(j))
+        self.n_events += 1
+        if self._m is not None:
+            self._m["resize_cost"].observe(cost)
+        return True
+
+    def _commit_resize(self, job: _TraceJob, now: float) -> None:
+        spec = job.spec
+        target = job.pending_procs
+        if target < job.pool_procs:  # shrink: the freed tail opens now
+            self._account(job, now)
+            tail = job.slots[target:]
+            del job.slots[target:]
+            self.pool.release_slots(tail)
+            job.pool_procs = target
+            self.n_shrinks += 1
+            if self._m is not None:
+                self._m["shrink"].inc()
+        else:
+            self.n_grows += 1
+            if self._m is not None:
+                self._m["grow"].inc()
+        job.procs = target
+        job.pending_procs = 0
+        job.it_time = spec.iteration_time(target)
+        job.state = _RUNNING
+        # synced_at was set to this commit time when the decision was
+        # posted, so the remaining iterations burn from now at the new rate.
+        finish = now + job.rem_iters * job.it_time
+        job.proj_finish = finish
+        self._staged.append((finish, lambda j=job: self._on_finish(j)))
+        self._staged_jobs.append(job)
+        rec = job.record
+        rec.procs = target
+        rec.size_history.append((now, target))
+        self._update_width_sets(job)
+        self.n_events += 1
+
+    # -------------------------------------------------------------- internal
+    def _rem_iters_at(self, job: _TraceJob, now: float) -> float:
+        """Iterations left at ``now`` (frozen during a reconfiguration:
+        ``synced_at`` then lies in the future, at the commit time)."""
+        if job.state == _RUNNING and now > job.synced_at:
+            return job.rem_iters - (now - job.synced_at) / job.it_time
+        return job.rem_iters
+
+    def _account(self, job: _TraceJob, now: float) -> None:
+        """Bill the slots held since the last accounting boundary."""
+        job.busy += job.pool_procs * (now - job.alloc_since)
+        job.alloc_since = now
+
+    def _update_width_sets(self, job: _TraceJob) -> None:
+        spec = job.spec
+        name = spec.name
+        alive = job.state in (_RUNNING, _RECONF) and spec.malleable
+        if alive and job.pool_procs > spec.min_procs:
+            self._wide[name] = job
+        else:
+            self._wide.pop(name, None)
+        if alive and job.pool_procs < spec.max_procs:
+            self._narrow[name] = job
+        else:
+            self._narrow.pop(name, None)
+
+    def reservation_for(self, width: int) -> tuple[float, int]:
+        """EASY reservation for the queue head: the *shadow time* when
+        ``width`` slots are projected to be free, and the *extra* slots
+        beyond the head's need at that moment.  Backfilled jobs must fit
+        in the extra slots or finish before the shadow time."""
+        free = self.pool.free_slots
+        if free >= width:
+            return (self.sim.now, free - width)
+        heap = self._fin_heap
+        # Prune stale heads in place so repeated calls stay cheap.
+        while heap and (
+            heap[0][3] != heap[0][2].fin_epoch or heap[0][2].state == _DONE
+        ):
+            heapq.heappop(heap)
+        snap = list(heap)
+        released = 0
+        while snap:
+            t, _seq, job, epoch = heapq.heappop(snap)
+            if epoch != job.fin_epoch or job.state == _DONE:
+                continue
+            released += job.pool_procs
+            if free + released >= width:
+                return (t, free + released - width)
+        return (math.inf, 0)  # pragma: no cover - width is capped at total

@@ -198,6 +198,43 @@ class Simulator:  # repro: noqa[REP005] - one instance per run; hooks land as at
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         return self.schedule(time - self.now, fn)
 
+    def schedule_batch(
+        self, entries: Iterable[tuple[float, Callable[[], None]]]
+    ) -> list[_HeapItem]:
+        """Schedule many ``(absolute_time, fn)`` callbacks in one pass.
+
+        The batch-wakeup lane: pushing ``K`` events one by one costs
+        ``K * log(N)`` sift operations, while extending the heap list and
+        re-heapifying once costs ``O(N + K)`` — the win the trace-driven RMS
+        simulator relies on when it posts 10^4 job arrivals up front.  Small
+        batches fall back to individual pushes so a one-element "batch" pays
+        nothing extra.  Sequence numbers are drawn in iteration order, so
+        same-time entries fire in the order given (exactly as if they had
+        been scheduled through :meth:`schedule_at` one by one).
+        """
+        heap = self._heap
+        now = self.now
+        staged: list[tuple[float, int, _HeapItem]] = []
+        handles: list[_HeapItem] = []
+        for time, fn in entries:
+            if time < now:
+                raise ValueError(
+                    f"cannot schedule in the past: {time} < {now}"
+                )
+            seq = next(self._seq)
+            item = _HeapItem(time, seq, fn)
+            staged.append((time, seq, item))
+            handles.append(item)
+        # Below ~len(heap)/8 entries the K*log(N) pushes beat the O(N+K)
+        # re-heapify; either path yields the same (time, seq) fire order.
+        if len(staged) * 8 < len(heap):
+            for entry in staged:
+                heapq.heappush(heap, entry)
+        else:
+            heap.extend(staged)
+            heapq.heapify(heap)
+        return handles
+
     def _schedule_timeout(self, delay: float, proc: SimProcess, value: Any) -> None:
         """Allocation-light fast path for a cancellable Timeout wakeup.
 

@@ -1,0 +1,131 @@
+"""SlotPool edge cases pinned by the bugfix sweep.
+
+The release path historically mutated the free list before validating,
+so a *detected* double free still corrupted the pool.  These tests pin
+the validate-first contract plus the scattered-allocation paths the
+trace scheduler leans on.
+"""
+
+import pytest
+
+from repro.rmsim import SlotPool
+
+
+# ------------------------------------------------- validate-before-mutate
+def test_pool_usable_after_rejected_release():
+    pool = SlotPool(10)
+    base = pool.allocate(4)
+    pool.release(base, 4)
+    with pytest.raises(ValueError):
+        pool.release(base, 4)  # double free detected...
+    # ...and the pool is NOT corrupted: the full machine still allocates.
+    assert pool.free_slots == 10
+    assert pool.allocate(10) == 0
+    pool.release(0, 10)
+    assert pool.free_slots == 10
+
+
+def test_partial_overlap_release_rejected_without_damage():
+    pool = SlotPool(10)
+    assert pool.allocate(4) == 0  # busy: [0,4), free: [4,10)
+    with pytest.raises(ValueError):
+        pool.release(2, 4)  # [2,6) overlaps the free range [4,10)
+    assert pool.free_slots == 6
+    pool.release(0, 4)  # the legitimate release still works
+    assert pool.allocate(10) == 0
+
+
+def test_release_out_of_range_rejected():
+    pool = SlotPool(8)
+    pool.allocate(8)
+    with pytest.raises(ValueError):
+        pool.release(6, 4)  # [6,10) exceeds the pool
+    with pytest.raises(ValueError):
+        pool.release(-1, 2)
+    pool.release(0, 8)
+    assert pool.free_slots == 8
+
+
+# ------------------------------------------------------ scattered paths
+def test_allocate_scattered_spans_three_fragments():
+    pool = SlotPool(12)
+    a = pool.allocate(2)   # [0,2)
+    b = pool.allocate(2)   # [2,4)
+    c = pool.allocate(2)   # [4,6)
+    d = pool.allocate(2)   # [6,8)
+    e = pool.allocate(2)   # [8,10)
+    pool.release(b, 2)
+    pool.release(d, 2)
+    # free fragments: [2,4), [6,8), [10,12) — a 6-slot ask spans all three.
+    got = pool.allocate_scattered(6)
+    assert got == [2, 3, 6, 7, 10, 11]
+    assert pool.free_slots == 0
+    assert pool.allocate_scattered(1) is None
+    pool.release_slots(got)
+    for base in (a, c, e):
+        pool.release(base, 2)
+    assert pool.allocate(12) == 0
+
+
+def test_release_slots_duplicate_ids_raise_not_merge():
+    pool = SlotPool(8)
+    slots = pool.allocate_scattered(4)
+    with pytest.raises(ValueError, match="duplicate slot id"):
+        pool.release_slots(slots + [slots[0]])
+    # Nothing was freed by the rejected call.
+    assert pool.free_slots == 4
+    pool.release_slots(slots)
+    assert pool.free_slots == 8
+
+
+def test_release_slots_atomic_when_later_run_double_frees():
+    pool = SlotPool(10)
+    held = pool.allocate(4)          # [0,4)
+    free_already = [8, 9]            # tail of the pool is still free
+    with pytest.raises(ValueError):
+        pool.release_slots([0, 1, 2, 3] + free_already)
+    # The earlier run [0,4) must NOT have been freed by the failed call.
+    assert pool.free_slots == 6
+    pool.release(held, 4)
+    assert pool.allocate(10) == 0
+
+
+# ------------------------------------------------------- extension at end
+def test_extension_room_at_pool_end():
+    pool = SlotPool(8)
+    base = pool.allocate(6)  # [0,6), free tail [6,8)
+    assert pool.extension_room(base, 6) == 2
+    pool.claim_extension(base, 6, 2)
+    assert pool.free_slots == 0
+    # The block now ends exactly at the pool boundary: no room, and a
+    # claim past the end is rejected.
+    assert pool.extension_room(base, 8) == 0
+    with pytest.raises(ValueError):
+        pool.claim_extension(base, 8, 1)
+    pool.release(base, 8)
+    assert pool.free_slots == 8
+
+
+# ------------------------------------------------------------ conservation
+def test_alloc_free_round_trip_conserves_slots():
+    pool = SlotPool(64)
+    live: list[tuple[str, object]] = []
+    # A deterministic interleaving of every alloc/free flavour.
+    live.append(("block", (pool.allocate(10), 10)))
+    base, k = live[0][1]
+    pool.claim_extension(base, k, 3)  # free tail starts right after it
+    live[0] = ("block", (base, k + 3))
+    live.append(("scatter", pool.allocate_scattered(7)))
+    live.append(("block", (pool.allocate(5), 5)))
+    live.append(("scatter", pool.allocate_scattered(11)))
+    held = sum(
+        (len(v) if kind == "scatter" else v[1]) for kind, v in live
+    )
+    assert pool.free_slots == 64 - held
+    for kind, v in live:
+        if kind == "scatter":
+            pool.release_slots(v)
+        else:
+            pool.release(v[0], v[1])
+    assert pool.free_slots == 64
+    assert pool.allocate(64) == 0

@@ -1,0 +1,190 @@
+"""TraceScheduler end-to-end: completion, determinism, accounting, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import schedule_summary, summary_json
+from repro.harness.cli import main as cli_main
+from repro.obs import MetricsRegistry
+from repro.rmsim import (
+    JobSpec,
+    TraceConfig,
+    TraceScheduler,
+    generate_trace,
+    policy_by_name,
+)
+
+SLOTS = 128  # 8 nodes x 16 cores
+
+
+def small_trace(seed=5, n_jobs=60):
+    cfg = TraceConfig.sized(SLOTS, n_jobs, seed=seed, max_procs=32)
+    return generate_trace(cfg)
+
+
+def run_policy(trace, policy_name, registry=None):
+    sched = TraceScheduler(
+        SLOTS,
+        trace.jobs,
+        policy=policy_by_name(policy_name),
+        registry=registry,
+    )
+    return sched.run()
+
+
+# -------------------------------------------------------------- completion
+@pytest.mark.parametrize("policy", ["fifo", "priority", "easy", "malleable"])
+def test_every_policy_completes_the_trace(policy):
+    trace = small_trace()
+    res = run_policy(trace, policy)
+    assert res.n_completed == len(trace)
+    assert res.policy == policy
+    assert res.total_slots == SLOTS
+    assert res.makespan > 0
+    assert 0.0 < res.utilization <= 1.0
+    assert res.n_events > len(trace)  # at least arrival+finish per job
+
+
+def test_malleable_run_actually_resizes():
+    res = run_policy(small_trace(), "malleable")
+    assert res.n_grows + res.n_shrinks > 0
+
+
+# ------------------------------------------------------------- determinism
+def _fingerprint(res):
+    return [
+        (
+            name,
+            res.records[name].started_at,
+            res.records[name].finished_at,
+            tuple(res.records[name].size_history),
+        )
+        for name in sorted(res.records)
+    ]
+
+
+def test_repeat_runs_are_identical():
+    trace = small_trace()
+    a = run_policy(trace, "malleable")
+    b = run_policy(trace, "malleable")
+    assert _fingerprint(a) == _fingerprint(b)
+    assert summary_json(schedule_summary(a)) == summary_json(
+        schedule_summary(b)
+    )
+
+
+def test_trace_file_replay_matches_generated_run(tmp_path):
+    trace = small_trace()
+    path = trace.save(tmp_path / "t.json")
+    from repro.rmsim import WorkloadTrace
+
+    replay = WorkloadTrace.load(path)
+    assert _fingerprint(run_policy(trace, "easy")) == _fingerprint(
+        run_policy(replay, "easy")
+    )
+
+
+# --------------------------------------------------------------- accounting
+def test_slots_conserved_after_run():
+    sched = TraceScheduler(
+        SLOTS, small_trace().jobs, policy=policy_by_name("malleable")
+    )
+    sched.run()
+    assert sched.pool.free_slots == SLOTS
+
+
+def test_utilization_matches_busy_coreseconds():
+    res = run_policy(small_trace(), "fifo")
+    assert res.utilization == pytest.approx(
+        res.busy_coreseconds / (res.makespan * res.total_slots)
+    )
+    assert res.busy_coreseconds > 0
+
+
+def test_validation_rejects_bad_workloads():
+    dup = [
+        JobSpec("x", 0.0, 10, 0.1, 1, 1),
+        JobSpec("x", 1.0, 10, 0.1, 1, 1),
+    ]
+    with pytest.raises(ValueError):
+        TraceScheduler(8, dup)
+    too_wide = [JobSpec("w", 0.0, 10, 0.1, 16, 16)]
+    with pytest.raises(ValueError):
+        TraceScheduler(8, too_wide)
+
+
+# ------------------------------------------------------------------ metrics
+def test_metrics_registry_sees_rmsim_family():
+    registry = MetricsRegistry()
+    trace = small_trace(n_jobs=40)
+    res = run_policy(trace, "malleable", registry=registry)
+    doc = registry.to_dict()
+    assert doc["counters"]["rmsim.jobs.arrived"] == len(trace)
+    assert doc["counters"]["rmsim.jobs.completed"] == res.n_completed
+    assert "rmsim.queue.depth" in doc["gauges"]
+    assert "rmsim.slots.free" in doc["gauges"]
+    assert "rmsim.job.wait_s" in doc["histograms"]
+    assert "rmsim.job.turnaround_s" in doc["histograms"]
+    if res.n_grows:
+        assert doc["counters"]["rmsim.resizes{direction=grow}"] == res.n_grows
+
+
+# ------------------------------------------------------------------ summary
+def test_schedule_summary_shape_and_canonical_json():
+    res = run_policy(small_trace(n_jobs=30), "easy")
+    summary = schedule_summary(res)
+    for key in (
+        "policy", "total_slots", "n_jobs", "n_completed", "makespan_s",
+        "utilization", "busy_coreseconds", "energy_j",
+        "throughput_jobs_per_hour", "n_events", "n_grows", "n_shrinks",
+        "waiting_s", "turnaround_s", "bounded_slowdown",
+    ):
+        assert key in summary, key
+    assert summary["n_completed"] == 30
+    assert summary["energy_j"] > 0
+    for dist in ("waiting_s", "turnaround_s", "bounded_slowdown"):
+        d = summary[dist]
+        assert d["p50"] <= d["p95"] <= d["max"]
+    text = summary_json(summary)
+    assert text.endswith("\n")
+    assert json.loads(text) == summary
+    assert summary_json(schedule_summary(res)) == text
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_rmsim_end_to_end(tmp_path, capsys):
+    out1 = tmp_path / "s1.json"
+    out2 = tmp_path / "s2.json"
+    metrics = tmp_path / "m.json"
+    trace_path = tmp_path / "t.json"
+    argv = [
+        "rmsim", "--nodes", "4", "--cores-per-node", "8", "--jobs", "40",
+        "--seed", "3", "--policy", "malleable",
+    ]
+    assert cli_main(argv + [
+        "--out", str(out1), "--metrics-out", str(metrics),
+        "--save-trace", str(trace_path),
+    ]) == 0
+    assert cli_main(argv + ["--out", str(out2)]) == 0
+    # Byte-identical repeat — the rmsim-smoke CI contract.
+    assert out1.read_bytes() == out2.read_bytes()
+    summary = json.loads(out1.read_text())
+    assert summary["n_completed"] == 40
+    assert summary["trace"]["seed"] == 3
+    doc = json.loads(metrics.read_text())
+    assert doc["meta"]["tool"] == "repro-harness rmsim"
+    assert any(name.startswith("rmsim.") for name in doc["counters"])
+    # Replaying the saved trace reproduces the same schedule.
+    out3 = tmp_path / "s3.json"
+    assert cli_main([
+        "rmsim", "--trace", str(trace_path), "--nodes", "4",
+        "--cores-per-node", "8", "--policy", "malleable",
+        "--out", str(out3),
+    ]) == 0
+    a = json.loads(out1.read_text())
+    b = json.loads(out3.read_text())
+    a.pop("trace")
+    b.pop("trace")  # provenance differs by design
+    assert a == b
+    capsys.readouterr()  # swallow the human-readable report

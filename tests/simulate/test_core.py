@@ -311,3 +311,80 @@ def test_wait_all_helper():
     sim.run()
     assert m.result == [30.0, 10.0, 20.0]
     assert sim.now == 3.0
+
+
+# ------------------------------------------------------------- batch lane
+def test_schedule_batch_fires_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_batch(
+        [(t, (lambda t=t: fired.append(t))) for t in (3.0, 1.0, 2.0)]
+    )
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+    assert sim.now == 3.0
+
+
+def test_schedule_batch_same_time_keeps_submission_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_batch(
+        [(1.0, (lambda i=i: fired.append(i))) for i in range(5)]
+    )
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_schedule_batch_interleaves_with_individual_pushes():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, lambda: fired.append("solo"))
+    sim.schedule_batch([
+        (1.0, lambda: fired.append("b1")),
+        (2.0, lambda: fired.append("b2")),
+    ])
+    sim.run()
+    assert fired == ["b1", "solo", "b2"]
+
+
+def test_schedule_batch_large_batch_heapifies():
+    # A batch much larger than the resident heap goes down the heapify
+    # path; order must be identical to one-by-one scheduling.
+    sim = Simulator()
+    fired = []
+    times = [float((i * 37) % 100) + 1.0 for i in range(200)]
+    sim.schedule_batch([(t, (lambda t=t: fired.append(t))) for t in times])
+    sim.run()
+    assert fired == sorted(times)
+
+
+def test_schedule_batch_small_batch_pushes_into_big_heap():
+    sim = Simulator()
+    fired = []
+    for i in range(100):  # resident heap >> batch: the push path
+        sim.schedule(10.0 + i, (lambda i=i: fired.append(f"h{i}")))
+    sim.schedule_batch([(1.0, lambda: fired.append("early"))])
+    sim.run()
+    assert fired[0] == "early"
+    assert len(fired) == 101
+
+
+def test_schedule_batch_cancellable_handles():
+    sim = Simulator()
+    fired = []
+    handles = sim.schedule_batch([
+        (1.0, lambda: fired.append("a")),
+        (2.0, lambda: fired.append("b")),
+    ])
+    handles[0].cancelled = True
+    sim.run()
+    assert fired == ["b"]
+
+
+def test_schedule_batch_rejects_past_times():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    with pytest.raises(ValueError):
+        sim.schedule_batch([(0.5, lambda: None)])
