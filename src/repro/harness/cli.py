@@ -225,6 +225,22 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_verify_plans(args) -> int:
+    """Static plan & protocol verifier sweep (docs/sanitizer.md)."""
+    from ..sanitize.static_check import main as static_main
+
+    argv = []
+    for flag in ("rows", "resizes", "configs", "format", "max_wall"):
+        value = getattr(args, flag)
+        if value is not None:
+            argv += [f"--{flag.replace('_', '-')}", str(value)]
+    if args.extended:
+        argv.append("--extended")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return static_main(argv)
+
+
 def cmd_rmsim(args) -> int:
     """Trace-driven datacenter RMS simulation (docs/rmsim.md)."""
     from ..analysis.rmsim_summary import schedule_summary, summary_json
@@ -461,6 +477,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Baseline spawn method (default: Merge)")
     p_pred.add_argument("--scale", choices=sorted(SCALES), default="paper")
     p_pred.set_defaults(fn=cmd_predict)
+
+    p_ver = sub.add_parser(
+        "verify-plans",
+        help="statically verify the redistribution schedules of the config "
+        "matrix (STA0xx rules, no simulation; docs/sanitizer.md)",
+    )
+    p_ver.add_argument("--rows", default=None, metavar="N,N,...",
+                       help="row-count grid (default: 96,1000,4096)")
+    p_ver.add_argument("--resizes", default=None, metavar="NS:NT,...",
+                       help="grow/shrink/equal resizes (default: 4:8,8:4,6:6)")
+    p_ver.add_argument("--configs", default=None, metavar="KEYS",
+                       help="comma-separated config keys, or 'all'")
+    p_ver.add_argument("--extended", action="store_true",
+                       help="also verify coalesced wire formats, "
+                       "target-driven RMA and movement-minimising plans")
+    p_ver.add_argument("--format", choices=["text", "json"], default=None)
+    p_ver.add_argument("--max-wall", type=float, default=None,
+                       metavar="SECONDS",
+                       help="fail if the sweep takes longer (CI budget gate)")
+    p_ver.add_argument("--list-rules", action="store_true",
+                       help="print the STA rule catalog and exit")
+    p_ver.set_defaults(fn=cmd_verify_plans)
     return parser
 
 

@@ -207,7 +207,7 @@ class _Ring:
             )
         while self.capacity - (self.head - self.tail) < need:
             _U64.pack_into(self.buf, 16, self.stalls + 1)
-            time.sleep(_POLL_S)  # repro: noqa[REP001] - host-side backpressure wait, not simulated time
+            time.sleep(_POLL_S)  # host-side backpressure wait, not simulated time
         pos = self.head
         self._copy_in(pos, _LEN.pack(len(record)))
         self._copy_in(pos + _LEN.size, record)
@@ -521,7 +521,7 @@ class WorkerFleet:
                             f"{w.process.exitcode}) before the cell "
                             "completed",
                         )
-                time.sleep(_POLL_S)  # repro: noqa[REP001] - host-side result poll, not simulated time
+                time.sleep(_POLL_S)  # host-side result poll, not simulated time
         finally:
             stalls = sum(w.ring.stalls for w in self._workers if w.ring)
             if stalls > stalls0:

@@ -36,6 +36,42 @@ class ColRedistribution(RedistributionSession):
 
     method_name = "col"
 
+    # ------------------------------------------------------------ static view
+    @classmethod
+    def symbolic_schedule(cls, plan, src_rank=None, dst_rank=None, *,
+                          coalesce: bool = False) -> list[dict]:
+        """Elaborate one rank's Algorithm-2 ops as plain data, for the static
+        verifier (:mod:`repro.sanitize.static_check`).
+
+        Mirrors :meth:`run_blocking`/:meth:`start`: every member enters the
+        size Alltoall (elided when coalesced) and the value Alltoallv, even
+        with nothing to move; ``send_to`` keys are target indices, the
+        ``recv_from`` entries source indices, exactly like
+        :meth:`_values_args`.
+        """
+        ops: list[dict] = []
+        self_rows = None
+        send_to: dict[int, int] = {}
+        recv_from: list[int] = []
+        if src_rank is not None:
+            for tr in plan.sends_for(src_rank):
+                if dst_rank is not None and tr.dst == dst_rank:
+                    self_rows = tr.n_rows
+                    continue
+                send_to[tr.dst] = tr.n_rows
+        if dst_rank is not None:
+            for tr in plan.recvs_for(dst_rank):
+                if src_rank is not None and tr.src == src_rank:
+                    continue
+                recv_from.append(tr.src)
+        if self_rows is not None:
+            ops.append({"op": "memcpy", "rows": self_rows})
+        if not coalesce:
+            ops.append({"op": "alltoall"})
+        ops.append({"op": "alltoallv", "send_to": send_to,
+                    "recv_from": recv_from})
+        return ops
+
     def _emit_send_bytes(self, nbytes_map: dict) -> None:
         for nbytes in nbytes_map.values():
             self._emit_transfer("values", nbytes)

@@ -35,6 +35,45 @@ class P2PRedistribution(RedistributionSession):
 
     method_name = "p2p"
 
+    # ------------------------------------------------------------ static view
+    @classmethod
+    def symbolic_schedule(cls, plan, src_rank=None, dst_rank=None, *,
+                          coalesce: bool = False) -> list[dict]:
+        """Elaborate one rank's Algorithm-1 ops as plain data, for the static
+        verifier (:mod:`repro.sanitize.static_check`).
+
+        Pure function of ``(plan, roles, coalesce)`` — no simulator, comm or
+        dataset required.  Must mirror :meth:`start`/:meth:`finish` exactly:
+        every isend/irecv those methods would issue appears here as one op
+        dict (``peer`` is a role index on the ``side`` group).  The tag-88
+        receives of plain mode are posted only after the matching tag-77
+        message lands, which ``after_tag`` records for the dependency check.
+        """
+        ops: list[dict] = []
+        if dst_rank is not None:
+            for tr in plan.recvs_for(dst_rank):
+                if src_rank is not None and tr.src == src_rank:
+                    continue  # self-chunk arrives by memcpy (source loop)
+                ops.append({"op": "irecv", "peer": tr.src, "side": "src",
+                            "tag": SIZES_TAG})
+                if not coalesce:
+                    ops.append({"op": "irecv", "peer": tr.src, "side": "src",
+                                "tag": VALUES_TAG, "after_tag": SIZES_TAG})
+        if src_rank is not None:
+            for tr in plan.sends_for(src_rank):
+                if dst_rank is not None and tr.dst == dst_rank:
+                    ops.append({"op": "memcpy", "rows": tr.n_rows})
+                    continue
+                if coalesce:
+                    ops.append({"op": "isend", "peer": tr.dst, "side": "dst",
+                                "tag": SIZES_TAG, "rows": tr.n_rows})
+                else:
+                    ops.append({"op": "isend", "peer": tr.dst, "side": "dst",
+                                "tag": SIZES_TAG, "rows": 0})
+                    ops.append({"op": "isend", "peer": tr.dst, "side": "dst",
+                                "tag": VALUES_TAG, "rows": tr.n_rows})
+        return ops
+
     def start(self):
         """Sources: fire all Isends.  Targets: post all tag-77 Irecvs."""
         if self._started:

@@ -87,6 +87,74 @@ class RmaRedistribution(RedistributionSession):
             )
         self.variant = variant
 
+    # ------------------------------------------------------------ static view
+    @classmethod
+    def symbolic_schedule(cls, plan, src_rank=None, dst_rank=None, *,
+                          variant: str = "origin") -> list[dict]:
+        """Elaborate one rank's one-sided ops as plain data, for the static
+        verifier (:mod:`repro.sanitize.static_check`).
+
+        Mirrors :meth:`start`/:meth:`finish`: the collective ``win_create``,
+        the shared lock epochs opened *concurrently* over the sorted peer
+        set (the AllOf block), one put/get per scheduled chunk, the closing
+        unlocks, and — on the exposing side — the notification wait with the
+        plan-predicted threshold of :meth:`_expected_notifications`.
+        """
+        if variant not in RMA_VARIANTS:
+            raise ValueError(
+                f"unknown RMA variant {variant!r}; "
+                f"valid choices: {', '.join(RMA_VARIANTS)}"
+            )
+        is_source = src_rank is not None
+        is_target = dst_rank is not None
+        drives = is_source if variant == "origin" else is_target
+        exposes = is_target if variant == "origin" else is_source
+        peer_side = "dst" if variant == "origin" else "src"
+        ops: list[dict] = [{"op": "win_create"}]
+        if is_source and is_target:
+            for tr in plan.sends_for(src_rank):
+                if tr.dst == dst_rank:
+                    ops.append({"op": "memcpy", "rows": tr.n_rows})
+        if drives:
+            if variant == "origin":
+                schedule = [
+                    (tr.dst, tr.n_rows)
+                    for tr in plan.sends_for(src_rank)
+                    if not (is_target and tr.dst == dst_rank)
+                ]
+            else:
+                schedule = [
+                    (tr.src, tr.n_rows)
+                    for tr in plan.recvs_for(dst_rank)
+                    if not (is_source and tr.src == src_rank)
+                ]
+            peers = sorted({peer for peer, _rows in schedule})
+            for order, peer in enumerate(peers):
+                ops.append({"op": "lock", "peer": peer, "side": peer_side,
+                            "mode": "shared", "concurrent": True,
+                            "order": order})
+            kind = "put" if variant == "origin" else "get"
+            for peer, rows in schedule:
+                ops.append({"op": kind, "peer": peer, "side": peer_side,
+                            "rows": rows})
+            for peer in peers:
+                ops.append({"op": "unlock", "peer": peer, "side": peer_side})
+        if exposes:
+            if variant == "origin":
+                threshold = sum(
+                    1
+                    for tr in plan.recvs_for(dst_rank)
+                    if not (is_source and tr.src == src_rank)
+                )
+            else:
+                threshold = sum(
+                    1
+                    for tr in plan.sends_for(src_rank)
+                    if not (is_target and tr.dst == dst_rank)
+                )
+            ops.append({"op": "notify_wait", "threshold": threshold})
+        return ops
+
     # --------------------------------------------------------------- common
     @property
     def _drives(self) -> bool:

@@ -1,24 +1,35 @@
-"""`repro.sanitize` — MPI-correctness sanitizer + determinism lint.
+"""`repro.sanitize` — MPI-correctness sanitizer + determinism lint +
+static plan/protocol verifier.
 
-Two complementary checkers for the simulated stack:
+Three complementary checkers for the simulated stack:
 
 * :class:`Sanitizer` (runtime, rules ``SAN0xx``): attaches to a live
   :class:`~repro.smpi.world.MpiWorld` in the cooperative Tracer /
   MetricsProbe style (zero cost detached) and observes buffer races,
   request leaks, unmatched traffic, aborted-communicator use,
   inconsistent vector collectives and deadlock wait-for-graphs.
-* :mod:`repro.sanitize.lint` (static, rules ``REP0xx``): an AST lint
-  over ``src/`` run as ``python -m repro.sanitize.lint`` that enforces
-  the repo's determinism invariants (no wall-clock, no unseeded
-  randomness, no bare-set iteration, no bare ``except``, ``__slots__``
-  on hot-path classes, no dropped isend/irecv requests).
+* :mod:`repro.sanitize.lint` (static, rules ``REP0xx``): a symbol-table
+  AST lint over ``src/`` run as ``python -m repro.sanitize.lint`` that
+  enforces the repo's determinism invariants (no wall-clock, no unseeded
+  randomness — direct or via local call chains, no bare-set iteration,
+  no bare ``except``, ``__slots__`` and immutable defaults on hot-path
+  classes, no dropped isend/irecv requests, struct arity and
+  dict-ordering discipline at the wire boundary).
+* :mod:`repro.sanitize.static_check` (static, rules ``STA0xx``): the
+  plan & protocol verifier, run as ``python -m repro.sanitize.static``
+  or ``repro-harness verify-plans``.  It proves redistribution plans
+  conserve bytes and tile both layouts, then symbolically elaborates the
+  P2P/COL/RMA message schedules and checks tag matching, collective
+  symmetry, deadlock freedom and RMA epoch discipline — before any
+  simulation runs.  (Not imported here: it pulls in the redistribution
+  stack, which the lint and runtime sanitizer must not depend on.)
 
-Both produce :class:`~repro.sanitize.findings.Finding` objects with
+All three produce :class:`~repro.sanitize.findings.Finding` objects with
 stable rule codes; runtime findings export into an obs registry as
 ``sanitizer_findings{rule=...}``.
 """
 
-from .findings import ALL_RULES, Finding, REP_RULES, SAN_RULES, rule_doc
+from .findings import ALL_RULES, Finding, REP_RULES, SAN_RULES, STA_RULES, rule_doc
 from .runtime import Sanitizer, SanitizerError, fingerprint_payload
 
 __all__ = [
@@ -26,6 +37,7 @@ __all__ = [
     "Finding",
     "REP_RULES",
     "SAN_RULES",
+    "STA_RULES",
     "Sanitizer",
     "SanitizerError",
     "fingerprint_payload",

@@ -1,6 +1,7 @@
 """Finding objects and the rule catalog shared by the runtime sanitizer
-(`SAN0xx`, :mod:`repro.sanitize.runtime`) and the static determinism lint
-(`REP0xx`, :mod:`repro.sanitize.lint`).
+(`SAN0xx`, :mod:`repro.sanitize.runtime`), the static determinism lint
+(`REP0xx`, :mod:`repro.sanitize.lint`) and the static plan/protocol
+verifier (`STA0xx`, :mod:`repro.sanitize.static_check`).
 
 Every finding carries a stable rule code, a human message, and — for the
 runtime rules — rank/ctx/tag provenance plus the simulated time at which
@@ -16,7 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Finding", "SAN_RULES", "REP_RULES", "ALL_RULES", "rule_doc"]
+__all__ = [
+    "Finding",
+    "SAN_RULES",
+    "REP_RULES",
+    "STA_RULES",
+    "ALL_RULES",
+    "rule_doc",
+]
 
 
 #: runtime rules — detected by :class:`repro.sanitize.runtime.Sanitizer`
@@ -56,9 +64,38 @@ REP_RULES: dict[str, str] = {
               "requests, messages are allocated at very high rates)",
     "REP006": "isend/irecv result discarded or never waited/tested: the "
               "request can never be completed-checked (leak at finalize)",
+    "REP007": "struct pack/unpack arity mismatch: argument count does not "
+              "match the field count of the literal struct format",
+    "REP008": "dict-iteration order leaked into a wire/CSV record: sort the "
+              "view (or use an explicit ordering) before serialising",
+    "REP009": "unseeded randomness reachable through a local call chain "
+              "from this call site; thread a seeded Generator instead",
+    "REP010": "mutable default argument ([]/{} /set()) in a hot-path "
+              "module: defaults are shared across calls",
 }
 
-ALL_RULES: dict[str, str] = {**SAN_RULES, **REP_RULES}
+#: static plan/protocol rules — detected by
+#: ``python -m repro.sanitize.static`` without executing the simulator.
+STA_RULES: dict[str, str] = {
+    "STA001": "plan conservation violation: bytes/rows sent by sources do "
+              "not equal bytes/rows received by targets",
+    "STA002": "plan coverage violation: target layout has a gap or overlap "
+              "(some row is delivered zero or more than one time)",
+    "STA003": "plan range violation: a transfer reads rows outside its "
+              "source rank's owned range (or is empty/inverted)",
+    "STA004": "unmatched traffic: a symbolic send/put has no matching "
+              "receive/notification budget on the peer (or vice versa)",
+    "STA005": "collective asymmetry: members of one collective disagree on "
+              "participation or alltoallv count pairings",
+    "STA006": "blocking-dependency cycle: the symbolic schedule cannot be "
+              "retired in any order (static deadlock)",
+    "STA007": "RMA lock-order hazard: exclusive lock acquisition order is "
+              "inconsistent (or concurrent) across origins sharing targets",
+    "STA008": "RMA epoch leak: a lock epoch opened in the schedule is never "
+              "unlocked before finish",
+}
+
+ALL_RULES: dict[str, str] = {**SAN_RULES, **REP_RULES, **STA_RULES}
 
 
 def rule_doc(code: str) -> str:

@@ -1,12 +1,22 @@
 """Static determinism lint for the simulated stack (rules ``REP0xx``).
 
 Byte-identical replays are the repo's core contract: every run must be a
-pure function of its seed.  This AST lint enforces the source-level
-invariants that keep it that way::
+pure function of its seed.  This lint enforces the source-level invariants
+that keep it that way::
 
     python -m repro.sanitize.lint src/              # text report, exit 1 on hit
     python -m repro.sanitize.lint --format json src/
     python -m repro.sanitize.lint --select REP001,REP004 src/
+    python -m repro.sanitize.lint --check-noqa src/ # also flag stale noqa
+
+Two passes per file: a symbol-table pass (:class:`_ModuleIndex`) records
+import bindings, ``struct.Struct`` wire formats and the module-local call
+graph (with its transitive unseeded-RNG closure); the checking pass
+(:class:`_Visitor`) then consults that table, which is what lets REP007
+check ``pack``/``unpack`` arity against formats defined elsewhere in the
+module, REP008 follow dict views through local variables into wire sinks,
+and REP009 flag call *sites* whose callee only reaches unseeded
+randomness transitively.
 
 Rules (see :data:`repro.sanitize.findings.REP_RULES`):
 
@@ -22,30 +32,53 @@ REP005  hot-path class without ``__slots__`` (kernel commands, events,
         requests and messages are allocated at very high rates)
 REP006  ``isend``/``irecv`` result discarded (the request can never be
         waited or tested — a guaranteed leak at finalize)
+REP007  ``struct`` pack/unpack argument count vs the field count of the
+        literal format (the fleet wire boundary)
+REP008  dict-iteration order leaked into a wire/CSV record (``.pack``,
+        ``writerow``, ``dumps``, literal-string ``join``)
+REP009  unseeded randomness reachable through a module-local call chain
+        from this call site
+REP010  mutable default argument in a hot-path module (shared across
+        calls)
 ======  ==============================================================
 
-Suppressions are explicit and per-line::
+Suppressions are explicit and per-line; one comment may list several
+rules::
 
     t0 = time.time()  # repro: noqa[REP001] - progress heartbeat only
+    x = noisy()       # repro: noqa[REP001,REP002] - host-side probe
 
 ``# repro: noqa`` without a rule list suppresses every rule on that line.
 Suppression comments are intentionally *not* flake8's bare ``# noqa`` so
-the two tools never shadow each other.
+the two tools never shadow each other.  ``--check-noqa`` reports
+suppressions whose rules can no longer fire on their line — stale
+comments are themselves a determinism-audit hazard.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import io
 import json
 import re
 import sys
+import tokenize
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from .findings import Finding, REP_RULES
 
-__all__ = ["lint_file", "lint_paths", "lint_source", "main"]
+__all__ = [
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "check_noqa_source",
+    "check_noqa_paths",
+    "UnusedSuppression",
+    "main",
+]
 
 #: ``time`` module attributes that read the wall clock.
 _WALL_TIME_ATTRS = frozenset({
@@ -66,7 +99,8 @@ _NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence",
                            "BitGenerator", "PCG64", "Philox", "MT19937"})
 
 #: path suffixes whose classes are allocated on the simulator hot path and
-#: therefore must declare ``__slots__`` (REP005).
+#: therefore must declare ``__slots__`` (REP005) and whose functions must
+#: not share mutable defaults across calls (REP010).
 _HOT_PATH_SUFFIXES = (
     "repro/simulate/core.py",
     "repro/simulate/events.py",
@@ -76,6 +110,13 @@ _HOT_PATH_SUFFIXES = (
     "repro/smpi/status.py",
     "repro/smpi/endpoint.py",
 )
+
+#: call attributes that serialize their arguments onto a wire/record
+#: boundary (REP008): struct packing, CSV rows, pickled/JSON dumps.
+_WIRE_SINK_ATTRS = frozenset({"pack", "pack_into", "writerow", "writerows",
+                              "dumps"})
+#: dict methods returning iteration-order-sensitive views.
+_DICT_VIEW_ATTRS = frozenset({"keys", "values", "items"})
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
 
@@ -92,17 +133,54 @@ def _noqa_rules(line: str) -> Optional[frozenset[str]]:
     return frozenset(r.strip() for r in rules.split(",") if r.strip())
 
 
-class _Visitor(ast.NodeVisitor):
-    """One file's worth of determinism checks."""
+def _struct_field_count(fmt: str) -> Optional[int]:
+    """Number of values a ``struct`` format packs/unpacks, or ``None``
+    when the format is not statically understood.
 
-    def __init__(self, path: str, lines: Sequence[str], hot_path: bool):
-        self.path = path
-        self.lines = lines
-        self.hot_path = hot_path
-        self.findings: list[Finding] = []
+    Repeat counts multiply (``"<3i"`` → 3) except for ``s``/``p`` where
+    they are byte lengths (one value) and pad bytes ``x`` (zero values).
+    """
+    fmt = fmt.strip()
+    if fmt[:1] in "@=<>!":
+        fmt = fmt[1:]
+    count = 0
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch.isspace():
+            i += 1
+            continue
+        repeat = None
+        if ch.isdigit():
+            j = i
+            while j < len(fmt) and fmt[j].isdigit():
+                j += 1
+            repeat = int(fmt[i:j])
+            i = j
+            if i >= len(fmt):
+                return None
+            ch = fmt[i]
+        if ch in "sp":
+            count += 1
+        elif ch == "x":
+            pass
+        elif ch in "cbB?hHiIlLqQnNefdP":
+            count += repeat if repeat is not None else 1
+        else:
+            return None
+        i += 1
+    return count
+
+
+# =============================================================== pass 1
+class _ModuleIndex(ast.NodeVisitor):
+    """Module symbol table: import bindings, struct wire formats, and the
+    local call graph with its transitive unseeded-RNG closure."""
+
+    def __init__(self) -> None:
         #: local names bound to the ``time`` module.
         self.time_mods: set[str] = set()
-        #: local names bound to wall-clock functions (``from time import ...``).
+        #: local names bound to wall-clock functions (``from time import``).
         self.wall_funcs: set[str] = set()
         #: local names bound to the ``datetime`` *module*.
         self.datetime_mods: set[str] = set()
@@ -116,18 +194,16 @@ class _Visitor(ast.NodeVisitor):
         self.numpy_mods: set[str] = set()
         #: local names bound to ``numpy.random``.
         self.np_random_mods: set[str] = set()
-
-    # ------------------------------------------------------------- reporting
-    def _emit(self, rule: str, message: str, node: ast.AST) -> None:
-        line = getattr(node, "lineno", 1)
-        source = self.lines[line - 1] if line - 1 < len(self.lines) else ""
-        suppressed = _noqa_rules(source)
-        if suppressed is not None and (not suppressed or rule in suppressed):
-            return
-        self.findings.append(Finding(
-            rule=rule, message=message, path=self.path,
-            line=line, col=getattr(node, "col_offset", 0),
-        ))
+        #: local names bound to the ``struct`` module / ``Struct`` class.
+        self.struct_mods: set[str] = set()
+        self.struct_classes: set[str] = set()
+        #: name -> field count of ``X = struct.Struct("<fmt>")`` constants.
+        self.struct_consts: dict[str, Optional[int]] = {}
+        #: module-local function/method definitions by bare name.
+        self.functions: dict[str, ast.AST] = {}
+        #: function name -> " -> "-joined witness chain to unseeded RNG,
+        #: for every function whose local call graph reaches one.
+        self.rng_reach: dict[str, str] = {}
 
     # --------------------------------------------------------------- imports
     def visit_Import(self, node: ast.Import) -> None:
@@ -139,6 +215,8 @@ class _Visitor(ast.NodeVisitor):
                 self.datetime_mods.add(bound)
             elif alias.name == "random":
                 self.random_mods.add(bound)
+            elif alias.name == "struct":
+                self.struct_mods.add(bound)
             elif alias.name in ("numpy", "numpy.random"):
                 if alias.name == "numpy.random" and alias.asname:
                     self.np_random_mods.add(alias.asname)
@@ -157,58 +235,183 @@ class _Visitor(ast.NodeVisitor):
                 self.random_funcs.add(bound)
             elif node.module == "numpy" and alias.name == "random":
                 self.np_random_mods.add(bound)
+            elif node.module == "struct" and alias.name == "Struct":
+                self.struct_classes.add(bound)
         self.generic_visit(node)
+
+    # ------------------------------------------------------ struct constants
+    def _struct_literal_fields(self, call: ast.expr) -> Optional[int]:
+        """Field count when ``call`` is ``struct.Struct("<literal>")``."""
+        if not isinstance(call, ast.Call) or not call.args:
+            return None
+        func = call.func
+        is_ctor = (
+            (isinstance(func, ast.Attribute) and func.attr == "Struct"
+             and isinstance(func.value, ast.Name)
+             and func.value.id in self.struct_mods)
+            or (isinstance(func, ast.Name) and func.id in self.struct_classes)
+        )
+        if not is_ctor:
+            return None
+        fmt = call.args[0]
+        if isinstance(fmt, ast.Constant) and isinstance(fmt.value, str):
+            return _struct_field_count(fmt.value)
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        fields = self._struct_literal_fields(node.value)
+        if fields is not None:
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    self.struct_consts[tgt.id] = fields
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------- functions
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.functions[node.name] = node
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.functions[node.name] = node
+        self.generic_visit(node)
+
+    # -------------------------------------------------------------- closure
+    @staticmethod
+    def _local_callee(func: ast.expr) -> Optional[str]:
+        """Bare name when a call targets a module-local function/method."""
+        if isinstance(func, ast.Name):
+            return func.id
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")):
+            return func.attr
+        return None
+
+    def finalize(self) -> None:
+        """Compute the transitive unseeded-RNG closure of the call graph."""
+        calls: dict[str, set[str]] = {}
+        direct: dict[str, str] = {}
+        for name, fn in self.functions.items():
+            callees: set[str] = set()
+            for sub in ast.walk(fn):
+                if not isinstance(sub, ast.Call):
+                    continue
+                desc = _rng_call_desc(self, sub.func)
+                if desc is not None and name not in direct:
+                    direct[name] = desc
+                callee = self._local_callee(sub.func)
+                if callee is not None and callee in self.functions:
+                    callees.add(callee)
+            calls[name] = callees
+        # BFS from the direct offenders, recording one witness chain each.
+        self.rng_reach = {
+            name: f"{name}() -> {desc}" for name, desc in direct.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                if name in self.rng_reach:
+                    continue
+                for callee in sorted(callees):
+                    if callee in self.rng_reach:
+                        self.rng_reach[name] = (
+                            f"{name}() -> {self.rng_reach[callee]}")
+                        changed = True
+                        break
+
+
+def _rng_call_desc(index: "_ModuleIndex", func: ast.expr) -> Optional[str]:
+    """Description when calling ``func`` hits unseeded global RNG state."""
+    if isinstance(func, ast.Name):
+        if func.id in index.random_funcs:
+            return f"{func.id}()"
+    elif isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            if (base.id in index.random_mods
+                    and func.attr in _RANDOM_MODULE_FUNCS):
+                return f"{base.id}.{func.attr}()"
+            if (base.id in index.np_random_mods
+                    and func.attr not in _NP_RANDOM_OK):
+                return f"np.random.{func.attr}()"
+        elif isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+            if (base.value.id in index.numpy_mods
+                    and base.attr == "random"
+                    and func.attr not in _NP_RANDOM_OK):
+                return f"np.random.{func.attr}()"
+    return None
+
+
+def _wall_call_desc(index: "_ModuleIndex", func: ast.expr) -> Optional[str]:
+    """Description when calling ``func`` reads the wall clock."""
+    if isinstance(func, ast.Name):
+        if func.id in index.wall_funcs:
+            return f"{func.id}()"
+    elif isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id in index.time_mods and func.attr in _WALL_TIME_ATTRS:
+                return f"{base.id}.{func.attr}()"
+            if (base.id in index.datetime_classes
+                    and func.attr in _WALL_DATETIME_ATTRS):
+                return f"{base.id}.{func.attr}()"
+        elif isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+            if (base.value.id in index.datetime_mods
+                    and base.attr in ("datetime", "date")
+                    and func.attr in _WALL_DATETIME_ATTRS):
+                return f"{base.value.id}.{base.attr}.{func.attr}()"
+    return None
+
+
+# =============================================================== pass 2
+class _Visitor(ast.NodeVisitor):
+    """One file's worth of determinism checks, consulting the module index."""
+
+    def __init__(self, path: str, lines: Sequence[str], hot_path: bool,
+                 index: _ModuleIndex):
+        self.path = path
+        self.lines = lines
+        self.hot_path = hot_path
+        self.index = index
+        self.findings: list[Finding] = []
+        #: findings a suppression comment silenced (kept for --check-noqa).
+        self.suppressed: list[Finding] = []
+        #: per-function-scope names currently bound to unsorted dict views.
+        self._view_scopes: list[set[str]] = []
+
+    # ------------------------------------------------------------- reporting
+    def _emit(self, rule: str, message: str, node: ast.AST) -> None:
+        line = getattr(node, "lineno", 1)
+        source = self.lines[line - 1] if line - 1 < len(self.lines) else ""
+        finding = Finding(
+            rule=rule, message=message, path=self.path,
+            line=line, col=getattr(node, "col_offset", 0),
+        )
+        suppressed = _noqa_rules(source)
+        if suppressed is not None and (not suppressed or rule in suppressed):
+            self.suppressed.append(finding)
+            return
+        self.findings.append(finding)
 
     # ----------------------------------------------------------------- calls
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
-        # REP001 — wall clock.
-        if isinstance(func, ast.Name):
-            if func.id in self.wall_funcs:
-                self._emit("REP001", f"wall-clock call {func.id}(); "
-                           "simulation code must use sim.now", node)
-            if func.id in self.random_funcs:
-                self._emit("REP002", f"unseeded randomness {func.id}(); "
+        wall = _wall_call_desc(self.index, func)
+        if wall is not None:
+            self._emit("REP001", f"wall-clock call {wall}; "
+                       "simulation code must use sim.now", node)
+        rng = _rng_call_desc(self.index, func)
+        if rng is not None:
+            if rng.startswith("np.random."):
+                self._emit("REP002", f"{rng[:-2]}() uses the unseeded global "
+                           "generator; use np.random.default_rng(seed)", node)
+            else:
+                self._emit("REP002", f"unseeded randomness {rng}; "
                            "use np.random.default_rng(seed)", node)
-        elif isinstance(func, ast.Attribute):
-            base = func.value
-            if isinstance(base, ast.Name):
-                if base.id in self.time_mods and func.attr in _WALL_TIME_ATTRS:
-                    self._emit("REP001",
-                               f"wall-clock call {base.id}.{func.attr}(); "
-                               "simulation code must use sim.now", node)
-                if (base.id in self.datetime_classes
-                        and func.attr in _WALL_DATETIME_ATTRS):
-                    self._emit("REP001",
-                               f"wall-clock call {base.id}.{func.attr}(); "
-                               "simulation code must use sim.now", node)
-                if (base.id in self.random_mods
-                        and func.attr in _RANDOM_MODULE_FUNCS):
-                    self._emit("REP002",
-                               f"unseeded randomness {base.id}.{func.attr}(); "
-                               "use np.random.default_rng(seed)", node)
-                if (base.id in self.np_random_mods
-                        and func.attr not in _NP_RANDOM_OK):
-                    self._emit("REP002",
-                               f"np.random.{func.attr}() uses the unseeded "
-                               "global generator; use "
-                               "np.random.default_rng(seed)", node)
-            elif isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
-                # datetime.datetime.now() / np.random.rand().
-                if (base.value.id in self.datetime_mods
-                        and base.attr in ("datetime", "date")
-                        and func.attr in _WALL_DATETIME_ATTRS):
-                    self._emit("REP001",
-                               f"wall-clock call {base.value.id}.{base.attr}."
-                               f"{func.attr}(); simulation code must use "
-                               "sim.now", node)
-                if (base.value.id in self.numpy_mods
-                        and base.attr == "random"
-                        and func.attr not in _NP_RANDOM_OK):
-                    self._emit("REP002",
-                               f"np.random.{func.attr}() uses the unseeded "
-                               "global generator; use "
-                               "np.random.default_rng(seed)", node)
+        self._check_pack_arity(node)
+        self._check_rng_reachability(node)
+        self._check_wire_sink(node)
         self.generic_visit(node)
 
     # ------------------------------------------------------------- iteration
@@ -321,6 +524,62 @@ class _Visitor(ast.NodeVisitor):
                        node)
         self.generic_visit(node)
 
+    # -------------------------------------------------- REP007 struct arity
+    def _struct_call_fields(self, func: ast.expr) -> Optional[tuple[str, int, int]]:
+        """(description, field count, leading non-value args) when ``func``
+        is a pack/unpack entry point with a statically-known format."""
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr, base = func.attr, func.value
+        if attr not in ("pack", "pack_into", "unpack", "unpack_from"):
+            return None
+        if isinstance(base, ast.Name) and base.id in self.index.struct_consts:
+            fields = self.index.struct_consts[base.id]
+            if fields is None:
+                return None
+            # pack_into(buf, offset, v...); unpack_from(buf[, offset]).
+            lead = 2 if attr == "pack_into" else 0
+            return f"{base.id}.{attr}", fields, lead
+        if isinstance(base, ast.Name) and base.id in self.index.struct_mods:
+            return None  # handled by caller with the literal-format variant
+        return None
+
+    def _module_struct_call(self, node: ast.Call) -> Optional[tuple[str, int, int]]:
+        """Same, for direct ``struct.pack("<fmt>", ...)`` module calls."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.index.struct_mods
+                and func.attr in ("pack", "pack_into", "unpack",
+                                  "unpack_from")):
+            return None
+        if not node.args:
+            return None
+        fmt = node.args[0]
+        if not (isinstance(fmt, ast.Constant) and isinstance(fmt.value, str)):
+            return None
+        fields = _struct_field_count(fmt.value)
+        if fields is None:
+            return None
+        lead = 1 + (2 if func.attr == "pack_into" else 0)
+        return f"{func.value.id}.{func.attr}", fields, lead
+
+    def _check_pack_arity(self, node: ast.Call) -> None:
+        spec = (self._struct_call_fields(node.func)
+                or self._module_struct_call(node))
+        if spec is None:
+            return
+        desc, fields, lead = spec
+        if not desc.endswith(("pack", "pack_into")):
+            return  # unpack arity is checked at the assignment target
+        if node.keywords or any(isinstance(a, ast.Starred) for a in node.args):
+            return  # not statically countable
+        n_values = len(node.args) - lead
+        if n_values != fields:
+            self._emit("REP007",
+                       f"{desc}() packs {n_values} value(s) into a "
+                       f"{fields}-field format", node)
+
     def visit_Assign(self, node: ast.Assign) -> None:
         attr = self._request_call(node.value)
         if attr is not None and all(
@@ -328,23 +587,147 @@ class _Visitor(ast.NodeVisitor):
             self._emit("REP006",
                        f"{attr}() request assigned to '_' and dropped; keep "
                        "it and wait/test it", node)
+        self._check_unpack_arity(node)
+        self._track_view_binding(node)
         self.generic_visit(node)
+
+    def _check_unpack_arity(self, node: ast.Assign) -> None:
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        spec = (self._struct_call_fields(value.func)
+                or self._module_struct_call(value))
+        if spec is None or not spec[0].endswith(("unpack", "unpack_from")):
+            return
+        desc, fields, _lead = spec
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if not isinstance(target, (ast.Tuple, ast.List)):
+            return  # whole-tuple binding (or subscripting) is fine
+        if any(isinstance(e, ast.Starred) for e in target.elts):
+            return
+        if len(target.elts) != fields:
+            self._emit("REP007",
+                       f"{desc}() yields {fields} value(s) but the target "
+                       f"unpacks {len(target.elts)}", node)
+
+    # ----------------------------------------------- REP008 dict-order leaks
+    def _is_dict_view(self, expr: ast.AST) -> bool:
+        """Does ``expr`` iterate a dict view in its (unsorted) wire order?"""
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in _DICT_VIEW_ATTRS
+                and not expr.args and not expr.keywords):
+            return True
+        if (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("list", "tuple") and len(expr.args) == 1):
+            return self._is_dict_view(expr.args[0])
+        if isinstance(expr, ast.Starred):
+            return self._is_dict_view(expr.value)
+        if isinstance(expr, ast.Name):
+            return any(expr.id in scope for scope in self._view_scopes)
+        if isinstance(expr, (ast.GeneratorExp, ast.ListComp)):
+            return any(self._is_dict_view(gen.iter)
+                       for gen in expr.generators)
+        return False
+
+    def _is_wire_sink(self, func: ast.expr) -> bool:
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr in _WIRE_SINK_ATTRS:
+            return True
+        # Literal-string join builds a textual record: ",".join(d.values()).
+        return (func.attr == "join"
+                and isinstance(func.value, ast.Constant)
+                and isinstance(func.value.value, str))
+
+    def _check_wire_sink(self, node: ast.Call) -> None:
+        if not self._is_wire_sink(node.func):
+            return
+        for arg in node.args:
+            if self._is_dict_view(arg):
+                self._emit("REP008",
+                           "dict-iteration order fed into a wire/CSV "
+                           "record; sort the view (or impose an explicit "
+                           "order) before serialising", arg)
+
+    def _track_view_binding(self, node: ast.Assign) -> None:
+        if not self._view_scopes:
+            return
+        scope = self._view_scopes[-1]
+        is_view = self._is_dict_view(node.value)
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                if is_view:
+                    scope.add(tgt.id)
+                else:
+                    scope.discard(tgt.id)
+
+    # ------------------------------------------ REP009 RNG via local chains
+    def _check_rng_reachability(self, node: ast.Call) -> None:
+        callee = _ModuleIndex._local_callee(node.func)
+        if callee is None or callee not in self.index.rng_reach:
+            return
+        if _rng_call_desc(self.index, node.func) is not None:
+            return  # the direct call is REP002's finding
+        self._emit("REP009",
+                   f"call reaches unseeded randomness through a local "
+                   f"chain: {self.index.rng_reach[callee]}; thread a "
+                   "seeded Generator instead", node)
+
+    # -------------------------------------------- REP010 + function scoping
+    @staticmethod
+    def _is_mutable_default(expr: Optional[ast.expr]) -> bool:
+        if isinstance(expr, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("list", "dict", "set"))
+
+    def _visit_function(self, node) -> None:
+        if self.hot_path:
+            args = node.args
+            for default in list(args.defaults) + list(args.kw_defaults):
+                if self._is_mutable_default(default):
+                    self._emit("REP010",
+                               f"mutable default argument in hot-path "
+                               f"function {node.name}(); defaults are "
+                               "shared across calls — use None and build "
+                               "inside", default)
+        self._view_scopes.append(set())
+        self.generic_visit(node)
+        self._view_scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
 
 
 # ------------------------------------------------------------------ drivers
+def _analyze(source: str, path: str) -> _Visitor:
+    """Run both passes over one source string."""
+    posix = Path(path).as_posix()
+    hot = posix.endswith(_HOT_PATH_SUFFIXES)
+    tree = ast.parse(source, filename=path)
+    index = _ModuleIndex()
+    index.visit(tree)
+    index.finalize()
+    visitor = _Visitor(path, source.splitlines(), hot, index)
+    visitor.visit(tree)
+    return visitor
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     select: Optional[Iterable[str]] = None,
 ) -> list[Finding]:
     """Lint one source string; ``path`` is used for provenance and for the
-    hot-path (REP005) module scoping."""
-    posix = Path(path).as_posix()
-    hot = posix.endswith(_HOT_PATH_SUFFIXES)
-    tree = ast.parse(source, filename=path)
-    visitor = _Visitor(path, source.splitlines(), hot)
-    visitor.visit(tree)
-    findings = visitor.findings
+    hot-path (REP005/REP010) module scoping."""
+    findings = _analyze(source, path).findings
     if select is not None:
         wanted = set(select)
         unknown = wanted - set(REP_RULES)
@@ -363,16 +746,75 @@ def lint_paths(
     select: Optional[Iterable[str]] = None,
 ) -> list[Finding]:
     """Lint files and/or directories (recursing into ``*.py``)."""
+    findings: list[Finding] = []
+    for f in _expand(paths):
+        findings.extend(lint_file(f, select))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _expand(paths: Sequence[Path]) -> list[Path]:
     files: list[Path] = []
     for p in paths:
         if p.is_dir():
             files.extend(sorted(p.rglob("*.py")))
         else:
             files.append(p)
-    findings: list[Finding] = []
-    for f in files:
-        findings.extend(lint_file(f, select))
-    return sorted(findings, key=Finding.sort_key)
+    return files
+
+
+# ------------------------------------------------------- stale suppressions
+@dataclass(frozen=True)
+class UnusedSuppression:
+    """A ``# repro: noqa`` comment (or part of one) that silences nothing."""
+
+    path: str
+    line: int
+    #: the stale rule codes, or () for a bare noqa with no findings at all.
+    rules: tuple[str, ...]
+
+    def format(self) -> str:
+        what = (f"noqa[{', '.join(self.rules)}]" if self.rules
+                else "bare noqa")
+        return (f"{self.path}:{self.line}: unused suppression {what} — "
+                "no such finding fires on this line")
+
+
+def check_noqa_source(source: str, path: str = "<string>") -> list[UnusedSuppression]:
+    """Report suppression comments whose rules can no longer fire.
+
+    Comments are located with :mod:`tokenize` (COMMENT tokens only), so
+    noqa examples inside docstrings — like the one in this module's own
+    docstring — are never flagged.
+    """
+    visitor = _analyze(source, path)
+    by_line: dict[int, set[str]] = {}
+    for f in visitor.findings + visitor.suppressed:
+        by_line.setdefault(f.line, set()).add(f.rule)
+    out: list[UnusedSuppression] = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        declared = _noqa_rules(tok.string)
+        if declared is None:
+            continue
+        line = tok.start[0]
+        firing = by_line.get(line, set())
+        if not declared:
+            if not firing:
+                out.append(UnusedSuppression(path, line, ()))
+            continue
+        stale = declared - firing
+        if stale:
+            out.append(UnusedSuppression(path, line, tuple(sorted(stale))))
+    return out
+
+
+def check_noqa_paths(paths: Sequence[Path]) -> list[UnusedSuppression]:
+    out: list[UnusedSuppression] = []
+    for f in _expand(paths):
+        out.extend(check_noqa_source(f.read_text(), str(f)))
+    return sorted(out, key=lambda u: (u.path, u.line, u.rules))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -388,6 +830,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--select", default=None, metavar="RULES",
         help="comma-separated rule codes to run (default: all REP rules)",
     )
+    parser.add_argument(
+        "--check-noqa", action="store_true",
+        help="also flag '# repro: noqa' suppressions whose rules no longer "
+        "fire on their line (stale comments fail the run)",
+    )
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     args = parser.parse_args(argv)
@@ -398,19 +845,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     select = None
     if args.select:
         select = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = [r for r in select if r not in REP_RULES]
+        if unknown:
+            parser.error(
+                f"unknown rule {unknown[0]!r}; valid choices: "
+                f"{', '.join(REP_RULES)}")
     missing = [p for p in args.paths if not p.exists()]
     if missing:
         parser.error(f"no such path: {missing[0]}")
     findings = lint_paths(args.paths, select)
+    stale = check_noqa_paths(args.paths) if args.check_noqa else []
     if args.format == "json":
-        print(json.dumps([f.to_dict() for f in findings], indent=2,
-                         sort_keys=True))
+        doc = [f.to_dict() for f in findings]
+        doc.extend({"unused_noqa": {"path": u.path, "line": u.line,
+                                    "rules": list(u.rules)}} for u in stale)
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         for f in findings:
             print(f.format())
-        n = len(findings)
+        for u in stale:
+            print(u.format())
+        n = len(findings) + len(stale)
         print(f"{n} finding(s)" if n else "clean: no findings")
-    return 1 if findings else 0
+    return 1 if (findings or stale) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

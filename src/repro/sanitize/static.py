@@ -1,0 +1,14 @@
+"""``python -m repro.sanitize.static`` — the static plan & protocol
+verifier's command-line entry point.
+
+The implementation lives in :mod:`repro.sanitize.static_check`; this
+module only gives the sweep its documented invocation name (mirroring
+``python -m repro.sanitize.lint`` for the determinism lint).
+"""
+
+from .static_check import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -176,6 +176,141 @@ def test_rep006_clean_when_request_kept():
     assert lint(clean) == []
 
 
+# ------------------------------------------------------------------ REP007
+@pytest.mark.parametrize("snippet", [
+    # Constant-bound Struct: 4 fields, 3 values packed.
+    "import struct\n_REC = struct.Struct('<BIIH')\n"
+    "def f(b):\n    return _REC.pack(1, 2, 3)\n",
+    # pack_into's buf/offset lead args must not count as values.
+    "import struct\n_REC = struct.Struct('<BIIH')\n"
+    "def f(b):\n    _REC.pack_into(b, 0, 1, 2, 3, 4, 5)\n",
+    # Direct module call with a literal format.
+    "import struct\n\ndef f():\n    return struct.pack('<II', 1, 2, 3)\n",
+    # Unpack side: 3 targets for a 4-field format.
+    "import struct\n_REC = struct.Struct('<BIIH')\n"
+    "def f(p):\n    kind, seq, index = _REC.unpack_from(p, 0)\n",
+    # from struct import Struct binding.
+    "from struct import Struct\n_LEN = Struct('<I')\n"
+    "def f():\n    return _LEN.pack(1, 2)\n",
+])
+def test_rep007_struct_arity_mismatch_detected(snippet):
+    assert rules_of(lint(snippet)) == ["REP007"]
+
+
+def test_rep007_clean_for_matching_starred_and_repeats():
+    clean = """
+    import struct
+
+    _REC = struct.Struct("<BIIH")
+    _SCALARS = struct.Struct("<13d")
+    _LEN = struct.Struct("<I")
+
+    def f(b, vals, payload):
+        _REC.pack_into(b, 0, 1, 2, 3, 4)        # 4 values, 4 fields
+        _SCALARS.pack(*vals)                    # starred: not countable
+        (n,) = _LEN.unpack(payload)             # 1 target, 1 field
+        kind, seq, index, mask = _REC.unpack_from(payload, 0)
+        n2 = _LEN.unpack_from(payload, 4)[0]    # subscript, not a tuple
+        return struct.pack("<3i", 1, 2, 3), n, n2
+    """
+    assert lint(clean) == []
+
+
+# ------------------------------------------------------------------ REP008
+@pytest.mark.parametrize("snippet", [
+    # View fed straight into a struct pack.
+    "def f(rec, d):\n    return rec.pack(*d.values())\n",
+    # CSV row from a view.
+    "def f(w, d):\n    w.writerow(d.values())\n",
+    # Through a local variable.
+    "def f(w, d):\n    vals = d.values()\n    w.writerow(vals)\n",
+    # list() wrapper does not impose an order.
+    "def f(w, d):\n    w.writerow(list(d.keys()))\n",
+    # Comprehension iterating the view into a literal-string join.
+    "def f(d):\n    return ','.join(str(v) for v in d.values())\n",
+])
+def test_rep008_dict_order_leak_detected(snippet):
+    assert rules_of(lint(snippet)) == ["REP008"]
+
+
+def test_rep008_clean_for_sorted_views():
+    clean = """
+    def f(w, rec, d):
+        w.writerow(sorted(d.values()))
+        rec.pack(*sorted(d.items()))
+        for k in d.keys():          # iteration alone is deterministic
+            print(k, d[k])
+        return ",".join(str(k) for k in sorted(d))
+    """
+    assert lint(clean) == []
+
+
+# ------------------------------------------------------------------ REP009
+def test_rep009_transitive_rng_call_chain_detected():
+    src = """
+    import random
+
+    def jitter():
+        return random.random()  # repro: noqa[REP002] - fixture offender
+
+    def delay():
+        return 1.0 + jitter()
+
+    def schedule(t):
+        return t + delay()
+    """
+    findings = lint(src)
+    assert rules_of(findings) == ["REP009"]
+    # Both the jitter() and delay() call sites are flagged, with a chain.
+    assert len(findings) == 2
+    assert any("delay() -> jitter()" in f.message for f in findings)
+
+
+def test_rep009_direct_call_is_rep002_not_rep009():
+    src = "import random\n\ndef f():\n    return random.random()\n"
+    assert rules_of(lint(src)) == ["REP002"]
+
+
+def test_rep009_clean_for_seeded_chains():
+    clean = """
+    import numpy as np
+
+    def jitter(rng):
+        return rng.random()
+
+    def delay(rng):
+        return 1.0 + jitter(rng)
+
+    def run(seed):
+        return delay(np.random.default_rng(seed))
+    """
+    assert lint(clean) == []
+
+
+# ------------------------------------------------------------------ REP010
+def test_rep010_mutable_default_in_hot_path_detected():
+    snippet = "def enqueue(item, queue=[]):\n    queue.append(item)\n"
+    assert rules_of(lint(snippet, path=HOT)) == ["REP010"]
+    # Same code outside the hot-path module set: no finding.
+    assert lint(snippet, path="src/repro/harness/cli.py") == []
+
+
+@pytest.mark.parametrize("default", ["{}", "set()", "dict()", "list()"])
+def test_rep010_all_mutable_default_forms(default):
+    snippet = f"def f(x, acc={default}):\n    return acc\n"
+    assert rules_of(lint(snippet, path=HOT)) == ["REP010"]
+
+
+def test_rep010_clean_for_none_and_immutable_defaults():
+    clean = """
+    def f(x, acc=None, tags=(), name="", k=3):
+        if acc is None:
+            acc = []
+        return acc, tags, name, k
+    """
+    assert lint(clean, path=HOT) == []
+
+
 # ------------------------------------------------------------- suppressions
 def test_noqa_suppresses_named_rule_only():
     hit = "import time\n\ndef f():\n    return time.time()\n"
@@ -241,6 +376,70 @@ def test_main_text_json_and_exit_codes(tmp_path, capsys):
     assert main(["--list-rules", str(bad)]) == 0
     listed = capsys.readouterr().out
     assert all(code in listed for code in REP_RULES)
+
+
+def test_main_rejects_unknown_select_rule(tmp_path, capsys):
+    mod = tmp_path / "m.py"
+    mod.write_text("def f():\n    return 1\n")
+    with pytest.raises(SystemExit) as exc:
+        main(["--select", "REP001,REP999", str(mod)])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule 'REP999'" in err
+    assert "valid choices:" in err and "REP001" in err
+
+
+# ------------------------------------------------------------- check-noqa
+def test_check_noqa_flags_stale_suppressions(tmp_path, capsys):
+    mod = tmp_path / "m.py"
+    mod.write_text(
+        "import time\n\n"
+        "def f():\n"
+        "    t = time.time()  # repro: noqa[REP001] - live keeper\n"
+        "    x = 1  # repro: noqa[REP002] - nothing fires here\n"
+        "    return t + x\n"
+    )
+    assert main(["--check-noqa", str(mod)]) == 1
+    out = capsys.readouterr().out
+    assert "unused suppression noqa[REP002]" in out
+    assert "m.py:5" in out
+    # The live REP001 keeper is not reported.
+    assert "noqa[REP001]" not in out
+
+
+def test_check_noqa_partial_staleness_reports_stale_subset(tmp_path, capsys):
+    mod = tmp_path / "m.py"
+    mod.write_text(
+        "import time\n\n"
+        "def f():\n"
+        "    return time.time()  # repro: noqa[REP001,REP003] - half stale\n"
+    )
+    assert main(["--check-noqa", str(mod)]) == 1
+    assert "unused suppression noqa[REP003]" in capsys.readouterr().out
+
+
+def test_check_noqa_ignores_docstring_mentions(tmp_path, capsys):
+    mod = tmp_path / "m.py"
+    mod.write_text(
+        '"""Suppress with ``# repro: noqa[REP001]`` on the line."""\n\n'
+        "def f():\n    return 1\n"
+    )
+    assert main(["--check-noqa", str(mod)]) == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_check_noqa_bare_form(tmp_path, capsys):
+    mod = tmp_path / "m.py"
+    mod.write_text("def f():\n    return 1  # repro: noqa\n")
+    assert main(["--check-noqa", str(mod)]) == 1
+    assert "bare noqa" in capsys.readouterr().out
+
+
+def test_repo_source_tree_has_no_stale_noqa():
+    from repro.sanitize.lint import check_noqa_paths
+
+    stale = check_noqa_paths([SRC])
+    assert stale == [], "\n".join(u.format() for u in stale)
 
 
 # ---------------------------------------------------------------- self-gate

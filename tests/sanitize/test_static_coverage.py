@@ -1,0 +1,140 @@
+"""SAN↔STA differential coverage map — test-enforced.
+
+The runtime sanitizer (``SAN0xx``) and the static verifier (``STA0xx``)
+split the correctness surface: whatever is visible in the *schedule*
+(who sends what to whom, in which epochs) the static pass proves for
+every config before anything runs; whatever is data- or timing-dependent
+stays runtime-only.  :data:`COVERAGE` records that split rule by rule,
+and this module enforces it two ways:
+
+* the map must stay total over ``SAN_RULES`` (adding a SAN rule without
+  classifying its static analog fails the suite);
+* every statically-detectable SAN rule gets a mini-fixture seeding the
+  schedule-level analog of the runtime bug fixture in
+  ``test_runtime_rules.py``, and the mapped STA rule must catch it.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.findings import SAN_RULES, STA_RULES
+from repro.sanitize.static_check import CommGraph, RankNode, check_graph
+
+#: SAN rule -> the STA rule that proves its schedule-level analog
+#: statically, or None when the bug class is inherently dynamic.
+COVERAGE: dict[str, str | None] = {
+    # Buffer reuse races depend on *when* user code touches payload
+    # memory relative to completion — invisible in the schedule.
+    "SAN001": None,
+    "SAN002": None,
+    # A request pending at finalize is, statically, a posted receive with
+    # no matching send (or vice versa): unmatched traffic.
+    "SAN003": "STA004",
+    # Traffic never consumed by a matching receive: the same static shape
+    # from the sender's side.
+    "SAN004": "STA004",
+    # Use-after-abort needs a failure injection mid-run; schedules are
+    # elaborated for the no-fault path.
+    "SAN005": None,
+    # Inconsistent alltoallv pairings are fully visible in the declared
+    # send_to/recv_from tables.
+    "SAN006": "STA005",
+    # The memcpy overlap window is a runtime interleaving artifact.
+    "SAN007": None,
+    # A wait-for cycle is exactly a schedule that cannot retire in any
+    # order: the abstract execution's fixpoint stall.
+    "SAN008": "STA006",
+    # An epoch still open at finalize is a lock without its unlock.
+    "SAN009": "STA008",
+}
+
+
+def _graph(ops: dict[str, list[dict]]) -> CommGraph:
+    return CommGraph(
+        label="coverage",
+        nodes=[RankNode(name) for name in ops],
+        ops=ops,
+    )
+
+
+def _rules(ops: dict[str, list[dict]]) -> set[str]:
+    return {f.rule for f in check_graph(_graph(ops))}
+
+
+class TestMapShape:
+    def test_map_is_total_over_san_rules(self):
+        assert set(COVERAGE) == set(SAN_RULES)
+
+    def test_mapped_rules_exist(self):
+        mapped = {sta for sta in COVERAGE.values() if sta is not None}
+        assert mapped <= set(STA_RULES)
+
+    def test_split_is_documented(self):
+        # The provability split must stay discoverable from the verifier's
+        # own docs, which point back at this map.
+        import repro.sanitize.static_check as sc
+        assert "test_static_coverage" in (sc.__doc__ or "")
+
+
+class TestStaticAnalogs:
+    """Each statically-detectable SAN fixture, reduced to its schedule."""
+
+    def test_san003_pending_receive_analog(self):
+        # Runtime fixture: an irecv posted (source 0, tag 9) that nothing
+        # ever matches, still pending at finalize.
+        ops = {
+            "r0": [{"op": "irecv", "peer_node": "r1", "tag": 9}],
+            "r1": [],
+        }
+        assert COVERAGE["SAN003"] in _rules(ops)
+
+    def test_san004_unconsumed_message_analog(self):
+        # Runtime fixture: an isend whose peer never posts the receive.
+        ops = {
+            "r0": [{"op": "isend", "peer_node": "r1", "tag": 4}],
+            "r1": [],
+        }
+        assert COVERAGE["SAN004"] in _rules(ops)
+
+    def test_san006_inconsistent_alltoallv_analog(self):
+        # Runtime fixture: rank 0 declares a send to rank 1, rank 1
+        # declares an empty receive list.
+        graph = CommGraph(
+            label="coverage",
+            nodes=[RankNode("r0", src_rank=0), RankNode("r1", dst_rank=1)],
+            ops={
+                "r0": [{"op": "alltoallv", "send_to": {1: 8},
+                        "recv_from": []}],
+                "r1": [{"op": "alltoallv", "send_to": {},
+                        "recv_from": []}],
+            },
+            src_node={0: "r0"},
+            dst_node={1: "r1"},
+        )
+        rules = {f.rule for f in check_graph(graph)}
+        assert COVERAGE["SAN006"] in rules
+
+    def test_san008_deadlock_analog(self):
+        # Runtime fixture: head-to-head blocking receives (tag 5).
+        ops = {
+            "r0": [{"op": "recv", "peer_node": "r1", "tag": 5},
+                   {"op": "send", "peer_node": "r1", "tag": 5}],
+            "r1": [{"op": "recv", "peer_node": "r0", "tag": 5},
+                   {"op": "send", "peer_node": "r0", "tag": 5}],
+        }
+        assert COVERAGE["SAN008"] in _rules(ops)
+
+    def test_san009_epoch_leak_analog(self):
+        # Runtime fixture: a win_lock epoch never unlocked before finalize.
+        ops = {
+            "r0": [{"op": "win_create"},
+                   {"op": "lock", "peer_node": "r1", "mode": "shared",
+                    "concurrent": False, "order": 0}],
+            "r1": [{"op": "win_create"}],
+        }
+        assert COVERAGE["SAN009"] in _rules(ops)
+
+    def test_dynamic_only_rules_have_no_static_fixture(self):
+        # The None entries are the provability boundary; this guard makes
+        # adding a static analog require updating the map first.
+        dynamic_only = {san for san, sta in COVERAGE.items() if sta is None}
+        assert dynamic_only == {"SAN001", "SAN002", "SAN005", "SAN007"}
