@@ -37,6 +37,7 @@ POLARITY = {
     "allocator_speedup_vs_reference_dense": True,
     "allocator_speedup_vs_reference_sparse": True,
     "parallel_speedup": True,
+    "redist_rows_per_s": True,
     "parallel_speedup_nocache": True,
     "warm_fleet_speedup": True,
     "rma_vs_col_ethernet_speedup": True,

@@ -22,6 +22,7 @@ Perfetto tracer.
 
 from __future__ import annotations
 
+from math import fsum
 from typing import Optional
 
 from .registry import MetricsRegistry
@@ -104,7 +105,12 @@ class MetricsProbe:
             orig_activate(flow)
             now = sim.now
             for link in flow.route:
-                util = sum(f.rate for f in link.flows) / link.capacity
+                # fsum: ``link.flows`` is a set (iteration order follows
+                # object addresses, which differ run-shape to run-shape);
+                # the exactly-rounded sum is permutation-independent, so
+                # the sampled utilization stays byte-identical across
+                # sequential / fleet / cached runs and kernel lanes.
+                util = fsum(f.rate for f in link.flows) / link.capacity
                 reg.gauge("cluster.link.utilization", link=link.name).set(util, now)
 
         net._activate = probed_activate

@@ -22,7 +22,54 @@ import numpy as np
 
 from .blockdist import block_offsets, range_overlaps
 
-__all__ = ["Transfer", "RedistributionPlan", "movement_minimizing_offsets"]
+__all__ = [
+    "Transfer",
+    "PlanProgram",
+    "RedistributionPlan",
+    "movement_minimizing_offsets",
+]
+
+
+class PlanProgram:
+    """One rank's transfer list lowered to flat numpy index arrays.
+
+    The compilation step of the batch lane: instead of re-deriving
+    ``(peer, lo, hi)`` per chunk per session, the plan lowers a rank's
+    whole schedule *once* into arrays the stores consume directly —
+    ``row_take`` (global row indices of every chunk, concatenated) plus
+    ``seg_offsets`` (chunk boundaries within ``row_take``), so dense pack
+    becomes one ``np.take`` and CSR pack one pass of row-pointer
+    arithmetic.  Programs are cached on the (shared, immutable) plan, so
+    every session and every repeat of a sweep configuration reuses them.
+    """
+
+    __slots__ = ("transfers", "peers", "los", "his", "counts", "seg_offsets",
+                 "row_take")
+
+    def __init__(self, transfers: tuple, peer_of) -> None:
+        self.transfers = transfers
+        n = len(transfers)
+        self.peers = np.fromiter(
+            (peer_of(t) for t in transfers), dtype=np.int64, count=n
+        )
+        self.los = np.fromiter((t.lo for t in transfers), dtype=np.int64, count=n)
+        self.his = np.fromiter((t.hi for t in transfers), dtype=np.int64, count=n)
+        self.counts = self.his - self.los
+        self.seg_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=self.seg_offsets[1:])
+        #: global row index of every row this schedule touches, chunk by
+        #: chunk; stores re-base it with their own ``lo``.
+        self.row_take = (
+            np.concatenate([np.arange(t.lo, t.hi, dtype=np.int64) for t in transfers])
+            if n
+            else np.empty(0, dtype=np.int64)
+        )
+        for arr in (self.peers, self.los, self.his, self.counts,
+                    self.seg_offsets, self.row_take):
+            arr.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.transfers)
 
 
 def _frozen_offsets(offsets: np.ndarray) -> np.ndarray:
@@ -83,6 +130,9 @@ class RedistributionPlan:
             tr = Transfer(s, t, lo, hi)
             self._by_src.setdefault(s, []).append(tr)
             self._by_dst.setdefault(t, []).append(tr)
+        #: compiled per-rank programs, built lazily (plans are shared via
+        #: the LRU caches, so one compilation serves every session).
+        self._programs: dict[tuple[str, int], PlanProgram] = {}
 
     # --------------------------------------------------------------- factory
     @classmethod
@@ -127,6 +177,28 @@ class RedistributionPlan:
         """Chunks target ``dst`` must receive (including any self-chunk)."""
         self._check("target", dst, self.n_targets)
         return list(self._by_dst.get(dst, []))
+
+    def compiled_sends(self, src: int) -> PlanProgram:
+        """Compiled (flat-array) view of :meth:`sends_for`, cached."""
+        self._check("source", src, self.n_sources)
+        prog = self._programs.get(("src", src))
+        if prog is None:
+            prog = PlanProgram(
+                tuple(self._by_src.get(src, ())), lambda t: t.dst
+            )
+            self._programs[("src", src)] = prog
+        return prog
+
+    def compiled_recvs(self, dst: int) -> PlanProgram:
+        """Compiled (flat-array) view of :meth:`recvs_for`, cached."""
+        self._check("target", dst, self.n_targets)
+        prog = self._programs.get(("dst", dst))
+        if prog is None:
+            prog = PlanProgram(
+                tuple(self._by_dst.get(dst, ())), lambda t: t.src
+            )
+            self._programs[("dst", dst)] = prog
+        return prog
 
     def src_range(self, src: int) -> tuple[int, int]:
         self._check("source", src, self.n_sources)

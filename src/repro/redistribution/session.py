@@ -21,6 +21,7 @@ Sessions expose two driving styles:
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from .plan import RedistributionPlan, Transfer
@@ -79,6 +80,12 @@ class RedistributionSession:
         self._started = False
         self._finished = False
         self._t_started: Optional[float] = None
+        #: batch lane (``REPRO_BATCH``, default on): lower the send schedule
+        #: through the compiled plan and one batched store pass instead of a
+        #: per-chunk extract/price loop.  Same values, same message schedule,
+        #: same simulated timings — only the number of store passes changes.
+        self._batch_lane = os.environ.get("REPRO_BATCH", "1") != "0"
+        self._pre_sends: Optional[tuple] = None
 
     # ------------------------------------------------------- observability
     # Cooperative emission (see repro.obs): when no MetricsProbe is
@@ -172,6 +179,47 @@ class RedistributionSession:
             n: self.src_dataset.stores[n].range_nbytes(tr.lo, tr.hi)
             for n in self.names
         }
+
+    def _precomputed_sends(self) -> Optional[tuple]:
+        """Batch lane: my whole send schedule from one pass over the stores.
+
+        Lowers :meth:`RedistributionPlan.compiled_sends` through the batched
+        store interface and returns ``(transfers, chunks)`` where
+        ``chunks[i]`` is ``(sizes, total, payload)`` for ``transfers[i]`` —
+        ``sizes`` the per-field byte dict, ``total`` its sum, ``payload`` the
+        extracted field dict — or ``None`` for the memcpy self-chunk, which
+        :meth:`_do_local_copy` keeps handling itself.  Returns ``None`` when
+        the lane is off (callers fall back to the scalar per-chunk loop).
+
+        Values are byte-identical to the scalar path and extraction yields
+        nothing to the simulator, so hoisting it cannot move any event time.
+        The result is cached: a session's stores are immutable while it runs,
+        and every consumer (sizes list, values map, put loop) shares one
+        extraction.
+        """
+        if not (self._batch_lane and self.is_source):
+            return None
+        pre = self._pre_sends
+        if pre is None:
+            prog = self.plan.compiled_sends(self.src_rank)
+            transfers = prog.transfers
+            keep = [
+                i for i, tr in enumerate(transfers)
+                if not (self.is_target and tr.dst == self.dst_rank)
+            ]
+            chunks: list = [None] * len(transfers)
+            if keep:
+                los, his = prog.los[keep], prog.his[keep]
+                per_name = {
+                    n: self.src_dataset.stores[n].range_nbytes_batch(los, his)
+                    for n in self.names
+                }
+                payloads = self.src_dataset.extract_batch(los, his, self.names)
+                for j, i in enumerate(keep):
+                    sizes = {n: int(per_name[n][j]) for n in self.names}
+                    chunks[i] = (sizes, sum(sizes.values()), payloads[j])
+            pre = self._pre_sends = (transfers, chunks)
+        return pre
 
     # ----------------------------------------------------------- interface
     def run_blocking(self):

@@ -20,10 +20,21 @@ split that decides what may be redistributed asynchronously.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 from scipy import sparse as sp
+
+try:  # scipy keeps this private; fall back to a faithful reimplementation
+    from scipy.sparse._sputils import get_index_dtype as _get_index_dtype
+except ImportError:  # pragma: no cover - older/newer scipy layouts
+    def _get_index_dtype(arrays=(), maxval=None, check_contents=False):
+        if maxval is not None and maxval > np.iinfo(np.int32).max:
+            return np.int64
+        for arr in arrays:
+            if np.asarray(arr).dtype == np.int64:
+                return np.int64
+        return np.int32
 
 __all__ = [
     "FieldSpec",
@@ -88,6 +99,28 @@ class BlockStore:
         """Store received rows ``[lo, hi)``."""
         raise NotImplementedError
 
+    # -------------------------------------------------------- batch lane
+    # Default implementations loop over the scalar methods; the concrete
+    # stores with vectorizable layouts (dense, CSR) override them.  All
+    # overrides are value-identical to the loop — the batch lane changes
+    # how payloads are built, never what bytes they hold.
+    def extract_batch(self, los: Sequence[int], his: Sequence[int]) -> list:
+        """Payloads for several row ranges in one call."""
+        return [self.extract(int(lo), int(hi)) for lo, hi in zip(los, his)]
+
+    def insert_batch(
+        self, los: Sequence[int], his: Sequence[int], payloads: Sequence[Any]
+    ) -> None:
+        """Store several received ranges in one call."""
+        for lo, hi, payload in zip(los, his, payloads):
+            self.insert(int(lo), int(hi), payload)
+
+    def range_nbytes_batch(
+        self, los: Sequence[int], his: Sequence[int]
+    ) -> list[int]:
+        """Wire sizes of several row ranges in one call."""
+        return [self.range_nbytes(int(lo), int(hi)) for lo, hi in zip(los, his)]
+
     def _check_range(self, lo: int, hi: int) -> None:
         if not (self.lo <= lo <= hi <= self.hi):
             raise ValueError(
@@ -127,6 +160,31 @@ class DenseStore(BlockStore):
     def insert(self, lo: int, hi: int, payload: Any) -> None:
         self._check_range(lo, hi)
         self.data[lo - self.lo : hi - self.lo] = payload
+
+    def extract_batch(self, los: Sequence[int], his: Sequence[int]) -> list:
+        """One gather for the whole schedule: ``np.take`` over the
+        concatenated row indices, split back at the chunk boundaries."""
+        los = np.asarray(los, dtype=np.int64)
+        his = np.asarray(his, dtype=np.int64)
+        if len(los) == 0:
+            return []
+        for lo, hi in zip(los, his):
+            self._check_range(int(lo), int(hi))
+        counts = his - los
+        bounds = np.cumsum(counts[:-1])
+        take = np.concatenate(
+            [np.arange(lo - self.lo, hi - self.lo) for lo, hi in zip(los, his)]
+        )
+        return np.split(np.take(self.data, take, axis=0), bounds)
+
+    def range_nbytes_batch(
+        self, los: Sequence[int], his: Sequence[int]
+    ) -> list[int]:
+        los = np.asarray(los, dtype=np.int64)
+        his = np.asarray(his, dtype=np.int64)
+        for lo, hi in zip(los, his):
+            self._check_range(int(lo), int(hi))
+        return [int(n) for n in (his - los) * self._row_nbytes]
 
 
 class CsrStore(BlockStore):
@@ -170,7 +228,35 @@ class CsrStore(BlockStore):
             raise RuntimeError(
                 f"{self.spec.name}: incomplete CSR assembly; missing tail from {expect}"
             )
-        self._matrix = sp.vstack([p[2] for p in pieces], format="csr")
+        mats = [p[2] for p in pieces]
+        # Direct row-wise concatenation: same result as
+        # ``sp.vstack(mats, format="csr")`` — including the index dtype,
+        # which feeds the wire-size model via ``range_nbytes`` — without
+        # the block-composition machinery.
+        n_rows = sum(m.shape[0] for m in mats)
+        n_cols = mats[0].shape[1]
+        total_nnz = sum(int(m.indptr[-1]) for m in mats)
+        idx_dtype = _get_index_dtype(
+            [m.indptr for m in mats] + [m.indices for m in mats],
+            maxval=max(total_nnz, n_cols),
+        )
+        data = np.concatenate([m.data for m in mats])
+        indices = np.concatenate(
+            [np.asarray(m.indices, dtype=idx_dtype) for m in mats]
+        )
+        indptr = np.empty(n_rows + 1, dtype=idx_dtype)
+        indptr[0] = 0
+        row = 1
+        nnz = 0
+        for m in mats:
+            ip = m.indptr
+            k = m.shape[0]
+            indptr[row : row + k] = np.asarray(ip[1:], dtype=idx_dtype) + nnz
+            nnz += int(ip[-1])
+            row += k
+        self._matrix = sp.csr_matrix(
+            (data, indices, indptr), shape=(n_rows, n_cols), copy=False
+        )
 
     def range_nbytes(self, lo: int, hi: int) -> int:
         self._check_range(lo, hi)
@@ -196,6 +282,60 @@ class CsrStore(BlockStore):
         self._check_range(lo, hi)
         m = self.matrix
         return m[lo - self.lo : hi - self.lo]
+
+    def extract_batch(self, los: Sequence[int], his: Sequence[int]) -> list:
+        """Pack several row ranges by direct row-pointer arithmetic.
+
+        Each piece is ``(data[s:e], indices[s:e], indptr[a:b+1]-s)`` copied
+        out of the assembled block — the same slices (and the same index
+        dtype) scipy's row indexing produces, without its per-call indexing
+        machinery.  One matrix-property resolve serves the whole schedule.
+        """
+        if len(los) == 0:
+            return []
+        m = self.matrix
+        indptr, data, indices = m.indptr, m.data, m.indices
+        n_cols = m.shape[1]
+        base = self.lo
+        out = []
+        for lo, hi in zip(los, his):
+            self._check_range(int(lo), int(hi))
+            a, b = int(lo) - base, int(hi) - base
+            s, e = int(indptr[a]), int(indptr[b])
+            piece_indptr = indptr[a : b + 1] - indptr[a]
+            out.append(
+                sp.csr_matrix(
+                    (data[s:e].copy(), indices[s:e].copy(), piece_indptr),
+                    shape=(b - a, n_cols),
+                    copy=False,
+                )
+            )
+        return out
+
+    def range_nbytes_batch(
+        self, los: Sequence[int], his: Sequence[int]
+    ) -> list[int]:
+        if len(los) == 0:
+            return []
+        if self.n_rows == 0:
+            return [0] * len(los)
+        los = np.asarray(los, dtype=np.int64)
+        his = np.asarray(his, dtype=np.int64)
+        for lo, hi in zip(los, his):
+            self._check_range(int(lo), int(hi))
+        cache = self._wire_cache
+        if cache is None:
+            m = self.matrix
+            cache = self._wire_cache = (
+                m.indptr,
+                m.data.dtype.itemsize + m.indices.dtype.itemsize,
+                m.indptr.dtype.itemsize,
+            )
+        indptr, per_nnz, per_ptr = cache
+        a = los - self.lo
+        b = his - self.lo
+        nnz = indptr[b].astype(np.int64) - indptr[a]
+        return [int(n) for n in nnz * per_nnz + (b - a + 1) * per_ptr]
 
     def insert(self, lo: int, hi: int, payload: Any) -> None:
         self._check_range(lo, hi)
@@ -312,6 +452,29 @@ class Dataset:
         for n in names:
             value = payloads.get(n) if payloads else None
             self.stores[n].insert(lo, hi, value)
+
+    # -------------------------------------------------------- batch lane
+    def extract_batch(
+        self, los: Sequence[int], his: Sequence[int], names: list[str]
+    ) -> list[dict[str, Any]]:
+        """Per-range payload dicts for a whole schedule, packed store by
+        store (one vectorized pass per field instead of one per chunk)."""
+        per_store = {n: self.stores[n].extract_batch(los, his) for n in names}
+        return [
+            {n: per_store[n][i] for n in names} for i in range(len(los))
+        ]
+
+    def range_nbytes_batch(
+        self, los: Sequence[int], his: Sequence[int], names: list[str]
+    ) -> list[int]:
+        """Per-range wire sizes for a whole schedule."""
+        totals = [0] * len(los)
+        for n in names:
+            for i, nbytes in enumerate(
+                self.stores[n].range_nbytes_batch(los, his)
+            ):
+                totals[i] += nbytes
+        return totals
 
     def total_nbytes(self) -> int:
         return self.range_nbytes(self.lo, self.hi, list(self.stores))

@@ -52,7 +52,7 @@ from ..malleability.config import ALL_CONFIGS, ReconfigConfig, SpawnMethod
 from ..redistribution.api import RedistMethod
 from ..redistribution.collective import ColRedistribution
 from ..redistribution.p2p import P2PRedistribution
-from ..redistribution.plan import RedistributionPlan
+from ..redistribution.plan import RedistributionPlan, Transfer
 from ..redistribution.rma import RMA_VARIANTS, RmaRedistribution
 from .findings import Finding, STA_RULES
 
@@ -178,6 +178,39 @@ def verify_plan(plan: RedistributionPlan, *, label: str = "plan") -> list[Findin
 
 
 # ============================================================== elaboration
+class _CompiledPlanView:
+    """Plan facade that re-derives the transfer lists from the compiled
+    :class:`~repro.redistribution.plan.PlanProgram` flat arrays.
+
+    Elaborating a schedule through this view proves the batch lane's
+    plan-compilation step (``compiled_sends``/``compiled_recvs``) preserves
+    the message shapes the scalar lane sends: peers, chunk row counts and
+    chunk order all come back out of ``peers``/``los``/``his``, so a
+    lowering bug surfaces as an STA004/STA005 mismatch instead of silently
+    shipping different wire traffic under ``REPRO_BATCH=1``.
+    """
+
+    def __init__(self, plan: RedistributionPlan):
+        self._plan = plan
+
+    def __getattr__(self, name):
+        return getattr(self._plan, name)
+
+    def sends_for(self, src: int) -> list[Transfer]:
+        prog = self._plan.compiled_sends(src)
+        return [
+            Transfer(src, int(peer), int(lo), int(hi))
+            for peer, lo, hi in zip(prog.peers, prog.los, prog.his)
+        ]
+
+    def recvs_for(self, dst: int) -> list[Transfer]:
+        prog = self._plan.compiled_recvs(dst)
+        return [
+            Transfer(int(peer), dst, int(lo), int(hi))
+            for peer, lo, hi in zip(prog.peers, prog.los, prog.his)
+        ]
+
+
 @dataclass(frozen=True)
 class RankNode:
     """One process in the symbolic communication graph."""
@@ -224,6 +257,7 @@ def elaborate(
     spawn: "SpawnMethod | str",
     coalesce: bool = False,
     variant: str = "origin",
+    batch: bool = False,
     label: str = "",
 ) -> CommGraph:
     """Build the symbolic communication graph of one configuration.
@@ -234,6 +268,14 @@ def elaborate(
     target groups over an inter-communicator, so roles never coincide.
     The strategy axis (S/A/T) changes how schedules are *driven*, not what
     they contain, so one graph covers all three.
+
+    ``batch=True`` elaborates the *batched* message shapes: every rank's
+    schedule is re-derived from the compiled plan programs (the flat
+    ``peers``/``los``/``his`` arrays the ``REPRO_BATCH`` lane consumes)
+    instead of the scalar transfer lists, so STA004/STA005 tag matching
+    verifies the lowering itself — including in combination with
+    ``coalesce`` (the coalesced+batched schedules the shipping default
+    sends).
     """
     if isinstance(method, str):
         method = RedistMethod.parse(method)
@@ -247,6 +289,7 @@ def elaborate(
             f"valid choices: {', '.join(RMA_VARIANTS)}")
 
     ns, nt = plan.n_sources, plan.n_targets
+    sched_plan = _CompiledPlanView(plan) if batch else plan
     nodes: list[RankNode] = []
     if spawn is SpawnMethod.MERGE:
         for r in range(max(ns, nt)):
@@ -262,15 +305,15 @@ def elaborate(
     if method is RedistMethod.P2P:
         def schedule(node):
             return P2PRedistribution.symbolic_schedule(
-                plan, node.src_rank, node.dst_rank, coalesce=coalesce)
+                sched_plan, node.src_rank, node.dst_rank, coalesce=coalesce)
     elif method is RedistMethod.COL:
         def schedule(node):
             return ColRedistribution.symbolic_schedule(
-                plan, node.src_rank, node.dst_rank, coalesce=coalesce)
+                sched_plan, node.src_rank, node.dst_rank, coalesce=coalesce)
     else:
         def schedule(node):
             return RmaRedistribution.symbolic_schedule(
-                plan, node.src_rank, node.dst_rank, variant=variant)
+                sched_plan, node.src_rank, node.dst_rank, variant=variant)
 
     graph = CommGraph(
         label=label or f"{spawn.value}-{method.value} "
@@ -655,6 +698,7 @@ def verify_config(
     *,
     coalesce: bool = False,
     variant: str = "origin",
+    batch: bool = False,
     plan: Optional[RedistributionPlan] = None,
 ) -> list[Finding]:
     """Verify one configuration's plan + elaborated schedule end to end."""
@@ -667,6 +711,8 @@ def verify_config(
         mods.append("coalesced")
     if config.redist is RedistMethod.RMA and variant != "origin":
         mods.append(variant)
+    if batch:
+        mods.append("batched")
     suffix = f" [{','.join(mods)}]" if mods else ""
     label = (f"{config.key} {n_sources}->{n_targets} "
              f"rows={n_rows}{suffix}")
@@ -677,6 +723,7 @@ def verify_config(
         spawn=config.spawn,
         coalesce=coalesce and config.redist is not RedistMethod.RMA,
         variant=variant,
+        batch=batch,
         label=label,
     )
     findings += check_graph(graph)
@@ -695,7 +742,9 @@ def verify_matrix(
     The default sweep covers the 18 shipped configurations with their
     shipped session options (plain messages, origin-driven RMA) across
     grow/shrink/equal resizes.  ``extended=True`` additionally verifies the
-    coalesced P2P/COL wire formats, the target-driven RMA variant and the
+    coalesced P2P/COL wire formats, the target-driven RMA variant, the
+    batched (compiled-plan) message shapes — alone and combined with the
+    other option, matching what ``REPRO_BATCH=1`` ships — and the
     movement-minimising plans.
     """
     findings: list[Finding] = []
@@ -705,10 +754,14 @@ def verify_matrix(
             for ns, nt in resizes:
                 variants: list[dict] = [{}]
                 if extended:
-                    if config.redist is RedistMethod.RMA:
-                        variants.append({"variant": "target"})
-                    else:
-                        variants.append({"coalesce": True})
+                    other = (
+                        {"variant": "target"}
+                        if config.redist is RedistMethod.RMA
+                        else {"coalesce": True}
+                    )
+                    variants.append(other)
+                    variants.append({"batch": True})
+                    variants.append({**other, "batch": True})
                 plans = [RedistributionPlan.block(n_rows, ns, nt)]
                 if extended:
                     plans.append(
@@ -771,8 +824,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="KEYS", help="comma-separated config keys, or 'all'")
     parser.add_argument(
         "--extended", action="store_true",
-        help="also verify coalesced wire formats, target-driven RMA and "
-        "movement-minimising plans")
+        help="also verify coalesced wire formats, target-driven RMA, the "
+        "batched (compiled-plan) message shapes and movement-minimising "
+        "plans")
     parser.add_argument("--format", choices=("text", "json"), default="text")
     parser.add_argument(
         "--max-wall", type=float, default=None, metavar="SECONDS",

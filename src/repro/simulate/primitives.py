@@ -27,7 +27,9 @@ class Timeout(Command):
     def __init__(self, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"Timeout delay must be >= 0, got {delay}")
-        self.delay = float(delay)
+        # Hot constructor: most callers already pass a float, so skip the
+        # redundant conversion (float() on a float still allocates a call).
+        self.delay = delay if delay.__class__ is float else float(delay)
         self.value = value
 
     def execute(self, sim: Simulator, proc: SimProcess) -> None:

@@ -157,7 +157,8 @@ class RankCtx:
         dst_gid = comm.peer_gid(dest)
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         req = SendRequest(self.sim, dst_gid, tag, size)
-        san = self.world.sanitizer
+        world = self.world
+        san = world._sanitizer if world.observed else None
         if san is not None:
             # Register before injection: eager sends complete *at* inject,
             # so the mutation window closes immediately (as it should).
@@ -178,6 +179,62 @@ class RankCtx:
             yield Compute(spec.cpu_overhead)
         self.world.inject(msg, label=label)
         return req
+
+    def isend_batch(
+        self,
+        entries: Sequence[tuple],
+        dest: int,
+        comm: Optional[Communicator] = None,
+        label: str = "",
+    ) -> Generator[Any, Any, list[SendRequest]]:
+        """Non-blocking sends of several messages to one peer in one call.
+
+        ``entries`` is a sequence of ``(payload, tag, nbytes)`` triples
+        (``nbytes=None`` prices the payload).  Semantically identical to
+        issuing :meth:`isend` once per entry in order — same channel
+        sequence numbers, same per-message CPU overhead charges, same
+        sanitizer registrations — but the communicator/peer/fabric
+        resolution and probe lookups are paid once per batch, and on
+        zero-overhead channels the whole run enters the transport through
+        :meth:`MpiWorld.inject_batch` in a single pass.
+        """
+        comm = self._comm(comm)
+        dst_gid = comm.peer_gid(dest)
+        world = self.world
+        san = world._sanitizer if world.observed else None
+        src_rank = self._sender_rank_as_seen_by_peer(comm)
+        spec = world.channel_spec(self.gid, dst_gid)
+        overhead = spec.cpu_overhead
+        reqs: list[SendRequest] = []
+        staged: list[Message] = []
+        for payload, tag, nbytes in entries:
+            size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+            req = SendRequest(self.sim, dst_gid, tag, size)
+            if san is not None:
+                san.on_isend(self, comm, dest, tag, payload, req)
+            msg = Message(
+                seq=world.next_chan_seq(self.gid, dst_gid),
+                ctx_id=comm.ctx_id,
+                src_gid=self.gid,
+                dst_gid=dst_gid,
+                src_rank=src_rank,
+                tag=tag,
+                payload=copy_payload(payload),
+                nbytes=size,
+                send_req=req,
+            )
+            reqs.append(req)
+            if overhead > 0:
+                # The per-message CPU charge must stay between injections
+                # (that is when the scalar lane yields), so only the
+                # bookkeeping above is batched on overhead-bearing fabrics.
+                yield Compute(overhead)
+                world.inject(msg, label=label)
+            else:
+                staged.append(msg)
+        if staged:
+            world.inject_batch(staged, label=label)
+        return reqs
 
     def _sender_rank_as_seen_by_peer(self, comm: Communicator) -> int:
         # On an intra-comm, peers see my local rank; on an inter-comm, they
@@ -260,7 +317,8 @@ class RankCtx:
         tok = PollerToken(label=f"gid{self.gid}")
         self.node.add_poller(tok)
         t0 = self.sim.now
-        san = self.world.sanitizer
+        world = self.world
+        san = world._sanitizer if world.observed else None
         if san is not None:
             san.on_block(self, command, reqs)
         try:
@@ -270,7 +328,7 @@ class RankCtx:
             self._ep.exit_progress()
             if san is not None:
                 san.on_unblock(self)
-            m = self.world.metrics
+            m = world._metrics if world.observed else None
             if m is not None:
                 m.timer("smpi.wait_blocked", rank=self.gid).record(
                     t0, self.sim.now, label=type(command).__name__
@@ -312,9 +370,11 @@ class RankCtx:
         """
         if cost is None:
             cost = self.machine.fabric.cpu_overhead
-        m = self.world.metrics
-        if m is not None:
-            m.counter("smpi.progress_ticks", rank=self.gid).inc()
+        world = self.world
+        if world.observed:
+            m = world._metrics
+            if m is not None:
+                m.counter("smpi.progress_ticks", rank=self.gid).inc()
         self._ep.enter_progress()
         try:
             if cost > 0:

@@ -27,7 +27,6 @@ epoch-aware SAN001 fingerprinting instead (:mod:`repro.sanitize.runtime`).
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Optional
 
 from ..simulate.events import SimEvent
@@ -114,10 +113,13 @@ class Window:
     instance is shared by every member (read-mostly).
     """
 
-    _ids = itertools.count()
-
     def __init__(self, world, comm: Communicator, exposures: dict[int, Any]):
-        self.win_id = next(Window._ids)
+        # Drawn from the *world's* counter, not a class-global one: win_id
+        # feeds metric labels (rma.epoch_seconds / lock_wait_seconds), so a
+        # process-global count would leak how many windows earlier runs in
+        # the same process created — breaking metrics byte-identity between
+        # sequential sweeps and fleet workers.
+        self.win_id = next(world._win_ids)
         self.world = world
         self.comm = comm
         #: gid -> exposure object (None for ranks exposing nothing).  Keyed

@@ -71,6 +71,9 @@ class MpiWorld:
         self.endpoints: dict[int, Endpoint] = {}
         self._gids = itertools.count()
         self._ctx_ids = itertools.count(1)
+        #: per-world RMA window ids (metric labels depend on them, so they
+        #: must not leak process history — see smpi.rma.Window).
+        self._win_ids = itertools.count()
         self._chan_seq: dict[tuple[int, int], int] = {}
         self._ops: dict[str, _PendingOp] = {}
         #: gid -> slot, kept so reconfiguration layers can reason about
@@ -81,13 +84,18 @@ class MpiWorld:
         #: cooperative observability hook: a MetricsRegistry set by
         #: :class:`repro.obs.MetricsProbe` while attached; ``None`` means
         #: every instrumented layer pays one pointer comparison and no more.
-        self.metrics = None
+        self._metrics = None
         #: cooperative correctness hook: a
         #: :class:`repro.sanitize.Sanitizer` while attached, else ``None``.
         #: The smpi/redistribution layers report sends, receives, puts,
         #: blocking waits and finalize through it at pointer-comparison
         #: cost; detached runs are byte-identical.
-        self.sanitizer = None
+        self._sanitizer = None
+        #: cached "anything attached?" boolean, recomputed by the
+        #: ``metrics``/``sanitizer`` property setters on attach/detach.
+        #: Hot paths (inject, isend, progress ticks) test this one flag and
+        #: skip both probe attribute lookups entirely on detached runs.
+        self.observed = False
         #: gids of ranks known dead (node crash, kill, terminate_ranks).
         self.dead_gids: set[int] = set()
         #: every message injected and not yet delivered/retired, keyed by
@@ -106,6 +114,25 @@ class MpiWorld:
         #: ctx_ids of communicators abandoned by a recovery policy; their
         #: leftover traffic is excused at endpoint close.
         self.aborted_ctxs: set[int] = set()
+
+    # ----------------------------------------------------------------- probes
+    @property
+    def metrics(self):
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+        self.observed = registry is not None or self._sanitizer is not None
+
+    @property
+    def sanitizer(self):
+        return self._sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, san) -> None:
+        self._sanitizer = san
+        self.observed = san is not None or self._metrics is not None
 
     # ------------------------------------------------------------------ launch
     def launch(
@@ -206,12 +233,13 @@ class MpiWorld:
         if label:
             self.bytes_by_label[label] = self.bytes_by_label.get(label, 0.0) + msg.nbytes
         eager = msg.nbytes <= spec.eager_threshold
-        m = self.metrics
-        if m is not None:
-            proto = "eager" if eager else "rndv"
-            m.counter("smpi.messages", comm=msg.ctx_id, protocol=proto).inc()
-            m.counter("smpi.bytes", comm=msg.ctx_id, protocol=proto).inc(msg.nbytes)
-            m.histogram("smpi.message_nbytes").observe(msg.nbytes)
+        if self.observed:
+            m = self._metrics
+            if m is not None:
+                proto = "eager" if eager else "rndv"
+                m.counter("smpi.messages", comm=msg.ctx_id, protocol=proto).inc()
+                m.counter("smpi.bytes", comm=msg.ctx_id, protocol=proto).inc(msg.nbytes)
+                m.histogram("smpi.message_nbytes").observe(msg.nbytes)
         if eager:
             # Eager fast lane: buffered semantics complete the send locally
             # right now, so the in-flight table — which only exists to fail
@@ -233,6 +261,115 @@ class MpiWorld:
                 src_node, dst_node, 0, label=f"rts:{msg.msg_id}"
             )
             ev.add_callback(lambda _ev: self._rts_arrived(msg))
+
+    def inject_batch(self, msgs: Sequence[Message], label: str = "") -> None:
+        """Start a batch of same-(src, dst) messages in one pass.
+
+        The per-message wire events are untouched — each message still gets
+        its own flow through the cluster network, because merging flows
+        would change the max-min bandwidth shares and break byte-identity
+        with the scalar lane.  What the batch hoists is the Python
+        bookkeeping that :meth:`inject` pays per message: one dead-peer
+        check, one endpoint/node/fabric lookup, one label accounting update,
+        and one metrics counter flush per (comm, protocol) class for the
+        whole batch (counter totals are identical to per-message
+        increments; the size histogram still observes each message so its
+        shape is unchanged).
+        """
+        if not msgs:
+            return
+        first = msgs[0]
+        dst_gid = first.dst_gid
+        if dst_gid in self.dead_gids:
+            for msg in msgs:
+                msg.send_req._fail(
+                    CommFailedError(
+                        f"send to dead rank gid={dst_gid}", dead_gids=[dst_gid]
+                    )
+                )
+            return
+        endpoints = self.endpoints
+        src_node = endpoints[first.src_gid].node
+        dst_node = endpoints[dst_gid].node
+        machine = self.machine
+        if src_node.node_id == dst_node.node_id:
+            spec = machine.memory_channel
+        else:
+            spec = machine.fabric
+        if label:
+            self.bytes_by_label[label] = self.bytes_by_label.get(
+                label, 0.0
+            ) + sum(msg.nbytes for msg in msgs)
+        threshold = spec.eager_threshold
+        if self.observed:
+            m = self._metrics
+            if m is not None:
+                totals: dict[tuple[int, str], list] = {}
+                hist = m.histogram("smpi.message_nbytes")
+                for msg in msgs:
+                    proto = "eager" if msg.nbytes <= threshold else "rndv"
+                    acc = totals.get((msg.ctx_id, proto))
+                    if acc is None:
+                        totals[(msg.ctx_id, proto)] = [1, msg.nbytes]
+                    else:
+                        acc[0] += 1
+                        acc[1] += msg.nbytes
+                    hist.observe(msg.nbytes)
+                for (ctx_id, proto), (count, nbytes) in totals.items():
+                    m.counter(
+                        "smpi.messages", comm=ctx_id, protocol=proto
+                    ).inc(count)
+                    m.counter(
+                        "smpi.bytes", comm=ctx_id, protocol=proto
+                    ).inc(nbytes)
+        transfer = machine.transfer
+        if (
+            len(msgs) > 1
+            and spec.copy_rate <= 0
+            and msgs[0].nbytes <= threshold
+            and all(m.nbytes == msgs[0].nbytes for m in msgs)
+        ):
+            # Equal-size eager flows launched together over one route get
+            # identical max-min shares at every instant, so they land at the
+            # same time no matter what else the network carries.  Hand the
+            # whole run to the endpoint when the last flow completes: one
+            # dead-receiver verdict and one FIFO-gate update instead of N.
+            # (With copy_rate > 0 the receiver-side touch-copies stagger the
+            # arrivals through the CPU model, so those fall through to the
+            # per-message path below.)
+            n = len(msgs)
+            landed: list[Message] = []
+
+            def _flow_landed(m: Message) -> None:
+                landed.append(m)
+                if len(landed) == n:
+                    if m.dst_gid in self.dead_gids:
+                        return  # receiver died; buffered data evaporates
+                    self.endpoints[m.dst_gid].deliver_eager_batch(landed)
+
+            for msg in msgs:
+                msg.protocol = "eager"
+                msg.send_req._complete(None)
+                ev = transfer(
+                    src_node, dst_node, msg.nbytes, label=f"eager:{msg.msg_id}"
+                )
+                ev.add_callback(lambda _ev, m=msg: _flow_landed(m))
+            return
+        for msg in msgs:
+            if msg.nbytes <= threshold:
+                msg.protocol = "eager"
+                msg.send_req._complete(None)
+                ev = transfer(
+                    src_node, dst_node, msg.nbytes, label=f"eager:{msg.msg_id}"
+                )
+                ev.add_callback(
+                    lambda _ev, m=msg: self._eager_arrived(m, spec)
+                )
+            else:
+                msg.protocol = "rndv"
+                self._inflight[msg.msg_id] = msg
+                ev = transfer(src_node, dst_node, 0, label=f"rts:{msg.msg_id}")
+                ev.add_callback(lambda _ev, m=msg: self._rts_arrived(m))
 
     def _eager_arrived(self, msg: Message, spec: FabricSpec) -> None:
         if msg.dst_gid in self.dead_gids:

@@ -1,0 +1,91 @@
+"""``REPRO_BATCH=1`` vs ``=0``: the batch lane is invisible in artifacts.
+
+The vectorized batch lane (timer wheel + bulk delivery + compiled plans)
+ships on by default with a scalar fallback kept for bisection.  Its
+contract is byte-identity: the full 18-config sweep serializes to the
+same CSV bytes — sequentially, over the worker fleet, and replayed from
+the cell cache — and the aggregated metrics document exports the same
+JSON bytes, whichever lane ran the simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import shutdown_fleet
+from repro.harness.runner import run_sweep
+from repro.malleability.config import ALL_CONFIGS
+
+KEYS = [c.key for c in ALL_CONFIGS]
+PAIRS = [(4, 2), (2, 4)]
+
+
+def _sweep_csv(lane: str, **kwargs) -> str:
+    """One 18-config sweep with the lane pinned via REPRO_BATCH."""
+    mp = pytest.MonkeyPatch()
+    try:
+        mp.setenv("REPRO_BATCH", lane)
+        rs = run_sweep(
+            PAIRS, KEYS, ["ethernet"], scale="tiny", repetitions=1, **kwargs
+        )
+        return rs.to_csv()
+    finally:
+        mp.undo()
+
+
+@pytest.fixture(scope="module")
+def scalar_csv():
+    """The scalar-lane sequential reference sweep."""
+    return _sweep_csv("0")
+
+
+def test_batch_sequential_matches_scalar(scalar_csv):
+    assert _sweep_csv("1") == scalar_csv
+
+
+def test_batch_fleet_matches_scalar(scalar_csv):
+    # Workers inherit the environment at spawn: recycle the fleet so its
+    # processes are born with the batch lane pinned on.
+    shutdown_fleet()
+    try:
+        assert _sweep_csv("1", workers=2) == scalar_csv
+    finally:
+        shutdown_fleet()
+
+
+def test_batch_cached_replay_matches_scalar(scalar_csv, tmp_path):
+    cache = tmp_path / "cells"
+    assert _sweep_csv("1", cache=cache) == scalar_csv      # fresh, batch lane
+    assert _sweep_csv("0", cache=cache) == scalar_csv      # replay, scalar lane
+    assert _sweep_csv("1", cache=cache) == scalar_csv      # replay, batch lane
+
+
+def test_metrics_json_identical_across_lanes(tmp_path):
+    # The aggregated obs metrics document — counters, histograms, spans —
+    # must serialize to identical bytes under either lane.  Each lane runs
+    # in a fresh subprocess: some observability labels embed process-global
+    # allocation counters (e.g. window ids), so only run-per-process
+    # comparisons are meaningful — which is also how CI compares them.
+    import os
+    import subprocess
+    import sys
+
+    docs = {}
+    for lane in ("1", "0"):
+        out = tmp_path / f"results-{lane}.csv"
+        metrics = tmp_path / f"metrics-{lane}.json"
+        env = dict(os.environ, REPRO_BATCH=lane)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        subprocess.run(
+            [sys.executable, "-c",
+             "import sys; from repro.harness.cli import main; "
+             "sys.exit(main(sys.argv[1:]))",
+             "run", "--scale", "tiny", "--figures", "fig2", "--reps", "1",
+             "--no-cache", "--out", str(out),
+             "--metrics-out", str(metrics)],
+            check=True, env=env,
+        )
+        docs[lane] = (out.read_bytes(), metrics.read_bytes())
+    assert docs["1"] == docs["0"]

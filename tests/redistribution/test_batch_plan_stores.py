@@ -1,0 +1,238 @@
+"""Compiled plan programs and the stores' batch (vectorized) interface.
+
+The plan-compilation layer of the batch lane lowers a rank's transfer
+schedule into flat numpy arrays once per plan, and the stores consume whole
+schedules in one call.  The contract is value-identity with the scalar
+methods: same payloads, same wire sizes, same assembled blocks — the batch
+lane changes how data is gathered, never what bytes it holds.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.redistribution import (
+    CsrStore,
+    Dataset,
+    DenseStore,
+    FieldSpec,
+    RedistributionPlan,
+    VirtualStore,
+)
+
+
+# ------------------------------------------------------------ PlanProgram
+def test_compiled_sends_cached_on_plan():
+    plan = RedistributionPlan.block(1000, 4, 2)
+    assert plan.compiled_sends(0) is plan.compiled_sends(0)
+    assert plan.compiled_recvs(1) is plan.compiled_recvs(1)
+    assert plan.compiled_sends(0) is not plan.compiled_sends(1)
+
+
+def test_compiled_sends_arrays_match_transfer_list():
+    plan = RedistributionPlan.block(1000, 2, 4)
+    for src in range(2):
+        prog = plan.compiled_sends(src)
+        transfers = plan.sends_for(src)
+        assert list(prog.transfers) == transfers
+        assert len(prog) == len(transfers)
+        np.testing.assert_array_equal(prog.peers, [t.dst for t in transfers])
+        np.testing.assert_array_equal(prog.los, [t.lo for t in transfers])
+        np.testing.assert_array_equal(prog.his, [t.hi for t in transfers])
+        np.testing.assert_array_equal(prog.counts, prog.his - prog.los)
+
+
+def test_compiled_recvs_peers_are_sources():
+    plan = RedistributionPlan.block(1000, 4, 2)
+    for dst in range(2):
+        prog = plan.compiled_recvs(dst)
+        np.testing.assert_array_equal(
+            prog.peers, [t.src for t in plan.recvs_for(dst)]
+        )
+
+
+def test_program_row_take_and_seg_offsets_consistent():
+    plan = RedistributionPlan.block(997, 3, 5)  # uneven chunks
+    for src in range(3):
+        prog = plan.compiled_sends(src)
+        # seg_offsets is the prefix sum of the chunk row counts ...
+        np.testing.assert_array_equal(
+            prog.seg_offsets, np.concatenate([[0], np.cumsum(prog.counts)])
+        )
+        # ... and row_take holds each chunk's global rows between boundaries.
+        for i, t in enumerate(prog.transfers):
+            seg = prog.row_take[prog.seg_offsets[i] : prog.seg_offsets[i + 1]]
+            np.testing.assert_array_equal(seg, np.arange(t.lo, t.hi))
+
+
+def test_program_arrays_are_immutable():
+    prog = RedistributionPlan.block(100, 2, 4).compiled_sends(0)
+    for arr in (prog.peers, prog.los, prog.his, prog.counts,
+                prog.seg_offsets, prog.row_take):
+        with pytest.raises(ValueError):
+            arr[0] = -1
+
+
+def test_empty_schedule_compiles_to_empty_program():
+    # Source 1 of a shrink onto target 0 that only rank 0 feeds.
+    plan = RedistributionPlan(np.array([0, 10, 10]), np.array([0, 10]))
+    prog = plan.compiled_sends(1)
+    assert len(prog) == 0
+    assert prog.row_take.shape == (0,)
+    np.testing.assert_array_equal(prog.seg_offsets, [0])
+
+
+# ----------------------------------------------------------- store batches
+def _ranges():
+    # Overlap-free but unordered ranges, including an empty one.
+    return [3, 0, 7, 5], [5, 3, 10, 5]
+
+
+def test_dense_extract_batch_matches_scalar():
+    store = DenseStore(FieldSpec("x", "dense"), 0, 10, np.arange(10.0))
+    los, his = _ranges()
+    batch = store.extract_batch(los, his)
+    for piece, lo, hi in zip(batch, los, his):
+        np.testing.assert_array_equal(piece, store.extract(lo, hi))
+
+
+def test_dense_matrix_rows_extract_batch():
+    store = DenseStore(
+        FieldSpec("m", "dense", row_shape=(4,)), 5, 15,
+        np.arange(40.0).reshape(10, 4),
+    )
+    batch = store.extract_batch([6, 12], [9, 15])
+    np.testing.assert_array_equal(batch[0], store.extract(6, 9))
+    np.testing.assert_array_equal(batch[1], store.extract(12, 15))
+
+
+def test_dense_range_nbytes_batch_matches_scalar():
+    store = DenseStore(FieldSpec("x", "dense"), 0, 10, np.arange(10.0))
+    los, his = _ranges()
+    assert store.range_nbytes_batch(los, his) == [
+        store.range_nbytes(lo, hi) for lo, hi in zip(los, his)
+    ]
+
+
+def test_dense_insert_batch_matches_scalar_inserts():
+    a = DenseStore(FieldSpec("x", "dense"), 0, 10)
+    b = DenseStore(FieldSpec("x", "dense"), 0, 10)
+    los, his = [0, 6, 3], [3, 10, 6]
+    payloads = [np.arange(float(hi - lo)) + lo for lo, hi in zip(los, his)]
+    a.insert_batch(los, his, payloads)
+    for lo, hi, p in zip(los, his, payloads):
+        b.insert(lo, hi, p)
+    np.testing.assert_array_equal(a.data, b.data)
+
+
+def test_dense_batch_validates_ranges():
+    store = DenseStore(FieldSpec("x", "dense"), 5, 10, np.zeros(5))
+    with pytest.raises(ValueError):
+        store.extract_batch([0], [7])
+    with pytest.raises(ValueError):
+        store.range_nbytes_batch([5], [11])
+
+
+def _csr_store(lo=0, hi=12, n_cols=30, seed=3):
+    rng = np.random.default_rng(seed)
+    m = sp.random(hi - lo, n_cols, density=0.3, random_state=rng, format="csr")
+    return CsrStore(FieldSpec("A", "csr"), lo, hi, m), m
+
+
+def test_csr_extract_batch_matches_scalar():
+    store, _ = _csr_store()
+    los, his = [2, 0, 8, 5], [5, 2, 12, 5]
+    batch = store.extract_batch(los, his)
+    for piece, lo, hi in zip(batch, los, his):
+        scalar = store.extract(lo, hi)
+        assert piece.shape == scalar.shape
+        np.testing.assert_allclose(piece.toarray(), scalar.toarray())
+        assert piece.indices.dtype == scalar.indices.dtype
+        assert piece.indptr.dtype == scalar.indptr.dtype
+
+
+def test_csr_extract_batch_pieces_do_not_alias_block():
+    store, m = _csr_store()
+    (piece,) = store.extract_batch([0], [4])
+    before = m[0:4].toarray().copy()
+    piece.data[:] = -1.0
+    np.testing.assert_allclose(store.extract(0, 4).toarray(), before)
+
+
+def test_csr_range_nbytes_batch_matches_scalar():
+    store, _ = _csr_store()
+    los, his = [2, 0, 8, 5], [5, 2, 12, 5]
+    assert store.range_nbytes_batch(los, his) == [
+        store.range_nbytes(lo, hi) for lo, hi in zip(los, his)
+    ]
+
+
+def test_csr_insert_batch_assembles_like_scalar():
+    src, m = _csr_store()
+    dst = CsrStore(FieldSpec("A", "csr"), 0, 12)
+    los, his = [8, 0, 4], [12, 4, 8]  # out of order
+    dst.insert_batch(los, his, src.extract_batch(los, his))
+    np.testing.assert_allclose(dst.matrix.toarray(), m.toarray())
+
+
+def test_virtual_store_batch_defaults():
+    store = VirtualStore(FieldSpec("blob", "virtual", bytes_per_row=10.0), 0, 20)
+    assert store.extract_batch([0, 5], [5, 9]) == [None, None]
+    assert store.range_nbytes_batch([0, 5], [5, 9]) == [50, 40]
+    store.insert_batch([0, 10], [10, 20], [None, None])
+    assert store.complete
+
+
+# -------------------------------------------------------------- dataset
+def _dataset():
+    rng = np.random.default_rng(7)
+    m = sp.random(10, 20, density=0.25, random_state=rng, format="csr")
+    return Dataset.create(
+        10,
+        (
+            FieldSpec("A", "csr", constant=True),
+            FieldSpec("x", "dense", constant=False),
+        ),
+        0, 10,
+        data={"A": m, "x": np.arange(10.0)},
+    )
+
+
+def test_dataset_extract_batch_matches_scalar():
+    ds = _dataset()
+    names = ["A", "x"]
+    los, his = [0, 6, 3], [3, 10, 6]
+    batch = ds.extract_batch(los, his, names)
+    for payloads, lo, hi in zip(batch, los, his):
+        scalar = ds.extract(lo, hi, names)
+        assert set(payloads) == set(scalar)
+        np.testing.assert_allclose(
+            payloads["A"].toarray(), scalar["A"].toarray()
+        )
+        np.testing.assert_array_equal(payloads["x"], scalar["x"])
+
+
+def test_dataset_range_nbytes_batch_sums_per_store():
+    ds = _dataset()
+    names = ["A", "x"]
+    los, his = [0, 6, 3], [3, 10, 6]
+    assert ds.range_nbytes_batch(los, his, names) == [
+        ds.range_nbytes(lo, hi, names) for lo, hi in zip(los, his)
+    ]
+
+
+def test_plan_program_drives_store_batches_end_to_end():
+    """The wiring the sessions rely on: a compiled send schedule's arrays
+    feed the stores directly and reproduce every scalar per-chunk payload."""
+    plan = RedistributionPlan.block(10, 1, 3)
+    ds = _dataset()
+    prog = plan.compiled_sends(0)
+    batch = ds.extract_batch(prog.los, prog.his, ["A", "x"])
+    sizes = ds.range_nbytes_batch(prog.los, prog.his, ["A", "x"])
+    for payloads, nbytes, t in zip(batch, sizes, prog.transfers):
+        scalar = ds.extract(t.lo, t.hi, ["A", "x"])
+        np.testing.assert_allclose(
+            payloads["A"].toarray(), scalar["A"].toarray()
+        )
+        np.testing.assert_array_equal(payloads["x"], scalar["x"])
+        assert nbytes == ds.range_nbytes(t.lo, t.hi, ["A", "x"])

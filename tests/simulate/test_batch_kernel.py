@@ -1,0 +1,346 @@
+"""Timer-wheel (batch lane) vs tuple-heap (scalar lane) identity tests.
+
+The ``REPRO_BATCH`` batch lane routes homogeneous Timeout traffic through a
+per-deadline timer wheel drained in bulk, while generic commands keep the
+tuple heap.  Its contract is *bit-for-bit* equivalence with the scalar
+lane: identical wakeup order, identical clock trajectory, identical
+process outcomes — under cancels, resumes, kills, zero-delay reschedules,
+``until`` cutoffs and strict limits.  Every test here runs one scenario
+under both lanes and compares full traces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulate import (
+    DeadlockError,
+    Passivate,
+    SimTimeLimitExceeded,
+    SimulationError,
+    Simulator,
+    Timeout,
+    WaitEvent,
+)
+
+
+def _lane_sim(monkeypatch, batch: bool) -> Simulator:
+    monkeypatch.setenv("REPRO_BATCH", "1" if batch else "0")
+    sim = Simulator()
+    assert sim._batch is batch
+    return sim
+
+
+def run_both_lanes(monkeypatch, scenario, **run_kwargs):
+    """Run ``scenario(sim, trace)`` under each lane; assert identical
+    traces, end times and process outcomes; return the shared trace."""
+    outcomes = []
+    for batch in (True, False):
+        sim = _lane_sim(monkeypatch, batch)
+        trace: list = []
+        procs = scenario(sim, trace) or []
+        end = sim.run(**run_kwargs)
+        outcomes.append((
+            trace, end, sim.now,
+            [(p.name, p.state, p.result) for p in procs],
+        ))
+    assert outcomes[0] == outcomes[1]
+    return outcomes[0]
+
+
+# ------------------------------------------------------------ ordered wakeups
+def test_same_deadline_wakes_in_spawn_order(monkeypatch):
+    def scenario(sim, trace):
+        def proc(name):
+            yield Timeout(1.0)
+            trace.append((sim.now, name))
+        return [sim.spawn(proc(f"p{i}"), name=f"p{i}") for i in range(6)]
+
+    trace, end, *_ = run_both_lanes(monkeypatch, scenario)
+    assert end == 1.0
+    assert [name for _t, name in trace] == [f"p{i}" for i in range(6)]
+
+
+def test_heap_and_wheel_merge_by_seq_at_equal_time(monkeypatch):
+    # Scheduled callbacks (heap) and timeouts (wheel) at the same instant
+    # must fire in registration-sequence order in both lanes.  The
+    # callbacks draw their sequence numbers at setup; the timeouts draw
+    # theirs when the processes first run (inside ``run()``), so the
+    # callbacks come first — and the lanes must agree exactly.
+    def scenario(sim, trace):
+        def proc(name, delay):
+            yield Timeout(delay)
+            trace.append((sim.now, name))
+        a = sim.spawn(proc("a", 2.0), name="a")
+        sim.schedule(2.0, lambda: trace.append((sim.now, "cb1")))
+        b = sim.spawn(proc("b", 2.0), name="b")
+        sim.schedule(2.0, lambda: trace.append((sim.now, "cb2")))
+        return [a, b]
+
+    trace, *_ = run_both_lanes(monkeypatch, scenario)
+    assert [name for _t, name in trace] == ["cb1", "cb2", "a", "b"]
+
+
+def test_zero_delay_timeout_reenters_current_bucket(monkeypatch):
+    # Timeout(0) from inside a draining bucket lands back in the *same*
+    # bucket past the drain snapshot — it must still fire this instant,
+    # after every already-queued wakeup.
+    def scenario(sim, trace):
+        def spinner():
+            for i in range(3):
+                trace.append((sim.now, "spin", i))
+                yield Timeout(0.0)
+        def peer():
+            yield Timeout(0.0)
+            trace.append((sim.now, "peer", 0))
+        return [sim.spawn(spinner(), name="s"), sim.spawn(peer(), name="p")]
+
+    trace, end, *_ = run_both_lanes(monkeypatch, scenario)
+    assert end == 0.0
+    # The spinner's first reschedule draws its sequence before the peer's
+    # initial timeout fires, so it wakes again ahead of the peer — and the
+    # lanes must agree on that exact interleaving.
+    assert trace == [
+        (0.0, "spin", 0), (0.0, "spin", 1), (0.0, "peer", 0),
+        (0.0, "spin", 2),
+    ]
+
+
+# ----------------------------------------------------------- cancels & kills
+def test_resume_cancels_pending_timeout(monkeypatch):
+    # A cross-process resume invalidates the wheel entry; the stale slot
+    # must be skipped without waking the process a second time.
+    def scenario(sim, trace):
+        def sleeper():
+            got = yield Timeout(10.0, value="late")
+            trace.append((sim.now, "woke", got))
+        target = sim.spawn(sleeper(), name="t")
+
+        def waker():
+            yield Timeout(1.0)
+            sim.resume(target, "early")
+        return [target, sim.spawn(waker(), name="w")]
+
+    trace, end, *_ = run_both_lanes(monkeypatch, scenario)
+    assert trace == [(1.0, "woke", "early")]
+    assert end == 1.0  # the stale 10.0 entry never advances the clock
+
+
+def test_kill_discards_wheel_entry(monkeypatch):
+    def scenario(sim, trace):
+        def sleeper():
+            yield Timeout(5.0)
+            trace.append((sim.now, "must-not-run"))
+        victim = sim.spawn(sleeper(), name="victim")
+
+        def killer():
+            yield Timeout(1.0)
+            sim.kill_now(victim)
+            trace.append((sim.now, "killed"))
+        return [victim, sim.spawn(killer(), name="killer")]
+
+    trace, end, *_ = run_both_lanes(monkeypatch, scenario)
+    assert trace == [(1.0, "killed")]
+    assert end == 1.0
+
+
+def test_all_stale_bucket_does_not_advance_clock(monkeypatch):
+    # Every entry of a future bucket is cancelled before it fires: neither
+    # lane may move ``now`` to that bucket's deadline.
+    def scenario(sim, trace):
+        sleepers = []
+
+        def sleeper():
+            yield Timeout(7.0)
+            trace.append((sim.now, "ghost"))
+        for i in range(3):
+            sleepers.append(sim.spawn(sleeper(), name=f"s{i}"))
+
+        def reaper():
+            yield Timeout(0.5)
+            for p in sleepers:
+                sim.resume(p, None)
+        return sleepers + [sim.spawn(reaper(), name="r")]
+
+    def scenario_wrapped(sim, trace):
+        procs = scenario(sim, trace)
+        return procs
+
+    trace, end, now, states = run_both_lanes(monkeypatch, scenario_wrapped)
+    assert end == 0.5
+    assert now == 0.5
+
+
+# ------------------------------------------------------------- until limits
+def test_lenient_until_stops_mid_bucket_sequence(monkeypatch):
+    def scenario(sim, trace):
+        def proc(name, delay):
+            yield Timeout(delay)
+            trace.append((sim.now, name))
+        return [sim.spawn(proc(f"p{d}", d), name=f"p{d}")
+                for d in (1.0, 2.0, 3.0)]
+
+    trace, end, now, _ = run_both_lanes(monkeypatch, scenario, until=2.0)
+    assert end == 2.0 and now == 2.0
+    assert [name for _t, name in trace] == ["p1.0", "p2.0"]
+
+
+def test_until_excludes_later_entries_of_same_run(monkeypatch):
+    # until falls between two buckets: the earlier fires, the later stays
+    # queued, and a follow-up run drains it identically in both lanes.
+    for batch in (True, False):
+        sim = _lane_sim(monkeypatch, batch)
+        fired = []
+
+        def proc(name, delay):
+            yield Timeout(delay)
+            fired.append((sim.now, name))
+        sim.spawn(proc("early", 1.0), name="early")
+        sim.spawn(proc("late", 4.0), name="late")
+        assert sim.run(until=2.5) == 2.5
+        assert fired == [(1.0, "early")]
+        assert sim.run() == 4.0
+        assert fired == [(1.0, "early"), (4.0, "late")]
+
+
+def test_strict_until_raises_identically(monkeypatch):
+    errs = []
+    for batch in (True, False):
+        sim = _lane_sim(monkeypatch, batch)
+
+        def sleeper():
+            yield Timeout(10.0)
+        sim.spawn(sleeper(), name="slow")
+        with pytest.raises(SimTimeLimitExceeded) as exc_info:
+            sim.run(until=1.0, strict_until=True)
+        errs.append((exc_info.value.until, exc_info.value.pending_events,
+                     tuple(exc_info.value.blocked), sim.now))
+    assert errs[0] == errs[1]
+    assert errs[0][0] == 1.0 and errs[0][1] >= 1
+
+
+def test_strict_until_ignores_cancelled_entries(monkeypatch):
+    # The only queued work past the limit is a cancelled wheel entry — not
+    # a live event, so strict mode must *not* raise in either lane.
+    for batch in (True, False):
+        sim = _lane_sim(monkeypatch, batch)
+
+        def sleeper():
+            got = yield Timeout(10.0)
+            return got
+
+        def waker(target):
+            yield Timeout(0.5)
+            sim.resume(target, "early")
+        t = sim.spawn(sleeper(), name="t")
+        sim.spawn(waker(t), name="w")
+        assert sim.run(until=1.0, strict_until=True) == 0.5
+        assert t.result == "early"
+
+
+# ------------------------------------------------------------------ failures
+def test_deadlock_detection_parity(monkeypatch):
+    msgs = []
+    for batch in (True, False):
+        sim = _lane_sim(monkeypatch, batch)
+
+        def stuck():
+            yield Passivate()
+
+        def ticker():
+            yield Timeout(1.0)
+        sim.spawn(stuck(), name="stuck")
+        sim.spawn(ticker(), name="ticker")
+        with pytest.raises(DeadlockError) as exc_info:
+            sim.run()
+        msgs.append((str(exc_info.value), sim.now))
+    assert msgs[0] == msgs[1]
+
+
+def test_process_exception_parity(monkeypatch):
+    results = []
+    for batch in (True, False):
+        sim = _lane_sim(monkeypatch, batch)
+
+        def boomer():
+            yield Timeout(1.0)
+            raise RuntimeError("boom")
+
+        def bystander():
+            yield Timeout(2.0)
+            return "ok"
+        b = sim.spawn(boomer(), name="boom")
+        by = sim.spawn(bystander(), name="by")
+        with pytest.raises(SimulationError, match="boom") as exc_info:
+            sim.run()
+        assert isinstance(exc_info.value.__cause__, RuntimeError)
+        results.append((str(exc_info.value), sim.now, b.state, by.state))
+    assert results[0] == results[1]
+
+
+# ---------------------------------------------------------------- event mix
+def test_wait_event_and_timeout_mix(monkeypatch):
+    def scenario(sim, trace):
+        ev = sim.event("gate")
+
+        def waiter():
+            got = yield WaitEvent(ev)
+            trace.append((sim.now, "gate", got))
+            yield Timeout(0.25)
+            trace.append((sim.now, "after"))
+
+        def trigger():
+            yield Timeout(1.5)
+            ev.trigger("open")
+        return [sim.spawn(waiter(), name="w"),
+                sim.spawn(trigger(), name="t")]
+
+    trace, end, *_ = run_both_lanes(monkeypatch, scenario)
+    assert trace == [(1.5, "gate", "open"), (1.75, "after")]
+    assert end == 1.75
+
+
+# --------------------------------------------------------------------- fuzz
+@pytest.mark.parametrize("seed", range(25))
+def test_randomized_trace_identity(monkeypatch, seed):
+    """Randomized mixed workloads: N processes looping over random
+    timeouts (including zero delays), cross-process resume-cancels and
+    scheduled callbacks, bounded by a random ``until`` — full trace,
+    end-time and final-state identity between the lanes."""
+
+    def build(sim, trace):
+        rng = random.Random(seed)
+        procs = []
+        n = 6
+
+        def worker(idx, plan):
+            for step, (delay, cancel_peer) in enumerate(plan):
+                got = yield Timeout(delay, value=(idx, step))
+                trace.append((sim.now, idx, step, got))
+                if cancel_peer is not None and cancel_peer < len(procs):
+                    peer = procs[cancel_peer]
+                    if peer.alive and peer.blocked_on == "timeout":
+                        sim.resume(peer, ("cancelled-by", idx))
+            return idx
+
+        plans = []
+        for idx in range(n):
+            plan = []
+            for _step in range(rng.randrange(1, 6)):
+                delay = rng.choice([0.0, 0.001, 0.001, 0.002, 0.005, 0.01])
+                cancel = rng.randrange(n) if rng.random() < 0.3 else None
+                plan.append((delay, cancel))
+            plans.append(plan)
+        for idx in range(n):
+            procs.append(sim.spawn(worker(idx, plans[idx]), name=f"w{idx}"))
+        for _ in range(rng.randrange(0, 4)):
+            at = rng.choice([0.0, 0.001, 0.004, 0.009])
+            sim.schedule(at, lambda at=at: trace.append((sim.now, "cb", at)))
+        return procs
+
+    rng = random.Random(10_000 + seed)
+    until = rng.choice([None, 0.004, 0.01, 1.0])
+    kwargs = {} if until is None else {"until": until}
+    run_both_lanes(monkeypatch, build, **kwargs)

@@ -1,0 +1,285 @@
+"""Batch messaging: ``isend_batch`` / ``inject_batch`` / ``deliver_eager_batch``.
+
+The bulk-delivery layer of the vectorized batch lane hoists per-message
+Python bookkeeping but must stay *semantically identical* to issuing the
+scalar calls in order — same payloads, same channel sequence numbers, same
+simulated times.  These tests pin that contract on every branch: the
+per-message overhead path (all built-in fabrics), the staged
+``inject_batch`` path (zero-overhead channels), the equal-size eager fast
+lane, the mixed-size / rendezvous fallback, dead-peer failure, and the
+endpoint-side FIFO-gate fast path and its fallbacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ETHERNET_10G, FabricSpec, Machine
+from repro.simulate import Simulator, Timeout
+from repro.smpi import ANY_TAG, CommFailedError, MpiWorld, run_spmd
+from repro.smpi.endpoint import Endpoint, Message
+
+# A fabric with no per-message CPU charge and no receiver touch-copy: the
+# only configuration where ``isend_batch`` stages the whole run through
+# ``MpiWorld.inject_batch`` (all built-in fabrics carry an overhead, so they
+# take the per-message path and the batch only saves resolution work).
+ZERO_OVERHEAD = FabricSpec(
+    name="zero-overhead",
+    bandwidth=1.25e9,
+    latency=10e-6,
+    cpu_overhead=0.0,
+    eager_threshold=64 * 1024,
+    copy_rate=0.0,
+)
+
+
+def _batch_main(entries):
+    def main(mpi):
+        if mpi.rank == 0:
+            reqs = yield from mpi.isend_batch(entries, dest=1)
+            yield from mpi.waitall(reqs)
+            return None
+        got = []
+        for _ in entries:
+            got.append((yield from mpi.recv(source=0, tag=ANY_TAG)))
+        return got
+
+    return main
+
+
+def _scalar_main(entries):
+    def main(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            for payload, tag, nbytes in entries:
+                req = yield from mpi.isend(payload, 1, tag=tag, nbytes=nbytes)
+                reqs.append(req)
+            yield from mpi.waitall(reqs)
+            return None
+        got = []
+        for _ in entries:
+            got.append((yield from mpi.recv(source=0, tag=ANY_TAG)))
+        return got
+
+    return main
+
+
+def _run_both(entries, **kwargs):
+    """Run the batched and the scalar variant of the same traffic."""
+    batch_res, batch_sim = run_spmd(_batch_main(entries), 2, **kwargs)
+    scalar_res, scalar_sim = run_spmd(_scalar_main(entries), 2, **kwargs)
+    return (batch_res, batch_sim), (scalar_res, scalar_sim)
+
+
+def _assert_payload_lists_equal(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        np.testing.assert_array_equal(g, w)
+
+
+def test_batch_matches_scalar_on_overhead_fabric():
+    """Ethernet charges per-message CPU: the batch must yield the same
+    Compute charges between injections, so times and payloads agree."""
+    entries = [(np.full(64, float(i)), i, None) for i in range(5)]
+    (bres, bsim), (sres, ssim) = _run_both(entries)
+    _assert_payload_lists_equal(bres[1], sres[1])
+    _assert_payload_lists_equal(bres[1], [e[0] for e in entries])
+    assert bsim.now == ssim.now
+
+
+def test_batch_matches_scalar_on_staged_path():
+    """Equal-size eager run on a zero-overhead inter-node channel: the
+    staged ``inject_batch`` + ``deliver_eager_batch`` fast lane."""
+    entries = [(np.full(256, float(i)), i, None) for i in range(4)]
+    (bres, bsim), (sres, ssim) = _run_both(
+        entries, n_nodes=2, cores_per_node=1, fabric=ZERO_OVERHEAD
+    )
+    _assert_payload_lists_equal(bres[1], sres[1])
+    _assert_payload_lists_equal(bres[1], [e[0] for e in entries])
+    assert bsim.now == ssim.now
+
+
+def test_batch_mixed_sizes_and_rendezvous_fallback():
+    """Unequal sizes defeat the equal-flow fast lane, and one payload above
+    the eager threshold exercises the rendezvous branch of inject_batch."""
+    entries = [
+        (np.arange(100.0), 0, None),
+        (np.arange(300.0), 1, None),
+        (np.arange(20_000.0), 2, None),  # 160 kB > 64 kB threshold -> rndv
+        (np.arange(50.0), 3, None),
+    ]
+    (bres, bsim), (sres, ssim) = _run_both(
+        entries, n_nodes=2, cores_per_node=1, fabric=ZERO_OVERHEAD
+    )
+    _assert_payload_lists_equal(bres[1], sres[1])
+    assert bsim.now == ssim.now
+
+
+def test_batch_explicit_nbytes_matches_priced_payload():
+    """``nbytes=None`` prices the payload; passing the same size explicitly
+    must change nothing."""
+    payloads = [np.arange(128.0) + i for i in range(3)]
+    implicit = [(p, i, None) for i, p in enumerate(payloads)]
+    explicit = [(p, i, p.nbytes) for i, p in enumerate(payloads)]
+    res_i, sim_i = run_spmd(_batch_main(implicit), 2)
+    res_e, sim_e = run_spmd(_batch_main(explicit), 2)
+    _assert_payload_lists_equal(res_i[1], res_e[1])
+    assert sim_i.now == sim_e.now
+
+
+def test_batch_snapshot_semantics():
+    """Payloads are copied at the isend_batch call, like scalar isend."""
+
+    def main(mpi):
+        if mpi.rank == 0:
+            buf = np.ones(8)
+            reqs = yield from mpi.isend_batch([(buf, 0, None)], dest=1)
+            buf[:] = -1  # mutate after posting
+            yield from mpi.waitall(reqs)
+            return None
+        return (yield from mpi.recv(source=0))
+
+    results, _ = run_spmd(main, 2)
+    np.testing.assert_array_equal(results[1], np.ones(8))
+
+
+def test_batch_interleaves_with_scalar_sends_in_fifo_order():
+    """Channel sequence numbers are shared with scalar isend: a batch
+    between two plain sends keeps the non-overtaking delivery order."""
+
+    def main(mpi):
+        if mpi.rank == 0:
+            r0 = yield from mpi.isend(np.full(4, 0.0), 1, tag=0)
+            batch = yield from mpi.isend_batch(
+                [(np.full(4, 1.0), 1, None), (np.full(4, 2.0), 2, None)], dest=1
+            )
+            r3 = yield from mpi.isend(np.full(4, 3.0), 1, tag=3)
+            yield from mpi.waitall([r0, *batch, r3])
+            return None
+        got = []
+        for _ in range(4):
+            got.append((yield from mpi.recv(source=0, tag=ANY_TAG)))
+        return got
+
+    for kwargs in ({}, {"n_nodes": 2, "cores_per_node": 1, "fabric": ZERO_OVERHEAD}):
+        results, _ = run_spmd(main, 2, **kwargs)
+        _assert_payload_lists_equal(
+            results[1], [np.full(4, float(i)) for i in range(4)]
+        )
+
+
+def test_batch_to_dead_rank_fails_every_request():
+    """inject_batch's single dead-peer verdict must fail all requests the
+    way per-message injection would."""
+    sim = Simulator()
+    machine = Machine(sim, 2, 1, ZERO_OVERHEAD)
+    world = MpiWorld(machine)
+
+    def main(mpi):
+        if mpi.rank == 0:
+            yield from mpi.compute(2.0)  # outlive the assassin
+            entries = [(np.arange(16.0), i, None) for i in range(3)]
+            reqs = yield from mpi.isend_batch(entries, dest=1)
+            failures = []
+            for req in reqs:
+                try:
+                    yield from mpi.wait(req)
+                except CommFailedError as e:
+                    failures.append(tuple(e.dead_gids))
+            return failures
+        yield from mpi.compute(10.0)
+        return None
+
+    res = world.launch(main, slots=[0, 1])
+
+    def assassin():
+        yield Timeout(1.0)
+        res.procs[1].kill("node failure")
+
+    sim.spawn(assassin())
+    sim.run()
+    assert res.procs[0].result == [(1,), (1,), (1,)]
+    assert 1 in world.dead_gids
+
+
+# --------------------------------------------------------------- endpoint
+# Unit-level checks of the FIFO-gate fast path: a fake world is enough
+# because unmatched eager dispatch only consults ``aborted_ctxs`` and the
+# straggler path only ``dead_gids`` / ``retire_msg``.
+class _FakeWorld:
+    def __init__(self):
+        self.aborted_ctxs = set()
+        self.dead_gids = set()
+        self.retired = []
+
+    def retire_msg(self, msg):
+        self.retired.append(msg)
+
+
+def _msg(seq, src_gid=5, ctx_id=0):
+    return Message(
+        seq=seq,
+        ctx_id=ctx_id,
+        src_gid=src_gid,
+        dst_gid=9,
+        src_rank=0,
+        tag=seq,
+        payload=("p", seq),
+        nbytes=8,
+        send_req=None,
+    )
+
+
+def test_deliver_eager_batch_contiguous_run_fast_path():
+    ep = Endpoint(_FakeWorld(), 9, None)
+    ep.deliver_eager_batch([_msg(0), _msg(1), _msg(2)])
+    assert [m.seq for m in ep.unexpected] == [0, 1, 2]
+    assert ep._next_seq[5] == 3
+
+
+def test_deliver_eager_batch_empty_is_noop():
+    ep = Endpoint(_FakeWorld(), 9, None)
+    ep.deliver_eager_batch([])
+    assert ep.unexpected == [] and ep._next_seq == {}
+
+
+def test_deliver_eager_batch_gap_at_head_falls_back_and_holds():
+    ep = Endpoint(_FakeWorld(), 9, None)
+    ep.deliver_eager_batch([_msg(1), _msg(2)])  # seq 0 still in flight
+    assert ep.unexpected == []
+    assert sorted(ep._reorder[5]) == [1, 2]
+    ep.deliver_eager(_msg(0))  # the missing head drains the backlog
+    assert [m.seq for m in ep.unexpected] == [0, 1, 2]
+    assert ep._next_seq[5] == 3
+
+
+def test_deliver_eager_batch_drains_previously_held_backlog():
+    ep = Endpoint(_FakeWorld(), 9, None)
+    ep.deliver_eager(_msg(2))  # out of order: held
+    assert ep.unexpected == []
+    ep.deliver_eager_batch([_msg(0), _msg(1)])  # contiguous at the gate
+    assert [m.seq for m in ep.unexpected] == [0, 1, 2]
+    assert ep._next_seq[5] == 3
+
+
+def test_deliver_eager_batch_mixed_senders_fall_back():
+    ep = Endpoint(_FakeWorld(), 9, None)
+    ep.deliver_eager_batch([_msg(0, src_gid=5), _msg(0, src_gid=6)])
+    assert sorted((m.src_gid, m.seq) for m in ep.unexpected) == [(5, 0), (6, 0)]
+    assert ep._next_seq == {5: 1, 6: 1}
+
+
+def test_deliver_eager_batch_closed_endpoint_retires_stragglers():
+    world = _FakeWorld()
+    world.dead_gids.add(5)
+    ep = Endpoint(world, 9, None)
+    ep.closed = True
+    ep.deliver_eager_batch([_msg(0), _msg(1)])
+    assert len(world.retired) == 2
+    assert ep.unexpected == []
+
+
+def test_deliver_eager_batch_closed_endpoint_rejects_live_traffic():
+    ep = Endpoint(_FakeWorld(), 9, None)
+    ep.closed = True
+    with pytest.raises(RuntimeError, match="after finalize"):
+        ep.deliver_eager_batch([_msg(0)])
